@@ -1,0 +1,509 @@
+// Benchmarks regenerating every table and figure of the paper at reduced
+// scale (one CPU-minute budget), plus the ablations DESIGN.md calls out.
+// Each benchmark reports the experiment's headline numbers as custom
+// metrics, so `go test -bench=. -benchmem` doubles as a results table:
+//
+//	outer/solve        outer iterations of the measured solve
+//	worst_extra_outer  worst-case penalty across a fault sweep
+//	unaffected_frac    fraction of fault sites with no penalty
+//
+// cmd/paperfigs runs the same experiments at full scale with plots.
+package sdcgmres_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sdcgmres"
+	"sdcgmres/internal/core"
+	"sdcgmres/internal/detect"
+	"sdcgmres/internal/expt"
+	"sdcgmres/internal/fault"
+	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/krylov"
+	"sdcgmres/internal/precond"
+	"sdcgmres/internal/sparse"
+)
+
+// benchProblem calibrates the reduced-scale problems once and caches them.
+var benchProblems = map[string]*expt.Problem{}
+
+func benchProblem(b *testing.B, kind string) *expt.Problem {
+	b.Helper()
+	if p, ok := benchProblems[kind]; ok {
+		return p
+	}
+	var (
+		p   *expt.Problem
+		err error
+	)
+	switch kind {
+	case "poisson":
+		p, err = expt.PoissonProblem(32, 10, 8)
+	case "circuit":
+		p, err = expt.CircuitProblem(2000, 10, 16)
+	default:
+		b.Fatalf("unknown problem kind %q", kind)
+	}
+	if err != nil {
+		b.Fatalf("calibration: %v", err)
+	}
+	benchProblems[kind] = p
+	return p
+}
+
+// --- Table I ---
+
+func BenchmarkTable1PoissonProperties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row := expt.Table1Poisson(32)
+		b.ReportMetric(row.Cond2, "cond2")
+		b.ReportMetric(row.Norm2, "norm2")
+		b.ReportMetric(row.FrobeniusNorm, "frobenius")
+	}
+}
+
+func BenchmarkTable1CircuitProperties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row, err := expt.Table1Circuit(2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.Cond2, "cond2")
+		b.ReportMetric(row.Norm2, "norm2")
+		b.ReportMetric(row.FrobeniusNorm, "frobenius")
+	}
+}
+
+// --- Fig. 2: Hessenberg structure ---
+
+func BenchmarkFig2HessenbergStructure(b *testing.B) {
+	spd := gallery.Poisson2D(16)
+	nonsym := gallery.ConvectionDiffusion2D(16, 15, -7)
+	for i := 0; i < b.N; i++ {
+		tri := hessIsTridiagonal(b, spd, 8)
+		full := hessIsTridiagonal(b, nonsym, 8)
+		if !tri || full {
+			b.Fatalf("structure claim violated: spd tridiagonal=%v, nonsym tridiagonal=%v", tri, full)
+		}
+	}
+}
+
+func hessIsTridiagonal(b *testing.B, a krylov.Operator, k int) bool {
+	b.Helper()
+	type entry struct {
+		i, j int
+		v    float64
+	}
+	var entries []entry
+	hook := krylov.CoeffHookFunc(func(ctx krylov.CoeffContext, v float64) (float64, error) {
+		i := ctx.Step - 1
+		if ctx.Kind == krylov.Normalization {
+			i = ctx.InnerIteration
+		}
+		entries = append(entries, entry{i: i, j: ctx.InnerIteration - 1, v: v})
+		return v, nil
+	})
+	rhs := sdcgmres.OnesRHS(a.(*sparse.CSR))
+	if _, err := krylov.GMRES(a, rhs, nil, krylov.Options{MaxIter: k, Tol: 0, Hooks: []krylov.CoeffHook{hook}}); err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.j > e.i+1 || e.i > e.j+1 {
+			if e.v > 1e-8 || e.v < -1e-8 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// --- Figures 3 and 4: fault sweeps ---
+
+func benchmarkSweep(b *testing.B, kind string, step fault.StepSelector) {
+	p := benchProblem(b, kind)
+	for _, model := range fault.Classes() {
+		b.Run(slugModel(model), func(b *testing.B) {
+			var sum expt.Summary
+			for i := 0; i < b.N; i++ {
+				cfg := expt.SweepConfig{Model: model, Step: step, Stride: 7}
+				pts := expt.Sweep(p, cfg)
+				sum = expt.Summarize(p, cfg, pts)
+				if sum.SilentFailures > 0 {
+					b.Fatalf("silent failure in sweep: %+v", sum)
+				}
+			}
+			b.ReportMetric(float64(sum.MaxExtraOuter), "worst_extra_outer")
+			b.ReportMetric(float64(sum.Unaffected)/float64(sum.Points), "unaffected_frac")
+		})
+	}
+}
+
+func slugModel(m fault.Model) string {
+	switch m {
+	case fault.ClassLarge:
+		return "class1_x1e150"
+	case fault.ClassSlight:
+		return "class2_x10^-0.5"
+	default:
+		return "class3_x1e-300"
+	}
+}
+
+func BenchmarkFig3aPoissonFirstMGS(b *testing.B) { benchmarkSweep(b, "poisson", fault.FirstMGS) }
+func BenchmarkFig3bPoissonLastMGS(b *testing.B)  { benchmarkSweep(b, "poisson", fault.LastMGS) }
+func BenchmarkFig4aCircuitFirstMGS(b *testing.B) { benchmarkSweep(b, "circuit", fault.FirstMGS) }
+func BenchmarkFig4bCircuitLastMGS(b *testing.B)  { benchmarkSweep(b, "circuit", fault.LastMGS) }
+
+// --- Summary (Sec. VII-E): detector impact ---
+
+func BenchmarkSummaryFindings(b *testing.B) {
+	p := benchProblem(b, "poisson")
+	for _, mode := range []struct {
+		name string
+		det  core.DetectorConfig
+	}{
+		{"detector_off", core.DetectorConfig{}},
+		{"detector_restart", core.DetectorConfig{Enabled: true, Kind: detect.FrobeniusBound, Response: core.ResponseRestartInner}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var sum expt.Summary
+			for i := 0; i < b.N; i++ {
+				cfg := expt.SweepConfig{Model: fault.ClassLarge, Step: fault.FirstMGS, Stride: 5, Detector: mode.det}
+				pts := expt.Sweep(p, cfg)
+				sum = expt.Summarize(p, cfg, pts)
+			}
+			b.ReportMetric(float64(sum.MaxExtraOuter), "worst_extra_outer")
+			b.ReportMetric(sum.PctWorstIncrease, "worst_increase_pct")
+		})
+	}
+}
+
+// --- Ablation A1: the three projected-LSQ policies under a huge fault ---
+
+func BenchmarkAblationLSQPolicies(b *testing.B) {
+	a := gallery.Poisson2D(32)
+	rhs := sdcgmres.OnesRHS(a)
+	for _, pol := range []krylov.LSQPolicy{krylov.LSQTriangular, krylov.LSQFallback, krylov.LSQRankRevealing} {
+		b.Run(fmt.Sprintf("policy_%s", pol), func(b *testing.B) {
+			var outer int
+			for i := 0; i < b.N; i++ {
+				inj := fault.NewInjector(fault.ClassLarge, fault.Site{AggregateInner: 12, Step: fault.FirstMGS})
+				s := core.New(a, core.Config{
+					MaxOuter: 60, OuterTol: 1e-8,
+					Inner: core.InnerConfig{Iterations: 10, Policy: pol, Hooks: []krylov.CoeffHook{inj}},
+				})
+				res, err := s.Solve(rhs, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Converged {
+					b.Fatalf("policy %v did not converge", pol)
+				}
+				outer = res.Stats.OuterIterations
+			}
+			b.ReportMetric(float64(outer), "outer/solve")
+		})
+	}
+}
+
+// --- Ablation A2: bound invariance across orthogonalization kernels ---
+
+func BenchmarkAblationOrthoVariants(b *testing.B) {
+	a := gallery.ConvectionDiffusion2D(16, 8, -4)
+	rhs := sdcgmres.OnesRHS(a)
+	det := detect.NewDetector(a, detect.FrobeniusBound)
+	for _, m := range []krylov.OrthoMethod{krylov.MGS, krylov.CGS, krylov.CGS2} {
+		b.Run(m.String(), func(b *testing.B) {
+			var iters int
+			for i := 0; i < b.N; i++ {
+				det.Reset()
+				res, err := krylov.GMRES(a, rhs, nil, krylov.Options{
+					MaxIter: 128, Tol: 1e-9, Ortho: m, MaxRestarts: 2,
+					Hooks: []krylov.CoeffHook{det},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Converged {
+					b.Fatalf("%v did not converge", m)
+				}
+				// Bound invariance (Sec. V-B): a fault-free solve violates
+				// the bound with NO orthogonalization kernel.
+				if det.Stats().Violations != 0 {
+					b.Fatalf("%v: false positives", m)
+				}
+				iters = res.Iterations
+			}
+			b.ReportMetric(float64(iters), "iters/solve")
+		})
+	}
+}
+
+// --- Ablation A3: FT-GMRES vs prior-work checkpoint/rollback baseline ---
+
+func BenchmarkBaselineABFT(b *testing.B) {
+	a := gallery.Poisson2D(32)
+	rhs := sdcgmres.OnesRHS(a)
+	b.Run("ftgmres_runthrough", func(b *testing.B) {
+		var outer int
+		for i := 0; i < b.N; i++ {
+			inj := fault.NewInjector(fault.ClassLarge, fault.Site{AggregateInner: 15, Step: fault.FirstMGS})
+			res, err := core.New(a, core.Config{
+				MaxOuter: 60, OuterTol: 1e-9,
+				Inner: core.InnerConfig{Iterations: 10, Hooks: []krylov.CoeffHook{inj}},
+			}).Solve(rhs, nil)
+			if err != nil || !res.Converged {
+				b.Fatalf("ft-gmres failed: %v", err)
+			}
+			outer = res.Stats.OuterIterations
+		}
+		b.ReportMetric(float64(outer), "outer/solve")
+		b.ReportMetric(0, "wasted_iters")
+	})
+	b.Run("abft_rollback", func(b *testing.B) {
+		var stats sdcgmres.RollbackStats
+		for i := 0; i < b.N; i++ {
+			inj := fault.NewInjector(fault.ClassLarge, fault.Site{AggregateInner: 15, Step: fault.FirstMGS})
+			var err error
+			_, stats, err = sdcgmres.RollbackGMRES(a, rhs, sdcgmres.RollbackOptions{
+				CheckEvery: 10, Tol: 1e-9, MaxCycles: 100,
+				Hooks: []krylov.CoeffHook{inj},
+			})
+			if err != nil || !stats.Converged {
+				b.Fatalf("baseline failed: %v", err)
+			}
+		}
+		b.ReportMetric(float64(stats.Iterations), "iters/solve")
+		b.ReportMetric(float64(stats.WastedIterations), "wasted_iters")
+	})
+}
+
+// --- Ablation A4: preconditioned inner solves under SDC ---
+
+func BenchmarkAblationPreconditionedInner(b *testing.B) {
+	a := gallery.Poisson2D(32)
+	rhs := sdcgmres.OnesRHS(a)
+	ilu, err := precond.NewILU0(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		m    krylov.Preconditioner
+	}{
+		{"plain_inner", nil},
+		{"ilu0_inner", ilu},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var outer, detections int
+			for i := 0; i < b.N; i++ {
+				inj := fault.NewInjector(fault.ClassLarge, fault.Site{AggregateInner: 12, Step: fault.FirstMGS})
+				res, err := core.New(a, core.Config{
+					MaxOuter: 60, OuterTol: 1e-8,
+					Inner:    core.InnerConfig{Iterations: 10, Precond: mode.m, Hooks: []krylov.CoeffHook{inj}},
+					Detector: core.DetectorConfig{Enabled: true, Response: core.ResponseWarn},
+				}).Solve(rhs, nil)
+				if err != nil || !res.Converged {
+					b.Fatalf("solve failed: %v", err)
+				}
+				outer = res.Stats.OuterIterations
+				detections = res.Stats.Detections
+			}
+			b.ReportMetric(float64(outer), "outer/solve")
+			b.ReportMetric(float64(detections), "detections")
+		})
+	}
+}
+
+// --- Ablation A5: equilibration tightening the detector bound ---
+
+func BenchmarkAblationEquilibration(b *testing.B) {
+	a := gallery.CircuitDCOP(gallery.DefaultCircuitDCOPConfig(2000))
+	for i := 0; i < b.N; i++ {
+		eq, err := sparse.Equilibrate(a, 30, 1e-8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.FrobeniusNorm(), "bound_before")
+		b.ReportMetric(eq.B.FrobeniusNorm(), "bound_after")
+	}
+}
+
+// --- Ablation A6: Householder vs Gram-Schmidt GMRES ---
+
+func BenchmarkAblationHouseholderGMRES(b *testing.B) {
+	a := gallery.Poisson2D(24)
+	rhs := sdcgmres.OnesRHS(a)
+	run := func(b *testing.B, solve func() (*krylov.Result, error)) {
+		var iters int
+		for i := 0; i < b.N; i++ {
+			res, err := solve()
+			if err != nil || !res.Converged {
+				b.Fatalf("solve failed: %v", err)
+			}
+			iters = res.Iterations
+		}
+		b.ReportMetric(float64(iters), "iters/solve")
+	}
+	b.Run("mgs", func(b *testing.B) {
+		run(b, func() (*krylov.Result, error) {
+			return krylov.GMRES(a, rhs, nil, krylov.Options{MaxIter: 200, Tol: 1e-9})
+		})
+	})
+	b.Run("householder", func(b *testing.B) {
+		run(b, func() (*krylov.Result, error) {
+			return krylov.GMRESHouseholder(a, rhs, nil, krylov.Options{MaxIter: 200, Tol: 1e-9})
+		})
+	})
+}
+
+// --- Extension: FT-FCG outer on SPD problems ---
+
+func BenchmarkExtensionFTFCG(b *testing.B) {
+	a := gallery.Poisson2D(32)
+	rhs := sdcgmres.OnesRHS(a)
+	for _, outer := range []core.OuterMethod{core.OuterFGMRES, core.OuterFCG} {
+		b.Run(outer.String(), func(b *testing.B) {
+			var iters int
+			for i := 0; i < b.N; i++ {
+				inj := fault.NewInjector(fault.ClassLarge, fault.Site{AggregateInner: 15, Step: fault.FirstMGS})
+				res, err := core.New(a, core.Config{
+					Outer:    outer,
+					MaxOuter: 80, OuterTol: 1e-8,
+					Inner: core.InnerConfig{Iterations: 10, Hooks: []krylov.CoeffHook{inj}},
+				}).Solve(rhs, nil)
+				if err != nil || !res.Converged {
+					b.Fatalf("solve failed: %v", err)
+				}
+				iters = res.Stats.OuterIterations
+			}
+			b.ReportMetric(float64(iters), "outer/solve")
+		})
+	}
+}
+
+// --- Extension: SpMV faults (the prior-work target) vs coefficient faults ---
+
+func BenchmarkExtensionSpMVFaults(b *testing.B) {
+	a := gallery.Poisson2D(32)
+	rhs := sdcgmres.OnesRHS(a)
+	for _, mode := range []struct {
+		name  string
+		setup func() (core.Config, func() bool)
+	}{
+		{"coeff_fault", func() (core.Config, func() bool) {
+			inj := fault.NewInjector(fault.ClassLarge, fault.Site{AggregateInner: 15, Step: fault.FirstMGS})
+			return core.Config{
+				MaxOuter: 60, OuterTol: 1e-8,
+				Inner:    core.InnerConfig{Iterations: 10, Hooks: []krylov.CoeffHook{inj}},
+				Detector: core.DetectorConfig{Enabled: true, Response: core.ResponseWarn},
+			}, inj.Fired
+		}},
+		{"spmv_fault", func() (core.Config, func() bool) {
+			inj := fault.NewOpInjector(a, fault.ClassLarge, 15, -1)
+			return core.Config{
+				MaxOuter: 60, OuterTol: 1e-8,
+				Inner: core.InnerConfig{
+					Iterations:   10,
+					WrapOperator: func(op krylov.Operator) krylov.Operator { return inj },
+				},
+				Detector: core.DetectorConfig{Enabled: true, Response: core.ResponseWarn},
+			}, inj.Fired
+		}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var outer, det int
+			for i := 0; i < b.N; i++ {
+				cfg, fired := mode.setup()
+				res, err := core.New(a, cfg).Solve(rhs, nil)
+				if err != nil || !res.Converged {
+					b.Fatalf("solve failed: %v", err)
+				}
+				if !fired() {
+					b.Fatal("fault did not fire")
+				}
+				outer = res.Stats.OuterIterations
+				det = res.Stats.Detections
+			}
+			b.ReportMetric(float64(outer), "outer/solve")
+			b.ReportMetric(float64(det), "detections")
+		})
+	}
+}
+
+// --- Extension: selective robustness (Sec. VII-E proposal) ---
+
+func BenchmarkExtensionRobustFirstSolve(b *testing.B) {
+	a := gallery.Poisson2D(32)
+	rhs := sdcgmres.OnesRHS(a)
+	for _, robust := range []bool{false, true} {
+		name := "plain"
+		if robust {
+			name = "robust_first_solve"
+		}
+		b.Run(name, func(b *testing.B) {
+			var outer int
+			var flops int64
+			for i := 0; i < b.N; i++ {
+				inj := fault.NewInjector(fault.ClassSlight, fault.Site{AggregateInner: 2, Step: fault.FirstMGS})
+				res, err := core.New(a, core.Config{
+					MaxOuter: 60, OuterTol: 1e-8,
+					Inner: core.InnerConfig{Iterations: 10, Hooks: []krylov.CoeffHook{inj}, RobustFirstSolve: robust},
+				}).Solve(rhs, nil)
+				if err != nil || !res.Converged {
+					b.Fatalf("solve failed: %v", err)
+				}
+				outer = res.Stats.OuterIterations
+				flops = res.Stats.InnerWork.OrthoFlops
+			}
+			b.ReportMetric(float64(outer), "outer/solve")
+			b.ReportMetric(float64(flops), "inner_ortho_flops")
+		})
+	}
+}
+
+// --- Extension: randomized SDC campaign ---
+
+func BenchmarkExtensionMonteCarlo(b *testing.B) {
+	p := benchProblem(b, "poisson")
+	var res expt.MCResult
+	for i := 0; i < b.N; i++ {
+		res = expt.MonteCarlo(p, expt.MCConfig{Trials: 30, Seed: 7})
+		if res.Overall.SilentFailures > 0 {
+			b.Fatal("silent failure in random campaign")
+		}
+	}
+	b.ReportMetric(float64(res.Overall.MaxExtra()), "worst_extra_outer")
+	b.ReportMetric(float64(res.Overall.NoEffect)/float64(res.Overall.Trials), "unaffected_frac")
+}
+
+// --- End-to-end solver benchmarks (kernel benches live in each package) ---
+
+func BenchmarkSolvePoissonFTGMRES(b *testing.B) {
+	a := gallery.Poisson2D(64)
+	rhs := sdcgmres.OnesRHS(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.New(a, core.Config{
+			MaxOuter: 30, OuterTol: 1e-8, Inner: core.InnerConfig{Iterations: 25},
+		}).Solve(rhs, nil)
+		if err != nil || !res.Converged {
+			b.Fatalf("solve failed: %v", err)
+		}
+	}
+}
+
+func BenchmarkSolveCircuitFTGMRES(b *testing.B) {
+	a := gallery.CircuitDCOP(gallery.DefaultCircuitDCOPConfig(2000))
+	rhs := sdcgmres.OnesRHS(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.New(a, core.Config{
+			MaxOuter: 40, OuterTol: 1e-7, Inner: core.InnerConfig{Iterations: 25},
+		}).Solve(rhs, nil)
+		if err != nil || !res.Converged {
+			b.Fatalf("solve failed: %v", err)
+		}
+	}
+}

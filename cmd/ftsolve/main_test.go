@@ -1,0 +1,59 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestVectorRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.txt")
+	want := []float64{1.5, -2.25, 3.0e-7, 0}
+	if err := writeVector(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readVector(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length %d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0 {
+			t.Fatalf("round trip changed value %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadVectorSkipsCommentsAndBlank(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.txt")
+	content := "% comment\n\n1.0\n# another\n2.0\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readVector(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReadVectorErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(path, []byte("1.0\nxyz\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readVector(path); err == nil {
+		t.Fatal("bad value should fail")
+	}
+	if _, err := readVector(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/sparse"
+)
+
+func TestDescribeDoesNotPanic(t *testing.T) {
+	// describe prints to stdout; just exercise both paths.
+	describe(gallery.Tridiag(6, -1, 2, -1), "tridiag", false)
+	describe(gallery.Tridiag(6, -1, 2, -1), "tridiag-cond", true)
+}
+
+func TestDescribeFileMatrix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mtx")
+	if err := sparse.WriteMatrixMarketFile(path, gallery.Poisson2D(4)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sparse.ReadMatrixMarketFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	describe(m, path, true)
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+}

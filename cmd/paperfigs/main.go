@@ -1,0 +1,348 @@
+// Command paperfigs regenerates every table and figure of "Evaluating the
+// Impact of SDC on the GMRES Iterative Solver" (Elliott/Hoemmen/Mueller,
+// IPDPS 2014): Table I (sample matrices), Figure 2 (Hessenberg structure),
+// Figures 3a/3b (Poisson fault sweeps), Figures 4a/4b (circuit fault
+// sweeps) and the Section VII-E summary, writing CSV data files and ASCII
+// renderings.
+//
+// Usage:
+//
+//	paperfigs [-profile tiny|fast|paper] [-only table1,fig2,fig3a,...]
+//	          [-outdir data] [-stride N] [-workers N]
+//
+// Profiles trade fidelity for wall-clock time on small machines:
+//
+//	tiny  — minute-scale smoke run (small grids, coarse stride)
+//	fast  — the default: same qualitative shapes, minutes on one core
+//	paper — full problem sizes (Poisson 100×100, circuit n=25187), stride 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sdcgmres/internal/core"
+	"sdcgmres/internal/dense"
+	"sdcgmres/internal/detect"
+	"sdcgmres/internal/expt"
+	"sdcgmres/internal/fault"
+	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/krylov"
+	"sdcgmres/internal/sparse"
+	"sdcgmres/internal/textplot"
+	"sdcgmres/internal/vec"
+)
+
+type profile struct {
+	name          string
+	poissonN      int
+	poissonOuter  int
+	circuitN      int
+	circuitOuter  int
+	innerIters    int
+	stride        int
+	table1Circuit int
+}
+
+var profiles = map[string]profile{
+	"tiny":  {name: "tiny", poissonN: 32, poissonOuter: 8, circuitN: 2000, circuitOuter: 20, innerIters: 10, stride: 5, table1Circuit: 2000},
+	"fast":  {name: "fast", poissonN: 64, poissonOuter: 9, circuitN: 8000, circuitOuter: 28, innerIters: 25, stride: 4, table1Circuit: 8000},
+	"paper": {name: "paper", poissonN: 100, poissonOuter: 9, circuitN: 25187, circuitOuter: 28, innerIters: 25, stride: 1, table1Circuit: 25187},
+}
+
+func main() {
+	profName := flag.String("profile", "fast", "scale profile: tiny, fast or paper")
+	only := flag.String("only", "all", "comma-separated subset: table1,fig2,fig3a,fig3b,fig4a,fig4b,summary,montecarlo")
+	outdir := flag.String("outdir", "data", "directory for CSV output")
+	stride := flag.Int("stride", 0, "override sweep stride (0 = profile default)")
+	workers := flag.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	prof, ok := profiles[*profName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q (want tiny, fast or paper)\n", *profName)
+		os.Exit(2)
+	}
+	if *stride > 0 {
+		prof.stride = *stride
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fatal(err)
+	}
+	want := map[string]bool{}
+	for _, k := range strings.Split(*only, ",") {
+		want[strings.TrimSpace(k)] = true
+	}
+	all := want["all"]
+	sel := func(k string) bool { return all || want[k] }
+
+	fmt.Printf("== paperfigs: profile %s (poisson %dx%d / circuit n=%d, %d inner iters, stride %d) ==\n\n",
+		prof.name, prof.poissonN, prof.poissonN, prof.circuitN, prof.innerIters, prof.stride)
+
+	if sel("table1") {
+		runTable1(prof, *outdir)
+	}
+	if sel("fig2") {
+		runFig2(prof)
+	}
+
+	var poisson, circuit *expt.Problem
+	needPoisson := sel("fig3a") || sel("fig3b") || sel("summary")
+	needCircuit := sel("fig4a") || sel("fig4b") || sel("summary")
+	if needPoisson {
+		poisson = calibrate("Poisson", gallery.Poisson2D(prof.poissonN), prof.innerIters, prof.poissonOuter)
+	}
+	if needCircuit {
+		circuit = calibrate("circuit", gallery.CircuitDCOP(gallery.DefaultCircuitDCOPConfig(prof.circuitN)), prof.innerIters, prof.circuitOuter)
+	}
+
+	var summaries []expt.Summary
+	figs := []struct {
+		key     string
+		problem **expt.Problem
+		step    fault.StepSelector
+		caption string
+	}{
+		{"fig3a", &poisson, fault.FirstMGS, "Fig. 3a: Poisson, SDC on the FIRST MGS iteration"},
+		{"fig3b", &poisson, fault.LastMGS, "Fig. 3b: Poisson, SDC on the LAST MGS iteration"},
+		{"fig4a", &circuit, fault.FirstMGS, "Fig. 4a: circuit (mult_dcop_03 surrogate), SDC on the FIRST MGS iteration"},
+		{"fig4b", &circuit, fault.LastMGS, "Fig. 4b: circuit (mult_dcop_03 surrogate), SDC on the LAST MGS iteration"},
+	}
+	for _, f := range figs {
+		if !sel(f.key) && !sel("summary") {
+			continue
+		}
+		p := *f.problem
+		if p == nil {
+			continue
+		}
+		show := sel(f.key)
+		if show {
+			fmt.Printf("-- %s --\n", f.caption)
+			fmt.Printf("   %d inner iterations per outer iteration. Failure-free outer iterations = %d\n\n",
+				p.InnerIters, p.FailureFreeOuter)
+		}
+		for _, model := range fault.Classes() {
+			cfg := expt.SweepConfig{Model: model, Step: f.step, Stride: prof.stride, Workers: *workers}
+			start := time.Now()
+			pts := expt.Sweep(p, cfg)
+			sum := expt.Summarize(p, cfg, pts)
+			summaries = append(summaries, sum)
+			writeCSV(*outdir, fmt.Sprintf("%s_%s.csv", f.key, slug(model.String())), p, cfg, pts)
+			if show {
+				plotSweep(p, model.String(), pts)
+				fmt.Printf("   [%d runs in %v; worst case %d outer (+%d); %d unaffected]\n\n",
+					len(pts), time.Since(start).Round(time.Second), sum.MaxOuter, sum.MaxExtraOuter, sum.Unaffected)
+			}
+		}
+	}
+
+	if sel("summary") {
+		runSummary(prof, *outdir, poisson, circuit, summaries, *workers)
+	}
+	if sel("montecarlo") {
+		if poisson == nil {
+			poisson = calibrate("Poisson", gallery.Poisson2D(prof.poissonN), prof.innerIters, prof.poissonOuter)
+		}
+		runMonteCarlo(prof, *outdir, poisson, *workers)
+	}
+	fmt.Println("done.")
+}
+
+func runTable1(prof profile, outdir string) {
+	fmt.Println("-- Table I: Sample Matrices --")
+	rows := []expt.Table1Row{expt.Table1Poisson(prof.poissonN)}
+	cr, err := expt.Table1Circuit(prof.table1Circuit)
+	if err != nil {
+		fatal(err)
+	}
+	rows = append(rows, cr)
+	expt.WriteTable1(os.Stdout, rows)
+	f, err := os.Create(filepath.Join(outdir, "table1.txt"))
+	if err != nil {
+		fatal(err)
+	}
+	expt.WriteTable1(f, rows)
+	f.Close()
+	fmt.Println()
+}
+
+// runFig2 demonstrates the structural claim behind Figure 2: the projected
+// matrix H of an SPD problem is tridiagonal, while a nonsymmetric problem
+// fills the whole upper Hessenberg.
+func runFig2(prof profile) {
+	fmt.Println("-- Fig. 2: Upper Hessenberg vs tridiagonal structure of H --")
+	show := func(label string, a krylov.Operator, k int) {
+		h := captureH(a, k)
+		fmt.Printf("%s: H(1:%d,1:%d) |entries| > 1e-8:\n", label, k, k)
+		for i := 0; i < k; i++ {
+			row := "   "
+			for j := 0; j < k; j++ {
+				if abs(h.At(i, j)) > 1e-8 {
+					row += "× "
+				} else {
+					row += "0 "
+				}
+			}
+			fmt.Println(row)
+		}
+		fmt.Printf("   tridiagonal: %v, upper Hessenberg: %v\n\n", h.IsTridiagonal(1e-8), h.IsUpperHessenberg(1e-12))
+	}
+	show("SPD (Poisson)", gallery.Poisson2D(min(prof.poissonN, 24)), 6)
+	show("nonsymmetric (convection-diffusion)", gallery.ConvectionDiffusion2D(min(prof.poissonN, 24), 15, -7), 6)
+}
+
+// captureH runs k Arnoldi iterations and rebuilds H from the hook stream.
+func captureH(a krylov.Operator, k int) *dense.Matrix {
+	h := dense.NewMatrix(k+1, k)
+	hook := krylov.CoeffHookFunc(func(ctx krylov.CoeffContext, v float64) (float64, error) {
+		j := ctx.InnerIteration - 1
+		var i int
+		if ctx.Kind == krylov.Normalization {
+			i = ctx.InnerIteration
+		} else {
+			i = ctx.Step - 1
+		}
+		if j < k && i <= k {
+			h.Set(i, j, v)
+		}
+		return v, nil
+	})
+	b := make([]float64, a.Rows())
+	a.MatVec(b, vec.Ones(a.Cols()))
+	if _, err := krylov.GMRES(a, b, nil, krylov.Options{MaxIter: k, Tol: 0, Hooks: []krylov.CoeffHook{hook}}); err != nil {
+		fatal(err)
+	}
+	return h
+}
+
+func runSummary(prof profile, outdir string, poisson, circuit *expt.Problem, noDetector []expt.Summary, workers int) {
+	fmt.Println("-- Summary (Sec. VII-E): detector impact on worst-case time-to-solution --")
+	det := core.DetectorConfig{Enabled: true, Kind: detect.FrobeniusBound, Response: core.ResponseRestartInner}
+	var withDetector []expt.Summary
+	for _, p := range []*expt.Problem{poisson, circuit} {
+		if p == nil {
+			continue
+		}
+		for _, step := range []fault.StepSelector{fault.FirstMGS, fault.LastMGS} {
+			cfg := expt.SweepConfig{Model: fault.ClassLarge, Step: step, Stride: prof.stride, Detector: det, Workers: workers}
+			pts := expt.Sweep(p, cfg)
+			withDetector = append(withDetector, expt.Summarize(p, cfg, pts))
+			writeCSV(outdir, fmt.Sprintf("summary_det_%s_%s.csv", slug(p.Name), step.String()), p, cfg, pts)
+		}
+	}
+	fmt.Println("\nWithout detector:")
+	expt.WriteSummaries(os.Stdout, noDetector)
+	fmt.Println("\nWith detector (‖A‖F bound, restart-inner response) — class-1 faults only:")
+	expt.WriteSummaries(os.Stdout, withDetector)
+	f, err := os.Create(filepath.Join(outdir, "summary.txt"))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(f, "Without detector:")
+	expt.WriteSummaries(f, noDetector)
+	fmt.Fprintln(f, "\nWith detector (restart-inner), class-1 faults:")
+	expt.WriteSummaries(f, withDetector)
+	f.Close()
+	fmt.Println()
+}
+
+// runMonteCarlo runs the randomized-campaign extension: faults sampled
+// across the whole IEEE-754 range and all MGS positions, with and without
+// the detector.
+func runMonteCarlo(prof profile, outdir string, p *expt.Problem, workers int) {
+	fmt.Println("-- Extension: randomized SDC campaign (uniform sites, scale + bit-flip models) --")
+	trials := 200
+	if prof.name == "tiny" {
+		trials = 60
+	}
+	off := expt.MonteCarlo(p, expt.MCConfig{Trials: trials, Seed: 1311.65e2, Workers: workers})
+	expt.WriteMCReport(os.Stdout, p, off)
+	fmt.Println()
+	det := core.DetectorConfig{Enabled: true, Kind: detect.FrobeniusBound, Response: core.ResponseRestartInner}
+	on := expt.MonteCarlo(p, expt.MCConfig{Trials: trials, Seed: 1311.65e2, Detector: det, Workers: workers})
+	fmt.Println("same campaign with the detector enabled (restart-inner response):")
+	expt.WriteMCReport(os.Stdout, p, on)
+	f, err := os.Create(filepath.Join(outdir, "montecarlo.txt"))
+	if err != nil {
+		fatal(err)
+	}
+	expt.WriteMCReport(f, p, off)
+	fmt.Fprintln(f)
+	expt.WriteMCReport(f, p, on)
+	f.Close()
+	fmt.Println()
+}
+
+func calibrate(label string, a *sparse.CSR, inner, target int) *expt.Problem {
+	start := time.Now()
+	p, err := expt.Calibrate(label, a, inner, target)
+	if err != nil {
+		fatal(fmt.Errorf("calibrating %s: %w", label, err))
+	}
+	fmt.Printf("calibrated %s: tol %.3e -> %d failure-free outer iterations (%v)\n\n",
+		label, p.OuterTol, p.FailureFreeOuter, time.Since(start).Round(time.Millisecond))
+	return p
+}
+
+func plotSweep(p *expt.Problem, model string, pts []expt.SweepPoint) {
+	s := textplot.Series{}
+	for _, pt := range pts {
+		s.X = append(s.X, pt.AggregateInner)
+		s.Y = append(s.Y, pt.OuterIters)
+	}
+	err := textplot.Render(os.Stdout, s, textplot.Options{
+		Title:      fmt.Sprintf("h̃ = h %s", model),
+		Width:      100,
+		Baseline:   p.FailureFreeOuter,
+		GuideEvery: p.InnerIters,
+		YLabel:     "outer iterations",
+		XLabel:     "aggregate inner solve iteration that faults",
+	})
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func writeCSV(outdir, name string, p *expt.Problem, cfg expt.SweepConfig, pts []expt.SweepPoint) {
+	f, err := os.Create(filepath.Join(outdir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := expt.WriteSweepCSV(f, p.Name, cfg, pts); err != nil {
+		fatal(err)
+	}
+}
+
+func slug(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == '-' || r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperfigs:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+
+	"sdcgmres/internal/gallery"
+)
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"scale(×1e+150)": "scale__1e_150_",
+		"bitflip(63)":    "bitflip_63_",
+		"plain-name_ok":  "plain-name_ok",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Fatalf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCaptureHStructure(t *testing.T) {
+	// The Fig. 2 capture must reproduce the tridiagonal-vs-Hessenberg
+	// distinction the paper illustrates.
+	spd := captureH(gallery.Poisson2D(8), 5)
+	if !spd.IsTridiagonal(1e-8) {
+		t.Fatalf("Poisson H not tridiagonal:\n%v", spd)
+	}
+	non := captureH(gallery.ConvectionDiffusion2D(8, 12, -5), 5)
+	if non.IsTridiagonal(1e-8) {
+		t.Fatal("nonsymmetric H should not be tridiagonal")
+	}
+	if !non.IsUpperHessenberg(1e-12) {
+		t.Fatal("H must be upper Hessenberg")
+	}
+}
+
+func TestProfilesComplete(t *testing.T) {
+	for _, name := range []string{"tiny", "fast", "paper"} {
+		p, ok := profiles[name]
+		if !ok {
+			t.Fatalf("missing profile %s", name)
+		}
+		if p.poissonN <= 0 || p.circuitN <= 0 || p.innerIters <= 0 || p.stride <= 0 {
+			t.Fatalf("profile %s incomplete: %+v", name, p)
+		}
+	}
+	if profiles["paper"].poissonN != 100 || profiles["paper"].circuitN != 25187 {
+		t.Fatal("paper profile must use the paper's problem sizes")
+	}
+	if profiles["paper"].stride != 1 {
+		t.Fatal("paper profile must sweep every site")
+	}
+}

@@ -1,0 +1,201 @@
+// Command sdcrun runs a single SDC experiment: it solves one linear system
+// with FT-GMRES, injects one fault at a chosen site, and reports the
+// convergence history, fault log and detector activity. It is the
+// single-experiment counterpart of cmd/paperfigs.
+//
+// Usage:
+//
+//	sdcrun -gen poisson -n 64 -inner 25 -tol 1e-8 \
+//	       -fault-class large -fault-at 30 -fault-step first \
+//	       -detector -response restart
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"sdcgmres/internal/core"
+	"sdcgmres/internal/detect"
+	"sdcgmres/internal/fault"
+	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/krylov"
+	"sdcgmres/internal/sparse"
+	"sdcgmres/internal/vec"
+)
+
+func main() {
+	gen := flag.String("gen", "poisson", "matrix: poisson | circuit | convdiff, or use -file")
+	file := flag.String("file", "", "Matrix Market file instead of a generator")
+	n := flag.Int("n", 64, "generator size")
+	inner := flag.Int("inner", 25, "inner iterations per outer iteration")
+	maxOuter := flag.Int("max-outer", 60, "outer iteration cap")
+	tol := flag.Float64("tol", 1e-8, "outer relative residual tolerance")
+	faultClass := flag.String("fault-class", "", "fault model: large | slight | tiny | bitflip:<bit> | set:<value> | scale:<factor> (empty = no fault)")
+	faultAt := flag.Int("fault-at", 1, "aggregate inner iteration to fault")
+	faultStep := flag.String("fault-step", "first", "MGS step: first | last | norm")
+	detector := flag.Bool("detector", false, "enable the Hessenberg-bound detector")
+	bound := flag.String("bound", "frobenius", "detector bound: frobenius | spectral")
+	response := flag.String("response", "warn", "detector response: warn | halt | restart")
+	verbose := flag.Bool("v", false, "print the per-iteration residual history")
+	flag.Parse()
+
+	a, name := buildMatrix(*gen, *file, *n)
+	b := make([]float64, a.Rows())
+	a.MatVec(b, vec.Ones(a.Cols()))
+
+	var hooks []krylov.CoeffHook
+	var inj *fault.Injector
+	if *faultClass != "" {
+		model, err := parseModel(*faultClass)
+		if err != nil {
+			fatal(err)
+		}
+		step, err := parseStep(*faultStep)
+		if err != nil {
+			fatal(err)
+		}
+		inj = fault.NewInjector(model, fault.Site{AggregateInner: *faultAt, Step: step})
+		hooks = append(hooks, inj)
+	}
+
+	cfg := core.Config{
+		MaxOuter: *maxOuter,
+		OuterTol: *tol,
+		Inner:    core.InnerConfig{Iterations: *inner, Hooks: hooks},
+	}
+	if *detector {
+		kind := detect.FrobeniusBound
+		if *bound == "spectral" {
+			kind = detect.SpectralBound
+		}
+		resp := core.ResponseWarn
+		switch *response {
+		case "halt":
+			resp = core.ResponseHaltInner
+		case "restart":
+			resp = core.ResponseRestartInner
+		case "warn":
+		default:
+			fatal(fmt.Errorf("unknown response %q", *response))
+		}
+		cfg.Detector = core.DetectorConfig{Enabled: true, Kind: kind, Response: resp}
+	}
+
+	solver := core.New(a, cfg)
+	res, err := solver.Solve(b, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("problem:    %s (%d x %d, %d nnz)\n", name, a.Rows(), a.Cols(), a.NNZ())
+	if det := solver.Detector(); det != nil {
+		fmt.Printf("detector:   bound %s = %.6g, response %s\n", det.Kind(), det.Bound(), cfg.Detector.Response)
+	}
+	if inj != nil {
+		fmt.Printf("fault:      %s at %s\n", inj.Model(), inj.Site())
+		for _, ev := range inj.Events() {
+			fmt.Printf("  fired at inner solve %d, iteration %d, step %d (%s): %.6g -> %.6g\n",
+				ev.Ctx.OuterIteration, ev.Ctx.InnerIteration, ev.Ctx.Step, ev.Ctx.Kind, ev.Correct, ev.Corrupted)
+		}
+		if !inj.Fired() {
+			fmt.Println("  (fault site never reached)")
+		}
+	}
+	fmt.Printf("converged:  %v (relative residual %.3e)\n", res.Converged, res.FinalResidual)
+	fmt.Printf("outer iterations: %d, inner iterations: %d\n", res.Stats.OuterIterations, res.Stats.InnerIterations)
+	if res.Stats.Detections > 0 || res.Stats.InnerHalts > 0 || res.Stats.InnerRestarts > 0 || res.Stats.SandboxFailures > 0 {
+		fmt.Printf("resilience: %d detections, %d inner halts, %d inner restarts, %d sandbox failures\n",
+			res.Stats.Detections, res.Stats.InnerHalts, res.Stats.InnerRestarts, res.Stats.SandboxFailures)
+	}
+	// Forward error against the known solution x = 1.
+	worst := 0.0
+	for _, v := range res.X {
+		if d := math.Abs(v - 1); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("forward error vs known solution (x=1): %.3e\n", worst)
+	if *verbose {
+		fmt.Println("residual history:")
+		for i, r := range res.ResidualHistory {
+			fmt.Printf("  outer %3d: %.6e\n", i+1, r)
+		}
+	}
+	if !res.Converged {
+		os.Exit(1)
+	}
+}
+
+func buildMatrix(gen, file string, n int) (*sparse.CSR, string) {
+	if file != "" {
+		m, err := sparse.ReadMatrixMarketFile(file)
+		if err != nil {
+			fatal(err)
+		}
+		return m, file
+	}
+	switch gen {
+	case "poisson":
+		return gallery.Poisson2D(n), fmt.Sprintf("poisson-%dx%d", n, n)
+	case "circuit":
+		return gallery.CircuitDCOP(gallery.DefaultCircuitDCOPConfig(n)), fmt.Sprintf("circuit-dcop-%d", n)
+	case "convdiff":
+		return gallery.ConvectionDiffusion2D(n, 10, -5), fmt.Sprintf("convdiff-%dx%d", n, n)
+	default:
+		fatal(fmt.Errorf("unknown generator %q", gen))
+		return nil, ""
+	}
+}
+
+func parseModel(spec string) (fault.Model, error) {
+	switch spec {
+	case "large":
+		return fault.ClassLarge, nil
+	case "slight":
+		return fault.ClassSlight, nil
+	case "tiny":
+		return fault.ClassTiny, nil
+	}
+	switch {
+	case strings.HasPrefix(spec, "bitflip:"):
+		bit, err := strconv.Atoi(spec[len("bitflip:"):])
+		if err != nil || bit < 0 || bit > 63 {
+			return nil, fmt.Errorf("bad bitflip spec %q", spec)
+		}
+		return fault.BitFlip{Bit: uint(bit)}, nil
+	case strings.HasPrefix(spec, "set:"):
+		v, err := strconv.ParseFloat(spec[len("set:"):], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad set spec %q", spec)
+		}
+		return fault.SetValue{Value: v}, nil
+	case strings.HasPrefix(spec, "scale:"):
+		v, err := strconv.ParseFloat(spec[len("scale:"):], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad scale spec %q", spec)
+		}
+		return fault.Scale{Factor: v}, nil
+	}
+	return nil, fmt.Errorf("unknown fault class %q", spec)
+}
+
+func parseStep(s string) (fault.StepSelector, error) {
+	switch s {
+	case "first":
+		return fault.FirstMGS, nil
+	case "last":
+		return fault.LastMGS, nil
+	case "norm":
+		return fault.NormStep, nil
+	}
+	return 0, fmt.Errorf("unknown fault step %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdcrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Detector: explores the paper's central question — what can the
+// Hessenberg-bound detector see? It derives the bound |h(i,j)| <= ||A||_2
+// <= ||A||_F (Eq. 3) for two matrices, then probes the detector with fault
+// models from the whole IEEE-754 range: the paper's three classes, bit
+// flips in every field of the binary64 format, and direct NaN/Inf
+// injection.
+//
+// Run with: go run ./examples/detector
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"sdcgmres"
+)
+
+func main() {
+	a := sdcgmres.Poisson2D(48)
+	frob := sdcgmres.NewSDCDetector(a, sdcgmres.FrobeniusBound)
+	spec := sdcgmres.NewSDCDetector(a, sdcgmres.SpectralBound)
+	fmt.Println("Eq. (3):  |h(i,j)| <= ||A||_2 <= ||A||_F  for every Arnoldi coefficient")
+	fmt.Printf("Poisson 48x48:  ||A||_2 bound = %.4g   ||A||_F bound = %.4g\n\n", spec.Bound(), frob.Bound())
+
+	// A representative legitimate coefficient (the Rayleigh quotient of the
+	// first Arnoldi iteration is ~4 for this matrix).
+	const h = 3.8
+
+	type probe struct {
+		name  string
+		model sdcgmres.FaultModel
+	}
+	probes := []probe{
+		{"class 1: h x 10^+150", sdcgmres.FaultClassLarge},
+		{"class 2: h x 10^-0.5", sdcgmres.FaultClassSlight},
+		{"class 3: h x 10^-300", sdcgmres.FaultClassTiny},
+		{"bit flip: sign (63)", sdcgmres.BitFlipFault{Bit: 63}},
+		{"bit flip: exp MSB (62)", sdcgmres.BitFlipFault{Bit: 62}},
+		{"bit flip: exp LSB (52)", sdcgmres.BitFlipFault{Bit: 52}},
+		{"bit flip: mantissa (51)", sdcgmres.BitFlipFault{Bit: 51}},
+		{"bit flip: mantissa (0)", sdcgmres.BitFlipFault{Bit: 0}},
+		{"set: NaN", sdcgmres.SetValueFault{Value: math.NaN()}},
+		{"set: +Inf", sdcgmres.SetValueFault{Value: math.Inf(1)}},
+		{"set: 10 (the c=a+b=10 example)", sdcgmres.SetValueFault{Value: 10}},
+	}
+
+	fmt.Printf("%-32s %-14s %-14s %-10s %-10s\n", "fault model", "correct", "corrupted", "||A||_2", "||A||_F")
+	caughtF, caughtS := 0, 0
+	for _, p := range probes {
+		bad := p.model.Corrupt(h)
+		dF := frob.WouldDetect(bad)
+		dS := spec.WouldDetect(bad)
+		if dF {
+			caughtF++
+		}
+		if dS {
+			caughtS++
+		}
+		fmt.Printf("%-32s %-14.6g %-14.6g %-10s %-10s\n", p.name, h, bad, mark(dS), mark(dF))
+	}
+	fmt.Printf("\ndetected: %d/%d with the spectral bound, %d/%d with the Frobenius bound\n", caughtS, len(probes), caughtF, len(probes))
+	fmt.Println("\nThe bound can only catch values that are too LARGE (or non-finite):")
+	fmt.Println("shrinking faults are theoretically legal coefficients — Section V-C's")
+	fmt.Println("point that we know precisely what is NOT detectable. The sweep")
+	fmt.Println("experiments (examples/faultsweep) show those undetectable faults cost")
+	fmt.Println("at most a couple of outer iterations: detection where possible,")
+	fmt.Println("run-through everywhere else.")
+
+	// Tighter bound = more detections: show one value caught by the
+	// spectral bound but missed by Frobenius.
+	edge := 100.0 // between ||A||_2 (~8) and ||A||_F (~340)
+	fmt.Printf("\nedge case h=%.0f: spectral bound detects=%v, Frobenius bound detects=%v\n",
+		edge, spec.WouldDetect(edge), frob.WouldDetect(edge))
+}
+
+func mark(b bool) string {
+	if b {
+		return "DETECT"
+	}
+	return "-"
+}

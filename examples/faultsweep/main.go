@@ -1,0 +1,94 @@
+// Faultsweep: a miniature version of the paper's Figure 3 experiment.
+// For every aggregate inner iteration of a failure-free FT-GMRES schedule,
+// inject one SDC of each class at the first MGS step and record how many
+// outer iterations the solve then needs. Prints an ASCII rendition of the
+// three stacked subplots.
+//
+// Run with: go run ./examples/faultsweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sdcgmres"
+)
+
+func main() {
+	a := sdcgmres.Poisson2D(32)
+	b := sdcgmres.OnesRHS(a)
+	const (
+		inner = 10
+		tol   = 1e-8
+	)
+
+	// Failure-free baseline.
+	base := sdcgmres.NewFTGMRES(a, cfg(nil, inner, tol))
+	ff, err := base.Solve(b, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ff.Converged {
+		log.Fatalf("baseline did not converge: %g", ff.FinalResidual)
+	}
+	ffOuter := ff.Stats.OuterIterations
+	total := ffOuter * inner
+	fmt.Printf("failure-free: %d outer iterations x %d inner = %d fault sites\n\n", ffOuter, inner, total)
+
+	classes := []struct {
+		name  string
+		model sdcgmres.FaultModel
+	}{
+		{"h x 10^+150 (class 1, detectable)", sdcgmres.FaultClassLarge},
+		{"h x 10^-0.5 (class 2, undetectable)", sdcgmres.FaultClassSlight},
+		{"h x 10^-300 (class 3, undetectable)", sdcgmres.FaultClassTiny},
+	}
+	for _, c := range classes {
+		fmt.Printf("-- SDC model: %s --\n", c.name)
+		worst := ffOuter
+		unaffected := 0
+		row := make([]int, total)
+		for t := 1; t <= total; t++ {
+			inj := sdcgmres.NewFaultInjector(c.model,
+				sdcgmres.FaultSite{AggregateInner: t, Step: sdcgmres.FirstMGSStep})
+			res, err := sdcgmres.NewFTGMRES(a, cfg([]sdcgmres.CoeffHook{inj}, inner, tol)).Solve(b, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row[t-1] = res.Stats.OuterIterations
+			if res.Stats.OuterIterations > worst {
+				worst = res.Stats.OuterIterations
+			}
+			if res.Stats.OuterIterations <= ffOuter {
+				unaffected++
+			}
+		}
+		// Sparkline: one character per fault site, '.' = unaffected,
+		// digits = extra outer iterations.
+		line := make([]byte, total)
+		for i, v := range row {
+			extra := v - ffOuter
+			switch {
+			case extra <= 0:
+				line[i] = '.'
+			case extra > 9:
+				line[i] = '!'
+			default:
+				line[i] = byte('0' + extra)
+			}
+		}
+		fmt.Printf("   %s\n", string(line))
+		fmt.Printf("   worst %d outer (+%d), %d/%d sites unaffected\n\n", worst, worst-ffOuter, unaffected, total)
+	}
+	fmt.Println("legend: '.' no extra outer iterations, digit = extra outer iterations at that fault site")
+	os.Exit(0)
+}
+
+func cfg(hooks []sdcgmres.CoeffHook, inner int, tol float64) sdcgmres.FTConfig {
+	return sdcgmres.FTConfig{
+		MaxOuter: 60,
+		OuterTol: tol,
+		Inner:    sdcgmres.InnerConfig{Iterations: inner, Hooks: hooks},
+	}
+}

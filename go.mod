@@ -1,0 +1,3 @@
+module sdcgmres
+
+go 1.22

@@ -1,0 +1,205 @@
+// Package abft implements the prior-work baseline the paper positions
+// itself against (Section III-B, citing Chen's Online-ABFT, PPoPP'13):
+// algorithm-based fault tolerance that (a) protects the sparse
+// matrix-vector product with column checksums and (b) periodically verifies
+// a solver invariant, rolling back to a checkpoint when the check fails.
+//
+// Contrast with the paper's approach: the Hessenberg-bound detector costs
+// one comparison per coefficient, no extra communication and no persistent
+// checkpoint state, and FT-GMRES rolls *forward* through faults instead of
+// rolling back.
+package abft
+
+import (
+	"fmt"
+	"math"
+
+	"sdcgmres/internal/krylov"
+	"sdcgmres/internal/sparse"
+	"sdcgmres/internal/vec"
+)
+
+// ChecksumStats counts checksum-protected SpMV activity.
+type ChecksumStats struct {
+	// Applications is the number of protected products performed.
+	Applications int
+	// Violations is how many failed verification.
+	Violations int
+}
+
+// ChecksumOperator wraps a CSR operator so every MatVec is verified against
+// the precomputed column-sum vector: 1ᵀ(Ax) must equal (Aᵀ1)ᵀx up to
+// rounding. A corrupted output element breaks the identity.
+type ChecksumOperator struct {
+	inner  *sparse.CSR
+	colSum []float64
+	tol    float64
+	stats  ChecksumStats
+	// CorruptOutput, when non-nil, is applied to the product before
+	// verification — the test/experiment injection point for SpMV faults.
+	CorruptOutput func(call int, dst []float64)
+	// OnViolation, when non-nil, is called when verification fails.
+	OnViolation func(call int, lhs, rhs float64)
+}
+
+// NewChecksumOperator builds the protected operator. tol is the relative
+// verification tolerance (default 1e-10 when zero) — loose enough that
+// rounding never false-positives at the study's problem sizes, tight enough
+// to catch any fault that could affect convergence.
+func NewChecksumOperator(a *sparse.CSR, tol float64) *ChecksumOperator {
+	if tol == 0 {
+		tol = 1e-10
+	}
+	colSum := make([]float64, a.Cols())
+	a.MatTVec(colSum, vec.Ones(a.Rows()))
+	return &ChecksumOperator{inner: a, colSum: colSum, tol: tol}
+}
+
+// Rows implements krylov.Operator.
+func (c *ChecksumOperator) Rows() int { return c.inner.Rows() }
+
+// Cols implements krylov.Operator.
+func (c *ChecksumOperator) Cols() int { return c.inner.Cols() }
+
+// MatVec implements krylov.Operator with verification.
+func (c *ChecksumOperator) MatVec(dst, x []float64) {
+	c.inner.MatVec(dst, x)
+	call := c.stats.Applications
+	c.stats.Applications++
+	if c.CorruptOutput != nil {
+		c.CorruptOutput(call, dst)
+	}
+	// Compensated sums: the verification itself must not accumulate enough
+	// rounding error to masquerade as corruption on long vectors.
+	lhs := vec.SumKahan(dst)
+	rhs := vec.DotKahan(c.colSum, x)
+	scale := math.Max(math.Abs(lhs), math.Abs(rhs))
+	norm := vec.Norm1(dst)
+	if scale < norm {
+		scale = norm // cancellation-aware scale: compare against Σ|y|
+	}
+	if math.IsNaN(lhs) || math.IsNaN(rhs) || math.Abs(lhs-rhs) > c.tol*math.Max(scale, 1) {
+		c.stats.Violations++
+		if c.OnViolation != nil {
+			c.OnViolation(call, lhs, rhs)
+		}
+	}
+}
+
+// Stats returns a snapshot of the verification counters.
+func (c *ChecksumOperator) Stats() ChecksumStats { return c.stats }
+
+var _ krylov.Operator = (*ChecksumOperator)(nil)
+
+// RollbackOptions configures the checkpoint/rollback GMRES baseline.
+type RollbackOptions struct {
+	// CheckEvery is the cycle length between invariant checks (Chen's d).
+	CheckEvery int
+	// Tol is the relative residual convergence threshold.
+	Tol float64
+	// MaxCycles bounds the number of cycles.
+	MaxCycles int
+	// MaxRollbacks bounds total rollbacks before giving up.
+	MaxRollbacks int
+	// VerifyTol is the allowed relative gap between the projected and the
+	// explicitly computed residual (default 1e-6): a larger gap means the
+	// cycle's arithmetic was corrupted, triggering rollback.
+	VerifyTol float64
+	// Hooks are coefficient hooks (fault injectors) applied inside every
+	// cycle's Arnoldi process.
+	Hooks []krylov.CoeffHook
+}
+
+// RollbackStats reports the baseline's activity and overhead.
+type RollbackStats struct {
+	// Cycles actually accepted.
+	Cycles int
+	// Rollbacks performed (cycle recomputed from checkpoint).
+	Rollbacks int
+	// Iterations accepted into the solution (excludes rolled-back work).
+	Iterations int
+	// WastedIterations were computed and then discarded by rollbacks.
+	WastedIterations int
+	// ExtraSpMVs spent on verification (one explicit residual per cycle).
+	ExtraSpMVs int
+	// Converged reports success.
+	Converged bool
+	// FinalResidual is the last verified relative residual.
+	FinalResidual float64
+}
+
+// RollbackGMRES is the detect-and-rollback baseline: GMRES runs in cycles
+// of CheckEvery iterations from a checkpointed iterate; after each cycle
+// the projected residual is verified against an explicitly recomputed one.
+// Agreement ⇒ commit the cycle and advance the checkpoint. Disagreement ⇒
+// the cycle's arithmetic was corrupted: roll back and recompute (the
+// transient fault does not recur).
+func RollbackGMRES(a krylov.Operator, b []float64, opts RollbackOptions) ([]float64, RollbackStats, error) {
+	if opts.CheckEvery <= 0 {
+		opts.CheckEvery = 10
+	}
+	if opts.MaxCycles <= 0 {
+		opts.MaxCycles = 100
+	}
+	if opts.MaxRollbacks <= 0 {
+		opts.MaxRollbacks = 10
+	}
+	if opts.VerifyTol == 0 {
+		opts.VerifyTol = 1e-6
+	}
+	if opts.Tol <= 0 {
+		return nil, RollbackStats{}, fmt.Errorf("abft: RollbackGMRES needs a positive tolerance")
+	}
+	stats := RollbackStats{}
+	x := make([]float64, a.Rows()) // checkpointed iterate
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		stats.Converged = true
+		return x, stats, nil
+	}
+
+	for cycle := 0; cycle < opts.MaxCycles; cycle++ {
+		res, err := krylov.GMRES(a, b, x, krylov.Options{
+			MaxIter: opts.CheckEvery,
+			Tol:     opts.Tol,
+			Hooks:   opts.Hooks,
+			Policy:  krylov.LSQFallback,
+			// Aggregate numbering continues across committed cycles so
+			// fault sites address the whole solve; a rolled-back cycle
+			// replays the same range (the transient fault does not recur).
+			AggregateBase: stats.Iterations,
+		})
+		if err != nil {
+			return nil, stats, fmt.Errorf("abft: cycle %d: %w", cycle, err)
+		}
+		// Invariant check: explicit residual must agree with the projected
+		// one. This is the periodic verification step of online ABFT; it
+		// costs one SpMV.
+		trueRel := krylov.TrueResidual(a, b, res.X)
+		stats.ExtraSpMVs++
+		proj := res.FinalResidual
+		agree := !math.IsNaN(trueRel) && vec.AllFinite(res.X) &&
+			math.Abs(trueRel-proj) <= opts.VerifyTol*math.Max(trueRel, opts.Tol)
+		if !agree {
+			stats.Rollbacks++
+			stats.WastedIterations += res.Iterations
+			if stats.Rollbacks > opts.MaxRollbacks {
+				return x, stats, fmt.Errorf("abft: exceeded %d rollbacks; persistent corruption?", opts.MaxRollbacks)
+			}
+			continue // x (the checkpoint) is untouched: recompute the cycle
+		}
+		// Commit.
+		x = res.X
+		stats.Cycles++
+		stats.Iterations += res.Iterations
+		stats.FinalResidual = trueRel
+		if trueRel <= opts.Tol {
+			stats.Converged = true
+			return x, stats, nil
+		}
+		if res.Iterations == 0 {
+			break // no progress possible
+		}
+	}
+	return x, stats, nil
+}

@@ -1,0 +1,173 @@
+package abft
+
+import (
+	"math"
+	"testing"
+
+	"sdcgmres/internal/fault"
+	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/krylov"
+	"sdcgmres/internal/vec"
+)
+
+func TestChecksumOperatorCleanSpMV(t *testing.T) {
+	a := gallery.Poisson2D(8)
+	op := NewChecksumOperator(a, 0)
+	x := vec.Ones(a.Cols())
+	dst := make([]float64, a.Rows())
+	for i := 0; i < 5; i++ {
+		op.MatVec(dst, x)
+	}
+	s := op.Stats()
+	if s.Applications != 5 || s.Violations != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestChecksumOperatorDetectsCorruption(t *testing.T) {
+	a := gallery.Poisson2D(6)
+	op := NewChecksumOperator(a, 0)
+	fired := false
+	op.CorruptOutput = func(call int, dst []float64) {
+		if call == 2 {
+			dst[7] += 1e3 // single corrupted element
+		}
+	}
+	op.OnViolation = func(call int, lhs, rhs float64) {
+		if call != 2 {
+			t.Fatalf("violation at call %d", call)
+		}
+		fired = true
+	}
+	x := vec.Ones(a.Cols())
+	dst := make([]float64, a.Rows())
+	for i := 0; i < 4; i++ {
+		op.MatVec(dst, x)
+	}
+	if !fired || op.Stats().Violations != 1 {
+		t.Fatalf("checksum missed the corruption: %+v", op.Stats())
+	}
+}
+
+func TestChecksumOperatorDetectsNaN(t *testing.T) {
+	a := gallery.Poisson2D(5)
+	op := NewChecksumOperator(a, 0)
+	op.CorruptOutput = func(call int, dst []float64) { dst[0] = math.NaN() }
+	dst := make([]float64, a.Rows())
+	op.MatVec(dst, vec.Ones(a.Cols()))
+	if op.Stats().Violations != 1 {
+		t.Fatal("NaN output must violate the checksum")
+	}
+}
+
+func TestChecksumInsideGMRES(t *testing.T) {
+	a := gallery.Poisson2D(7)
+	op := NewChecksumOperator(a, 0)
+	b := make([]float64, a.Rows())
+	a.MatVec(b, vec.Ones(a.Cols()))
+	res, err := krylov.GMRES(op, b, nil, krylov.Options{MaxIter: 49, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged through checksum operator")
+	}
+	s := op.Stats()
+	if s.Violations != 0 {
+		t.Fatalf("false positives inside GMRES: %+v", s)
+	}
+	if s.Applications < res.Iterations {
+		t.Fatalf("applications %d < iterations %d", s.Applications, res.Iterations)
+	}
+}
+
+func TestRollbackGMRESFaultFree(t *testing.T) {
+	a := gallery.Poisson2D(8)
+	b := make([]float64, a.Rows())
+	a.MatVec(b, vec.Ones(a.Cols()))
+	x, stats, err := RollbackGMRES(a, b, RollbackOptions{CheckEvery: 10, Tol: 1e-9, MaxCycles: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged || stats.Rollbacks != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	for i, v := range x {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("x[%d] = %g", i, v)
+		}
+	}
+	if stats.ExtraSpMVs != stats.Cycles {
+		t.Fatalf("verification cost accounting: %+v", stats)
+	}
+}
+
+func TestRollbackGMRESRecoversFromLargeFault(t *testing.T) {
+	a := gallery.Poisson2D(8)
+	b := make([]float64, a.Rows())
+	a.MatVec(b, vec.Ones(a.Cols()))
+	// One huge transient fault: the corrupted cycle's projected residual
+	// diverges from the true one, the verification catches it, and the
+	// cycle is recomputed cleanly.
+	inj := fault.NewInjector(fault.ClassLarge, fault.Site{AggregateInner: 3, Step: fault.FirstMGS})
+	x, stats, err := RollbackGMRES(a, b, RollbackOptions{
+		CheckEvery: 10, Tol: 1e-9, MaxCycles: 50,
+		Hooks: []krylov.CoeffHook{inj},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Fired() {
+		t.Fatal("fault did not fire")
+	}
+	if !stats.Converged {
+		t.Fatalf("baseline failed to converge: %+v", stats)
+	}
+	if stats.Rollbacks != 1 {
+		t.Fatalf("rollbacks = %d, want 1", stats.Rollbacks)
+	}
+	if stats.WastedIterations == 0 {
+		t.Fatal("rollback must account for wasted work")
+	}
+	for i, v := range x {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("x[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestRollbackGMRESZeroRHS(t *testing.T) {
+	a := gallery.Poisson2D(4)
+	x, stats, err := RollbackGMRES(a, make([]float64, a.Rows()), RollbackOptions{CheckEvery: 5, Tol: 1e-9})
+	if err != nil || !stats.Converged || vec.Norm2(x) != 0 {
+		t.Fatalf("zero rhs: %+v, %v", stats, err)
+	}
+}
+
+func TestRollbackGMRESRequiresTolerance(t *testing.T) {
+	a := gallery.Poisson2D(4)
+	if _, _, err := RollbackGMRES(a, vec.Ones(a.Rows()), RollbackOptions{}); err == nil {
+		t.Fatal("expected error for missing tolerance")
+	}
+}
+
+func TestRollbackGMRESGivesUpOnPersistentCorruption(t *testing.T) {
+	a := gallery.Poisson2D(5)
+	b := make([]float64, a.Rows())
+	a.MatVec(b, vec.Ones(a.Cols()))
+	// A hook that corrupts every cycle models sticky/persistent faults:
+	// the rollback scheme cannot make progress and must fail loudly.
+	sticky := krylov.CoeffHookFunc(func(ctx krylov.CoeffContext, h float64) (float64, error) {
+		if ctx.InnerIteration == 2 && ctx.Step == 1 && ctx.Kind == krylov.Projection {
+			return h * 1e120, nil
+		}
+		return h, nil
+	})
+	_, stats, err := RollbackGMRES(a, b, RollbackOptions{
+		CheckEvery: 8, Tol: 1e-9, MaxCycles: 50, MaxRollbacks: 3,
+		Hooks: []krylov.CoeffHook{sticky},
+	})
+	if err == nil {
+		t.Fatalf("persistent corruption should exhaust rollbacks: %+v", stats)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sdcgmres/internal/detect"
+	"sdcgmres/internal/fault"
+	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/krylov"
+	"sdcgmres/internal/vec"
+)
+
+// TestPropertyNoSilentFailureUnderRandomSDC is the repository's headline
+// property, checked with randomized inputs: whatever single fault model
+// strikes whatever coefficient at whatever site, an FT-GMRES solve either
+// converges to the RIGHT answer or reports non-convergence. Silently wrong
+// results — the outcome the paper calls "worst of all" — must never occur.
+func TestPropertyNoSilentFailureUnderRandomSDC(t *testing.T) {
+	a := gallery.Poisson2D(8)
+	b := rhsOnes(a)
+	f := func(seedByte uint8, siteRaw uint16, stepRaw, modelRaw uint8, bit uint8, exp int8) bool {
+		var model fault.Model
+		switch modelRaw % 4 {
+		case 0:
+			model = fault.Scale{Factor: math.Pow(10, float64(exp))} // 10^-128..10^127
+		case 1:
+			model = fault.BitFlip{Bit: uint(bit % 64)}
+		case 2:
+			model = fault.SetValue{Value: math.NaN()}
+		default:
+			model = fault.SetValue{Value: math.Inf(1)}
+		}
+		steps := []fault.StepSelector{fault.FirstMGS, fault.LastMGS, fault.NormStep}
+		site := fault.Site{
+			AggregateInner: 1 + int(siteRaw%40),
+			Step:           steps[stepRaw%3],
+		}
+		inj := fault.NewInjector(model, site)
+		s := New(a, Config{
+			MaxOuter: 40, OuterTol: 1e-8,
+			Inner:    InnerConfig{Iterations: 8, Hooks: []krylov.CoeffHook{inj}},
+			Detector: DetectorConfig{Enabled: seedByte%2 == 0, Kind: detect.FrobeniusBound, Response: Response(seedByte % 3)},
+		})
+		res, err := s.Solve(b, nil)
+		if err != nil {
+			// A loud error is acceptable; a crash is not (quick reports it).
+			return true
+		}
+		if !vec.AllFinite(res.X) {
+			return false // NaN/Inf leaked into the reliable state
+		}
+		if !res.Converged {
+			return true // honest non-convergence is acceptable
+		}
+		for _, v := range res.X {
+			if math.Abs(v-1) > 1e-5 {
+				return false // silent failure!
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyFaultFreeMatchesBaselineAcrossConfigs: without faults, every
+// detector/response/policy combination must produce the same outer
+// iteration count — resilience machinery must be free when nothing
+// happens.
+func TestPropertyFaultFreeMatchesBaselineAcrossConfigs(t *testing.T) {
+	a := gallery.Poisson2D(8)
+	b := rhsOnes(a)
+	base := New(a, Config{MaxOuter: 40, OuterTol: 1e-8, Inner: InnerConfig{Iterations: 8}})
+	ff, err := base.Solve(b, nil)
+	if err != nil || !ff.Converged {
+		t.Fatalf("baseline: %v", err)
+	}
+	for _, resp := range []Response{ResponseWarn, ResponseHaltInner, ResponseRestartInner} {
+		for _, kind := range []detect.BoundKind{detect.FrobeniusBound, detect.SpectralBound} {
+			s := New(a, Config{
+				MaxOuter: 40, OuterTol: 1e-8,
+				Inner:    InnerConfig{Iterations: 8},
+				Detector: DetectorConfig{Enabled: true, Kind: kind, Response: resp},
+			})
+			res, err := s.Solve(b, nil)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", resp, kind, err)
+			}
+			if res.Stats.OuterIterations != ff.Stats.OuterIterations {
+				t.Fatalf("%v/%v changed fault-free behaviour: %d vs %d outer",
+					resp, kind, res.Stats.OuterIterations, ff.Stats.OuterIterations)
+			}
+			if res.Stats.Detections != 0 {
+				t.Fatalf("%v/%v: false positives in fault-free run", resp, kind)
+			}
+		}
+	}
+}

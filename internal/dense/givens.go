@@ -1,0 +1,51 @@
+package dense
+
+import "math"
+
+// Givens represents a Givens plane rotation
+//
+//	| C  S | |a|   |r|
+//	|-S  C | |b| = |0|
+//
+// chosen to annihilate b. GMRES applies a sequence of these to reduce the
+// upper-Hessenberg projected matrix to triangular form one column at a time,
+// keeping the least-squares update at O(k) work per iteration.
+type Givens struct {
+	C, S float64
+}
+
+// MakeGivens computes the rotation that zeroes b against a, using the
+// hypot-based formulation that is safe against overflow. It returns the
+// rotation and the resulting r = ±hypot(a, b).
+func MakeGivens(a, b float64) (g Givens, r float64) {
+	switch {
+	case b == 0:
+		// Includes a == 0: identity rotation.
+		return Givens{C: 1, S: 0}, a
+	case a == 0:
+		return Givens{C: 0, S: 1}, b
+	}
+	r = math.Hypot(a, b)
+	return Givens{C: a / r, S: b / r}, r
+}
+
+// Apply rotates the pair (a, b), returning (C*a + S*b, -S*a + C*b).
+func (g Givens) Apply(a, b float64) (float64, float64) {
+	return g.C*a + g.S*b, -g.S*a + g.C*b
+}
+
+// ApplyInverse applies the transpose (= inverse) rotation.
+func (g Givens) ApplyInverse(a, b float64) (float64, float64) {
+	return g.C*a - g.S*b, g.S*a + g.C*b
+}
+
+// ApplyRows applies the rotation to rows i and k of matrix m, acting on
+// columns [c0, m.Cols).
+func (g Givens) ApplyRows(m *Matrix, i, k, c0 int) {
+	for j := c0; j < m.Cols; j++ {
+		a, b := m.At(i, j), m.At(k, j)
+		ra, rb := g.Apply(a, b)
+		m.Set(i, j, ra)
+		m.Set(k, j, rb)
+	}
+}

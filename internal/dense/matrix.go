@@ -1,0 +1,251 @@
+// Package dense implements the small dense linear-algebra kernels that the
+// Krylov solvers need: Givens rotations, incremental QR of upper-Hessenberg
+// matrices, Householder QR, a one-sided Jacobi SVD, triangular solves, and
+// the rank-revealing (truncated-SVD) least-squares solve from Section VI-D of
+// the paper.
+//
+// The matrices handled here are tiny compared with the sparse operators (a
+// restart length squared, typically 25x25 to 200x200), so the implementations
+// favour robustness and clarity over blocking and cache tricks.
+package dense
+
+import (
+	"fmt"
+	"math"
+
+	"sdcgmres/internal/vec"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds the elements in row-major order: element (i,j) is
+	// Data[i*Cols+j].
+	Data []float64
+}
+
+// NewMatrix returns a zero r-by-c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("dense.NewMatrix: negative dimension %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	r := len(rows)
+	if r == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("dense.FromRows: row %d has length %d, want %d", i, len(row), c))
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+// Add increments element (i, j) by v.
+func (m *Matrix) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] += v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("dense: index (%d,%d) out of %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("dense.Row: index %d out of %d rows", i, m.Rows))
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("dense.Col: index %d out of %d cols", j, m.Cols))
+	}
+	c := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		c[i] = m.Data[i*m.Cols+j]
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Sub returns a copy of the submatrix rows [r0,r1) x cols [c0,c1).
+func (m *Matrix) Sub(r0, r1, c0, c1 int) *Matrix {
+	if r0 < 0 || r1 > m.Rows || c0 < 0 || c1 > m.Cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("dense.Sub: bad range [%d,%d)x[%d,%d) of %dx%d", r0, r1, c0, c1, m.Rows, m.Cols))
+	}
+	out := NewMatrix(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(out.Row(i-r0), m.Row(i)[c0:c1])
+	}
+	return out
+}
+
+// Transpose returns a new transposed matrix.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// MatVec computes dst = M x.
+func (m *Matrix) MatVec(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("dense.MatVec: dims %dx%d with x[%d], dst[%d]", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = vec.Dot(m.Row(i), x)
+	}
+}
+
+// MatTVec computes dst = Mᵀ x.
+func (m *Matrix) MatTVec(dst, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("dense.MatTVec: dims %dx%d with x[%d], dst[%d]", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		vec.Axpy(x[i], m.Row(i), dst)
+	}
+}
+
+// Mul returns M*B.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("dense.Mul: %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k := 0; k < m.Cols; k++ {
+			a := mi[k]
+			if a == 0 {
+				continue
+			}
+			vec.Axpy(a, b.Row(k), oi)
+		}
+	}
+	return out
+}
+
+// Scale multiplies every element by alpha, in place.
+func (m *Matrix) Scale(alpha float64) {
+	vec.Scale(alpha, m.Data)
+}
+
+// FrobeniusNorm returns sqrt(sum of squared elements), with the same
+// overflow-safe scaling as vec.Norm2.
+func (m *Matrix) FrobeniusNorm() float64 {
+	return vec.Norm2(m.Data)
+}
+
+// MaxAbs returns the largest |element|.
+func (m *Matrix) MaxAbs() float64 { return vec.NormInf(m.Data) }
+
+// Equalish reports whether the matrices have the same shape and agree
+// element-wise within tol (absolute on elements <=1, relative above).
+func (m *Matrix) Equalish(b *Matrix, tol float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		w := b.Data[i]
+		scale := math.Max(1, math.Max(math.Abs(v), math.Abs(w)))
+		if math.Abs(v-w) > tol*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// IsUpperHessenberg reports whether every element below the first subdiagonal
+// is smaller in magnitude than tol.
+func (m *Matrix) IsUpperHessenberg(tol float64) bool {
+	for i := 2; i < m.Rows; i++ {
+		for j := 0; j < i-1 && j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsTridiagonal reports whether every element outside the three central
+// diagonals is smaller in magnitude than tol.
+func (m *Matrix) IsTridiagonal(tol float64) bool {
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j < i-1 || j > i+1 {
+				if math.Abs(m.At(i, j)) > tol {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("%dx%d[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}

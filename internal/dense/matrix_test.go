@@ -1,0 +1,232 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("NewMatrix not zeroed")
+		}
+	}
+}
+
+func TestNewMatrixNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative dims")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows wrong: %v", m)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("Identity(3)[%d,%d] = %g", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAddRowCol(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 2)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("Set/Add = %g", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if row[2] != 7 {
+		t.Fatalf("Row = %v", row)
+	}
+	col := m.Col(2)
+	if col[0] != 0 || col[1] != 7 {
+		t.Fatalf("Col = %v", col)
+	}
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range index")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestCloneAndSub(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases storage")
+	}
+	s := m.Sub(1, 3, 0, 2)
+	want := FromRows([][]float64{{4, 5}, {7, 8}})
+	if !s.Equalish(want, 0) {
+		t.Fatalf("Sub = %v", s)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatalf("Transpose wrong: %v", tr)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomMatrix(rng, 5, 3)
+	if !m.Transpose().Transpose().Equalish(m, 0) {
+		t.Fatal("(Aᵀ)ᵀ != A")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	dst := make([]float64, 2)
+	m.MatVec(dst, []float64{1, 1})
+	if dst[0] != 3 || dst[1] != 7 {
+		t.Fatalf("MatVec = %v", dst)
+	}
+}
+
+func TestMatTVecAgreesWithTransposeMatVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randomMatrix(rng, 6, 4)
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := make([]float64, 4)
+	m.MatTVec(got, x)
+	want := make([]float64, 4)
+	m.Transpose().MatVec(want, x)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-13 {
+			t.Fatalf("MatTVec mismatch at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomMatrix(rng, 4, 4)
+	if !m.Mul(Identity(4)).Equalish(m, 1e-15) {
+		t.Fatal("A*I != A")
+	}
+	if !Identity(4).Mul(m).Equalish(m, 1e-15) {
+		t.Fatal("I*A != A")
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomMatrix(r, 3, 4)
+		b := randomMatrix(r, 4, 2)
+		c := randomMatrix(r, 2, 5)
+		return a.Mul(b).Mul(c).Equalish(a.Mul(b.Mul(c)), 1e-10)
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleAndNorms(t *testing.T) {
+	m := FromRows([][]float64{{3, 0}, {0, 4}})
+	if m.FrobeniusNorm() != 5 {
+		t.Fatalf("FrobeniusNorm = %g", m.FrobeniusNorm())
+	}
+	if m.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %g", m.MaxAbs())
+	}
+	m.Scale(2)
+	if m.At(1, 1) != 8 {
+		t.Fatal("Scale failed")
+	}
+}
+
+func TestHessenbergAndTridiagonalPredicates(t *testing.T) {
+	h := FromRows([][]float64{
+		{1, 2, 3, 4},
+		{5, 6, 7, 8},
+		{0, 9, 1, 2},
+		{0, 0, 3, 4},
+	})
+	if !h.IsUpperHessenberg(0) {
+		t.Fatal("expected upper Hessenberg")
+	}
+	if h.IsTridiagonal(0) {
+		t.Fatal("not tridiagonal")
+	}
+	tri := FromRows([][]float64{
+		{1, 2, 0},
+		{3, 4, 5},
+		{0, 6, 7},
+	})
+	if !tri.IsTridiagonal(0) || !tri.IsUpperHessenberg(0) {
+		t.Fatal("expected tridiagonal (hence Hessenberg)")
+	}
+	h.Set(3, 0, 1e-3)
+	if h.IsUpperHessenberg(1e-6) {
+		t.Fatal("perturbed matrix should fail Hessenberg check")
+	}
+	if !h.IsUpperHessenberg(1e-2) {
+		t.Fatal("tolerance should absorb small entry")
+	}
+}
+
+func TestEqualishShapes(t *testing.T) {
+	if NewMatrix(2, 2).Equalish(NewMatrix(2, 3), 1) {
+		t.Fatal("shape mismatch should not be Equalish")
+	}
+}
+
+func TestStringDoesNotPanic(t *testing.T) {
+	_ = FromRows([][]float64{{1, 2}, {3, 4}}).String()
+}

@@ -1,0 +1,125 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q R of an m-by-n matrix with
+// m >= n; Q is m-by-m orthogonal (stored implicitly as reflectors) and R is
+// upper triangular. It is used by tests as an independent reference and by
+// the gallery's condition-number instrumentation.
+type QR struct {
+	m, n int
+	// qr stores R in the upper triangle and the Householder vectors below
+	// the diagonal (LAPACK dgeqrf layout, with the implicit leading 1).
+	qr  *Matrix
+	tau []float64
+}
+
+// ComputeQR factors a (m >= n) with Householder reflections.
+func ComputeQR(a *Matrix) *QR {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("dense.ComputeQR: need m >= n, got %dx%d", m, n))
+	}
+	f := &QR{m: m, n: n, qr: a.Clone(), tau: make([]float64, n)}
+	for k := 0; k < n; k++ {
+		// Build the reflector for column k, rows k..m-1.
+		var normx float64
+		for i := k; i < m; i++ {
+			normx = math.Hypot(normx, f.qr.At(i, k))
+		}
+		if normx == 0 {
+			f.tau[k] = 0
+			continue
+		}
+		alpha := f.qr.At(k, k)
+		beta := -math.Copysign(normx, alpha)
+		f.tau[k] = (beta - alpha) / beta
+		scale := 1 / (alpha - beta)
+		for i := k + 1; i < m; i++ {
+			f.qr.Set(i, k, f.qr.At(i, k)*scale)
+		}
+		f.qr.Set(k, k, beta)
+		// Apply the reflector to the trailing columns.
+		for j := k + 1; j < n; j++ {
+			s := f.qr.At(k, j)
+			for i := k + 1; i < m; i++ {
+				s += f.qr.At(i, k) * f.qr.At(i, j)
+			}
+			s *= f.tau[k]
+			f.qr.Set(k, j, f.qr.At(k, j)-s)
+			for i := k + 1; i < m; i++ {
+				f.qr.Set(i, j, f.qr.At(i, j)-s*f.qr.At(i, k))
+			}
+		}
+	}
+	return f
+}
+
+// R returns the n-by-n upper-triangular factor.
+func (f *QR) R() *Matrix {
+	r := NewMatrix(f.n, f.n)
+	for i := 0; i < f.n; i++ {
+		for j := i; j < f.n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// QTVec overwrites x (length m) with Qᵀ x.
+func (f *QR) QTVec(x []float64) {
+	if len(x) != f.m {
+		panic(fmt.Sprintf("dense.QTVec: x has length %d, want %d", len(x), f.m))
+	}
+	for k := 0; k < f.n; k++ {
+		if f.tau[k] == 0 {
+			continue
+		}
+		s := x[k]
+		for i := k + 1; i < f.m; i++ {
+			s += f.qr.At(i, k) * x[i]
+		}
+		s *= f.tau[k]
+		x[k] -= s
+		for i := k + 1; i < f.m; i++ {
+			x[i] -= s * f.qr.At(i, k)
+		}
+	}
+}
+
+// QVec overwrites x (length m) with Q x.
+func (f *QR) QVec(x []float64) {
+	if len(x) != f.m {
+		panic(fmt.Sprintf("dense.QVec: x has length %d, want %d", len(x), f.m))
+	}
+	for k := f.n - 1; k >= 0; k-- {
+		if f.tau[k] == 0 {
+			continue
+		}
+		s := x[k]
+		for i := k + 1; i < f.m; i++ {
+			s += f.qr.At(i, k) * x[i]
+		}
+		s *= f.tau[k]
+		x[k] -= s
+		for i := k + 1; i < f.m; i++ {
+			x[i] -= s * f.qr.At(i, k)
+		}
+	}
+}
+
+// SolveLSQ returns the least-squares solution of min‖A y − b‖₂ via
+// y = R⁻¹ (Qᵀ b)(1:n). It fails with Inf/NaN coefficients when R is
+// singular, just like the triangular GMRES update it mirrors.
+func (f *QR) SolveLSQ(b []float64) []float64 {
+	if len(b) != f.m {
+		panic(fmt.Sprintf("dense.SolveLSQ: b has length %d, want %d", len(b), f.m))
+	}
+	w := make([]float64, f.m)
+	copy(w, b)
+	f.QTVec(w)
+	return SolveUpperTriangular(f.qr, w[:f.n])
+}

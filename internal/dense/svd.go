@@ -1,0 +1,184 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sdcgmres/internal/vec"
+)
+
+// SVD holds a thin singular value decomposition A = U diag(S) Vᵀ where A is
+// m-by-n with m >= n, U is m-by-n with orthonormal columns, V is n-by-n
+// orthogonal, and S is sorted in non-increasing order.
+type SVD struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// maxJacobiSweeps bounds the one-sided Jacobi iteration. Convergence for the
+// small, well-scaled matrices produced by GMRES takes a handful of sweeps;
+// 60 leaves an enormous safety margin while still guaranteeing termination.
+const maxJacobiSweeps = 60
+
+// ComputeSVD computes a thin SVD of a by the one-sided Jacobi method:
+// columns of a working copy are repeatedly rotated in pairs until all are
+// mutually orthogonal; their norms are then the singular values. One-sided
+// Jacobi is slower than Golub–Kahan bidiagonalization but simple, highly
+// accurate for small matrices (it computes tiny singular values to high
+// relative accuracy), and entirely adequate for the k-by-k projected
+// problems GMRES produces.
+//
+// Matrices with more columns than rows are handled by decomposing the
+// transpose and swapping U and V.
+func ComputeSVD(a *Matrix) *SVD {
+	if a.Rows < a.Cols {
+		t := ComputeSVD(a.Transpose())
+		return &SVD{U: t.V, S: t.S, V: t.U}
+	}
+	m, n := a.Rows, a.Cols
+	// Work on columns: w[j] is column j of the evolving matrix A*V.
+	w := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		w[j] = a.Col(j)
+	}
+	v := Identity(n)
+	vcols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		vcols[j] = v.Col(j)
+	}
+
+	const eps = 2.220446049250313e-16
+	tol := eps * math.Sqrt(float64(m))
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				alpha := vec.Dot(w[p], w[p])
+				beta := vec.Dot(w[q], w[q])
+				gamma := vec.Dot(w[p], w[q])
+				if math.Abs(gamma) <= tol*math.Sqrt(alpha*beta) || gamma == 0 {
+					continue
+				}
+				rotated = true
+				// Classic Jacobi rotation that zeroes the (p,q) entry of
+				// the implicit Gram matrix.
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				rotateCols(w[p], w[q], c, s)
+				rotateCols(vcols[p], vcols[q], c, s)
+			}
+		}
+		if !rotated {
+			break
+		}
+	}
+
+	// Singular values are the column norms; sort descending.
+	type colSV struct {
+		sigma float64
+		idx   int
+	}
+	svs := make([]colSV, n)
+	for j := 0; j < n; j++ {
+		svs[j] = colSV{sigma: vec.Norm2(w[j]), idx: j}
+	}
+	sort.SliceStable(svs, func(i, j int) bool { return svs[i].sigma > svs[j].sigma })
+
+	out := &SVD{U: NewMatrix(m, n), S: make([]float64, n), V: NewMatrix(n, n)}
+	for j, sv := range svs {
+		out.S[j] = sv.sigma
+		col := w[sv.idx]
+		if sv.sigma > 0 {
+			for i := 0; i < m; i++ {
+				out.U.Set(i, j, col[i]/sv.sigma)
+			}
+		} else if j < m {
+			// Zero singular value: any unit vector orthogonal to the rest
+			// would do for U's column; leave it zero — consumers only use
+			// columns with sigma above the truncation threshold.
+			out.U.Set(j, j, 0)
+		}
+		vc := vcols[sv.idx]
+		for i := 0; i < n; i++ {
+			out.V.Set(i, j, vc[i])
+		}
+	}
+	return out
+}
+
+func rotateCols(p, q []float64, c, s float64) {
+	for i := range p {
+		a, b := p[i], q[i]
+		p[i] = c*a - s*b
+		q[i] = s*a + c*b
+	}
+}
+
+// Cond2 returns σmax/σmin from the decomposition, +Inf when σmin is zero.
+func (s *SVD) Cond2() float64 {
+	if len(s.S) == 0 {
+		return 1
+	}
+	smin := s.S[len(s.S)-1]
+	if smin == 0 {
+		return math.Inf(1)
+	}
+	return s.S[0] / smin
+}
+
+// Rank returns the number of singular values exceeding relTol*σmax.
+func (s *SVD) Rank(relTol float64) int {
+	if len(s.S) == 0 {
+		return 0
+	}
+	thresh := relTol * s.S[0]
+	r := 0
+	for _, sv := range s.S {
+		if sv > thresh {
+			r++
+		}
+	}
+	return r
+}
+
+// SolveMinNorm returns the minimum-norm least-squares solution
+// y = V Σ⁺ Uᵀ b, truncating singular values at or below relTol*σmax.
+// This is the rank-revealing regularized solve of Section VI-D ("Approach
+// 3"): the update coefficients are bounded by ‖b‖·σmax/σtrunc no matter how
+// close to singular the projected matrix is.
+func (s *SVD) SolveMinNorm(b []float64, relTol float64) []float64 {
+	m, n := s.U.Rows, s.U.Cols
+	if len(b) != m {
+		panic(fmt.Sprintf("dense.SolveMinNorm: b has length %d, want %d", len(b), m))
+	}
+	var thresh float64
+	if len(s.S) > 0 {
+		thresh = relTol * s.S[0]
+	}
+	// c = Σ⁺ Uᵀ b with truncation.
+	c := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if s.S[j] <= thresh || s.S[j] == 0 {
+			continue
+		}
+		var d float64
+		for i := 0; i < m; i++ {
+			d += s.U.At(i, j) * b[i]
+		}
+		c[j] = d / s.S[j]
+	}
+	y := make([]float64, n)
+	s.V.MatVec(y, c)
+	return y
+}
+
+// SolveSVD is a convenience wrapper: decompose a and solve the truncated
+// least-squares problem min‖a y − b‖₂ with relative truncation tolerance
+// relTol.
+func SolveSVD(a *Matrix, b []float64, relTol float64) []float64 {
+	return ComputeSVD(a).SolveMinNorm(b, relTol)
+}

@@ -1,0 +1,34 @@
+package detect
+
+import (
+	"testing"
+
+	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/krylov"
+)
+
+// BenchmarkDetectorObserve measures the per-coefficient cost of the check —
+// the paper's claim is that the invariant is cheap enough to evaluate at
+// every iteration, so this number is the whole argument in nanoseconds.
+func BenchmarkDetectorObserve(b *testing.B) {
+	d := NewDetectorWithBound(446.0, FrobeniusBound)
+	ctx := krylov.CoeffContext{InnerIteration: 3, Step: 1, Kind: krylov.Projection}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = d.Observe(ctx, 3.99)
+	}
+}
+
+func BenchmarkDetectorSetup(b *testing.B) {
+	a := gallery.Poisson2D(32)
+	b.Run("frobenius", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = NewDetector(a, FrobeniusBound)
+		}
+	})
+	b.Run("spectral", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = NewDetector(a, SpectralBound)
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sdcgmres/internal/core"
+	"sdcgmres/internal/detect"
+	"sdcgmres/internal/fault"
+)
+
+// testProblem calibrates a small Poisson problem once for the package tests.
+func testProblem(t *testing.T) *Problem {
+	t.Helper()
+	p, err := PoissonProblem(8, 6, 5)
+	if err != nil {
+		t.Fatalf("calibration failed: %v", err)
+	}
+	return p
+}
+
+func TestCalibrateHitsTarget(t *testing.T) {
+	p := testProblem(t)
+	if p.FailureFreeOuter != 5 {
+		t.Fatalf("failure-free outer = %d, want 5", p.FailureFreeOuter)
+	}
+	ff, err := p.FailureFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff != 5 {
+		t.Fatalf("re-verified failure-free = %d", ff)
+	}
+	if p.OuterTol <= 0 || p.OuterTol >= 1 {
+		t.Fatalf("calibrated tolerance %g implausible", p.OuterTol)
+	}
+}
+
+func TestCalibrateRejectsTinyTarget(t *testing.T) {
+	if _, err := PoissonProblem(6, 4, 1); err == nil {
+		t.Fatal("target 1 should be rejected")
+	}
+}
+
+func TestSweepFullCoverage(t *testing.T) {
+	p := testProblem(t)
+	cfg := SweepConfig{Model: fault.ClassSlight, Step: fault.FirstMGS, Stride: 1}
+	pts := Sweep(p, cfg)
+	want := p.FailureFreeOuter * p.InnerIters
+	if len(pts) != want {
+		t.Fatalf("points = %d, want %d", len(pts), want)
+	}
+	for i, pt := range pts {
+		if pt.AggregateInner != i+1 {
+			t.Fatalf("point %d targets t=%d", i, pt.AggregateInner)
+		}
+		if !pt.FaultFired {
+			t.Fatalf("fault did not fire at t=%d", pt.AggregateInner)
+		}
+		if !pt.Converged {
+			t.Fatalf("class-2 faulted solve did not converge at t=%d", pt.AggregateInner)
+		}
+		if pt.WrongAnswer {
+			t.Fatalf("silent failure at t=%d", pt.AggregateInner)
+		}
+	}
+}
+
+func TestSweepStride(t *testing.T) {
+	p := testProblem(t)
+	pts := Sweep(p, SweepConfig{Model: fault.ClassTiny, Step: fault.LastMGS, Stride: 7})
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].AggregateInner-pts[i-1].AggregateInner != 7 {
+			t.Fatal("stride not honoured")
+		}
+	}
+}
+
+func TestSweepRunThroughShape(t *testing.T) {
+	// Undetectable faults must never blow up time-to-solution on the SPD
+	// problem: worst case a few extra outer iterations (paper Fig. 3a,
+	// classes 2 and 3).
+	p := testProblem(t)
+	pts := Sweep(p, SweepConfig{Model: fault.ClassSlight, Step: fault.FirstMGS, Stride: 2})
+	worst := MaxOuter(pts)
+	if worst > p.FailureFreeOuter+3 {
+		t.Fatalf("class-2 worst case %d vs failure-free %d: run-through property violated", worst, p.FailureFreeOuter)
+	}
+}
+
+func TestSweepLargeFaultDetectedWhenEnabled(t *testing.T) {
+	p := testProblem(t)
+	det := core.DetectorConfig{Enabled: true, Kind: detect.FrobeniusBound, Response: core.ResponseWarn}
+	pts := Sweep(p, SweepConfig{Model: fault.ClassLarge, Step: fault.FirstMGS, Stride: 5, Detector: det})
+	detected, missed := 0, 0
+	for _, pt := range pts {
+		if pt.Detections > 0 {
+			detected++
+		} else {
+			missed++
+			// The only legitimate miss: the correct coefficient was exactly
+			// zero, so the multiplicative fault produced no corruption at
+			// all. Such runs must be completely unaffected.
+			if pt.OuterIters != p.FailureFreeOuter {
+				t.Fatalf("undetected class-1 fault at t=%d changed iteration count to %d",
+					pt.AggregateInner, pt.OuterIters)
+			}
+		}
+	}
+	if detected < len(pts)/2 {
+		t.Fatalf("detector caught only %d of %d class-1 faults", detected, len(pts))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	p := testProblem(t)
+	cfg := SweepConfig{Model: fault.ClassLarge, Step: fault.FirstMGS, Stride: 3}
+	pts := Sweep(p, cfg)
+	s := Summarize(p, cfg, pts)
+	if s.Points != len(pts) || s.FailureFreeOuter != p.FailureFreeOuter {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.MaxOuter < p.FailureFreeOuter {
+		t.Fatalf("max outer %d below failure-free %d", s.MaxOuter, p.FailureFreeOuter)
+	}
+	if s.SilentFailures != 0 {
+		t.Fatalf("silent failures: %+v", s)
+	}
+	var buf bytes.Buffer
+	WriteSummaries(&buf, []Summary{s})
+	if !strings.Contains(buf.String(), p.Name) {
+		t.Fatal("summary table missing problem name")
+	}
+}
+
+func TestWriteSweepCSV(t *testing.T) {
+	p := testProblem(t)
+	cfg := SweepConfig{Model: fault.ClassTiny, Step: fault.NormStep, Stride: 10}
+	pts := Sweep(p, cfg)
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, p.Name, cfg, pts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(pts)+1 {
+		t.Fatalf("CSV lines = %d, want %d", len(lines), len(pts)+1)
+	}
+	if !strings.HasPrefix(lines[0], "problem,model,step") {
+		t.Fatalf("header: %s", lines[0])
+	}
+}
+
+func TestTable1Poisson(t *testing.T) {
+	r := Table1Poisson(10)
+	if r.Rows != 100 || r.PatternSymmetry != "symmetric" || r.PositiveDefinite != "yes" {
+		t.Fatalf("row: %+v", r)
+	}
+	if r.Norm2 <= 0 || r.FrobeniusNorm <= r.Norm2 {
+		t.Fatalf("norms: %+v", r)
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, []Table1Row{r})
+	out := buf.String()
+	for _, want := range []string{"number of rows", "Potential Fault Detectors", "||A||_F"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Circuit(t *testing.T) {
+	r, err := Table1Circuit(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PatternSymmetry != "nonsymmetric" || r.PositiveDefinite != "no" {
+		t.Fatalf("row: %+v", r)
+	}
+	if r.Cond2 < 1e11 {
+		t.Fatalf("condition number %g suspiciously small", r.Cond2)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	pts := []SweepPoint{{OuterIters: 5}, {OuterIters: 9}, {OuterIters: 5}}
+	if MaxOuter(pts) != 9 {
+		t.Fatal("MaxOuter")
+	}
+	if CountAbove(pts, 5) != 1 {
+		t.Fatal("CountAbove")
+	}
+	if GeoMean([]float64{2, 8}) != 4 {
+		t.Fatalf("GeoMean: %g", GeoMean([]float64{2, 8}))
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{0}) != 0 {
+		t.Fatal("GeoMean degenerate cases")
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	p := testProblem(t)
+	cfg := SweepConfig{Model: fault.ClassLarge, Step: fault.FirstMGS, Stride: 6}
+	a := Sweep(p, cfg)
+	b := Sweep(p, cfg)
+	if len(a) != len(b) {
+		t.Fatal("sweep lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sweep not reproducible at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

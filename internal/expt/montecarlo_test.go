@@ -1,0 +1,83 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sdcgmres/internal/core"
+	"sdcgmres/internal/detect"
+)
+
+func TestMonteCarloBasics(t *testing.T) {
+	p := testProblem(t)
+	res := MonteCarlo(p, MCConfig{Trials: 40, Seed: 4})
+	if res.Trials != 40 || res.Overall.Trials != 40 {
+		t.Fatalf("trial accounting: %+v", res.Overall)
+	}
+	sum := 0
+	for _, g := range res.ByModel {
+		sum += g.Trials
+	}
+	if sum != 40 {
+		t.Fatalf("per-family trials sum to %d", sum)
+	}
+	// The headline safety property, now under *random* faults: no silent
+	// failures, ever.
+	if res.Overall.SilentFailures != 0 {
+		t.Fatalf("silent failures under random SDC: %d", res.Overall.SilentFailures)
+	}
+	if len(res.Overall.ExtraOuter) != 40 {
+		t.Fatal("penalty samples missing")
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	p := testProblem(t)
+	a := MonteCarlo(p, MCConfig{Trials: 15, Seed: 99})
+	b := MonteCarlo(p, MCConfig{Trials: 15, Seed: 99})
+	if a.Overall.NoEffect != b.Overall.NoEffect || a.Overall.MaxExtra() != b.Overall.MaxExtra() {
+		t.Fatal("campaign not reproducible across runs with the same seed")
+	}
+}
+
+func TestMonteCarloWithDetector(t *testing.T) {
+	p := testProblem(t)
+	det := core.DetectorConfig{Enabled: true, Kind: detect.FrobeniusBound, Response: core.ResponseRestartInner}
+	res := MonteCarlo(p, MCConfig{Trials: 40, Seed: 5, Detector: det})
+	if res.Overall.SilentFailures != 0 {
+		t.Fatal("silent failures with detector on")
+	}
+	// Some random faults are huge (exponent flips, large scales); the
+	// detector must catch at least a few across 40 trials.
+	if res.Overall.Detected == 0 {
+		t.Fatal("detector never fired across random campaign")
+	}
+}
+
+func TestMonteCarloQuantiles(t *testing.T) {
+	g := MCGroup{ExtraOuter: []int{0, 0, 0, 1, 5}}
+	if g.quantile(0) != 0 || g.quantile(1) != 5 {
+		t.Fatalf("quantiles: %d %d", g.quantile(0), g.quantile(1))
+	}
+	if g.MaxExtra() != 5 {
+		t.Fatal("MaxExtra")
+	}
+	empty := MCGroup{}
+	if empty.quantile(0.5) != 0 || empty.MaxExtra() != 0 {
+		t.Fatal("empty group")
+	}
+}
+
+func TestWriteMCReport(t *testing.T) {
+	p := testProblem(t)
+	res := MonteCarlo(p, MCConfig{Trials: 10, Seed: 6})
+	var buf bytes.Buffer
+	WriteMCReport(&buf, p, res)
+	out := buf.String()
+	for _, want := range []string{"Monte Carlo", "TOTAL", "fault family"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

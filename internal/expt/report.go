@@ -1,0 +1,229 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/sparse"
+)
+
+// Table1Row is one column of the paper's Table I ("Sample Matrices").
+type Table1Row struct {
+	Name               string
+	Rows, Cols, NNZ    int
+	StructuralFullRank bool
+	PatternSymmetry    string // "symmetric" / "nonsymmetric"
+	PositiveDefinite   string // "yes" / "no" / "unknown"
+	Cond2              float64
+	CondSource         string // how the condition number was obtained
+	Norm2              float64
+	FrobeniusNorm      float64
+}
+
+// Table1Poisson computes the Poisson row of Table I using the analytic
+// spectrum (the matrix is SPD with known eigenvalues).
+func Table1Poisson(n int) Table1Row {
+	a := gallery.Poisson2D(n)
+	p := sparse.Analyze(a, 1e-14)
+	lmin, lmax := gallery.Poisson2DEigBounds(n)
+	return Table1Row{
+		Name: fmt.Sprintf("Poisson %dx%d", n, n),
+		Rows: p.Rows, Cols: p.Cols, NNZ: p.NNZ,
+		StructuralFullRank: p.StructuralFullRank,
+		PatternSymmetry:    symLabel(p.PatternSymmetric),
+		PositiveDefinite:   "yes",
+		Cond2:              lmax / lmin,
+		CondSource:         "analytic eigenvalues",
+		Norm2:              lmax,
+		FrobeniusNorm:      p.FrobeniusNorm,
+	}
+}
+
+// Table1Circuit computes the surrogate circuit row of Table I. The
+// condition number uses the power / inverse-power estimators (the surrogate
+// is diagonally dominant both ways, so the inverse iteration is exact to
+// solver tolerance).
+func Table1Circuit(n int) (Table1Row, error) {
+	a := gallery.CircuitDCOP(gallery.DefaultCircuitDCOPConfig(n))
+	p := sparse.Analyze(a, 1e-14)
+	smin, err := sparse.SigmaMinEstDominant(a, 80)
+	if err != nil {
+		return Table1Row{}, fmt.Errorf("expt: σmin estimate: %w", err)
+	}
+	return Table1Row{
+		Name: fmt.Sprintf("circuit-dcop %d (mult_dcop_03 surrogate)", n),
+		Rows: p.Rows, Cols: p.Cols, NNZ: p.NNZ,
+		StructuralFullRank: p.StructuralFullRank,
+		PatternSymmetry:    symLabel(p.PatternSymmetric),
+		PositiveDefinite:   "no",
+		Cond2:              p.Norm2Est / smin,
+		CondSource:         "power + inverse-power estimate",
+		Norm2:              p.Norm2Est,
+		FrobeniusNorm:      p.FrobeniusNorm,
+	}, nil
+}
+
+func symLabel(sym bool) string {
+	if sym {
+		return "symmetric"
+	}
+	return "nonsymmetric"
+}
+
+// WriteTable1 renders rows in the layout of the paper's Table I.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "%-28s", "Properties")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %22s", truncate(r.Name, 22))
+	}
+	fmt.Fprintln(w)
+	line := func(label string, f func(r Table1Row) string) {
+		fmt.Fprintf(w, "%-28s", label)
+		for _, r := range rows {
+			fmt.Fprintf(w, " %22s", f(r))
+		}
+		fmt.Fprintln(w)
+	}
+	line("number of rows", func(r Table1Row) string { return fmt.Sprintf("%d", r.Rows) })
+	line("number of columns", func(r Table1Row) string { return fmt.Sprintf("%d", r.Cols) })
+	line("nonzeros", func(r Table1Row) string { return fmt.Sprintf("%d", r.NNZ) })
+	line("structural full rank?", func(r Table1Row) string { return yesno(r.StructuralFullRank) })
+	line("nonzero pattern symmetry", func(r Table1Row) string { return r.PatternSymmetry })
+	line("type", func(Table1Row) string { return "real" })
+	line("positive definite?", func(r Table1Row) string { return r.PositiveDefinite })
+	line("Condition Number", func(r Table1Row) string { return fmt.Sprintf("%.4e", r.Cond2) })
+	fmt.Fprintln(w, "Potential Fault Detectors")
+	line("||A||_2", func(r Table1Row) string { return fmt.Sprintf("%.6g", r.Norm2) })
+	line("||A||_F", func(r Table1Row) string { return fmt.Sprintf("%.6g", r.FrobeniusNorm) })
+}
+
+func yesno(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// WriteSweepCSV emits a sweep as CSV: one row per fault site.
+func WriteSweepCSV(w io.Writer, problem string, cfg SweepConfig, points []SweepPoint) error {
+	if _, err := fmt.Fprintln(w, "problem,model,step,detector,aggregate_inner,outer_iters,converged,detections,fault_fired,wrong_answer"); err != nil {
+		return err
+	}
+	det := "off"
+	if cfg.Detector.Enabled {
+		det = cfg.Detector.Response.String()
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%t,%d,%t,%t\n",
+			problem, cfg.Model, cfg.Step, det,
+			p.AggregateInner, p.OuterIters, p.Converged, p.Detections, p.FaultFired, p.WrongAnswer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary condenses a sweep the way Section VII-E does.
+type Summary struct {
+	Problem          string
+	Model            string
+	Step             string
+	DetectorOn       bool
+	Points           int
+	FailureFreeOuter int
+	MaxOuter         int
+	// MaxExtraOuter is the worst-case penalty in outer iterations.
+	MaxExtraOuter int
+	// PctWorstIncrease is the worst-case time-to-solution increase in
+	// percent (the paper reports 33% for Poisson, 14% for mult_dcop_03).
+	PctWorstIncrease float64
+	// Unaffected counts experiments with no penalty at all.
+	Unaffected int
+	// NotConverged counts experiments that hit the outer cap.
+	NotConverged int
+	// SilentFailures counts wrong answers that passed the tolerance.
+	SilentFailures int
+	// Detected counts experiments where the detector fired at least once.
+	Detected int
+}
+
+// Summarize builds the Section VII-E statistics for one sweep.
+func Summarize(p *Problem, cfg SweepConfig, points []SweepPoint) Summary {
+	s := Summary{
+		Problem:          p.Name,
+		Model:            cfg.Model.String(),
+		Step:             cfg.Step.String(),
+		DetectorOn:       cfg.Detector.Enabled,
+		Points:           len(points),
+		FailureFreeOuter: p.FailureFreeOuter,
+	}
+	for _, pt := range points {
+		if pt.OuterIters > s.MaxOuter {
+			s.MaxOuter = pt.OuterIters
+		}
+		if pt.OuterIters <= p.FailureFreeOuter {
+			s.Unaffected++
+		}
+		if !pt.Converged {
+			s.NotConverged++
+		}
+		if pt.WrongAnswer {
+			s.SilentFailures++
+		}
+		if pt.Detections > 0 {
+			s.Detected++
+		}
+	}
+	s.MaxExtraOuter = s.MaxOuter - p.FailureFreeOuter
+	if p.FailureFreeOuter > 0 {
+		s.PctWorstIncrease = 100 * float64(s.MaxExtraOuter) / float64(p.FailureFreeOuter)
+	}
+	return s
+}
+
+// WriteSummaries renders a set of summaries as an aligned text table.
+func WriteSummaries(w io.Writer, sums []Summary) {
+	sort.SliceStable(sums, func(i, j int) bool {
+		if sums[i].Problem != sums[j].Problem {
+			return sums[i].Problem < sums[j].Problem
+		}
+		return sums[i].Model < sums[j].Model
+	})
+	fmt.Fprintf(w, "%-22s %-16s %-10s %-9s %6s %6s %7s %9s %7s %7s %7s\n",
+		"problem", "fault", "step", "detector", "points", "ff", "worst", "worst(+%)", "clean", "noconv", "silent")
+	for _, s := range sums {
+		det := "off"
+		if s.DetectorOn {
+			det = "on"
+		}
+		fmt.Fprintf(w, "%-22s %-16s %-10s %-9s %6d %6d %7d %8.1f%% %7d %7d %7d\n",
+			truncate(s.Problem, 22), truncate(s.Model, 16), s.Step, det,
+			s.Points, s.FailureFreeOuter, s.MaxOuter, s.PctWorstIncrease,
+			s.Unaffected, s.NotConverged, s.SilentFailures)
+	}
+}
+
+// GeoMean is a helper for aggregate reporting.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sdcgmres/internal/krylov"
+)
+
+func ctxAt(agg, step int, kind krylov.CoeffKind, last bool) krylov.CoeffContext {
+	return krylov.CoeffContext{
+		AggregateInner: agg,
+		InnerIteration: agg, // standalone: inner == aggregate
+		Step:           step,
+		LastStep:       last,
+		Kind:           kind,
+	}
+}
+
+func TestScaleModels(t *testing.T) {
+	if got := ClassLarge.Corrupt(2); got != 2e150 {
+		t.Fatalf("ClassLarge: %g", got)
+	}
+	if got := ClassTiny.Corrupt(2); got != 2e-300 {
+		t.Fatalf("ClassTiny: %g", got)
+	}
+	want := 2 * math.Pow(10, -0.5)
+	if got := ClassSlight.Corrupt(2); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("ClassSlight: %g want %g", got, want)
+	}
+	if len(Classes()) != 3 {
+		t.Fatal("Classes() should list the paper's 3 classes")
+	}
+}
+
+func TestSetValue(t *testing.T) {
+	m := SetValue{Value: 10}
+	if m.Corrupt(4) != 10 {
+		t.Fatal("SetValue should ignore the correct value")
+	}
+}
+
+func TestBitFlipInvolution(t *testing.T) {
+	f := func(v float64, bitRaw uint8) bool {
+		bit := uint(bitRaw % 64)
+		m := BitFlip{Bit: bit}
+		flipped := m.Corrupt(v)
+		back := m.Corrupt(flipped)
+		// Double flip must restore the exact bit pattern.
+		return math.Float64bits(back) == math.Float64bits(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitFlipChangesValue(t *testing.T) {
+	m := BitFlip{Bit: 62} // high exponent bit: huge change
+	v := 1.5
+	if m.Corrupt(v) == v {
+		t.Fatal("bit flip did not change the value")
+	}
+	sign := BitFlip{Bit: 63}
+	if sign.Corrupt(1.5) != -1.5 {
+		t.Fatalf("sign flip: %g", sign.Corrupt(1.5))
+	}
+}
+
+func TestBitFlipOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bit 64")
+		}
+	}()
+	BitFlip{Bit: 64}.Corrupt(1)
+}
+
+func TestInjectorFiresOnceAtSite(t *testing.T) {
+	in := NewInjector(Scale{Factor: 100}, Site{AggregateInner: 3, Step: FirstMGS})
+
+	// Wrong aggregate iteration: untouched.
+	v, err := in.Observe(ctxAt(2, 1, krylov.Projection, false), 1.0)
+	if err != nil || v != 1.0 {
+		t.Fatalf("should not fire: %g %v", v, err)
+	}
+	// Right aggregate, wrong step.
+	v, _ = in.Observe(ctxAt(3, 2, krylov.Projection, false), 1.0)
+	if v != 1.0 {
+		t.Fatal("fired on wrong step")
+	}
+	// Exact site: fires.
+	v, err = in.Observe(ctxAt(3, 1, krylov.Projection, false), 1.0)
+	if err != nil {
+		t.Fatalf("injector must stay silent (no error): %v", err)
+	}
+	if v != 100 {
+		t.Fatalf("corrupted value %g, want 100", v)
+	}
+	if !in.Fired() {
+		t.Fatal("Fired() should be true")
+	}
+	// One-shot: same site again is untouched.
+	v, _ = in.Observe(ctxAt(3, 1, krylov.Projection, false), 1.0)
+	if v != 1.0 {
+		t.Fatal("injector fired twice")
+	}
+	ev := in.Events()
+	if len(ev) != 1 || ev[0].Correct != 1.0 || ev[0].Corrupted != 100 {
+		t.Fatalf("events: %+v", ev)
+	}
+}
+
+func TestInjectorLastMGSSelector(t *testing.T) {
+	in := NewInjector(ClassTiny, Site{AggregateInner: 2, Step: LastMGS})
+	// Projection at step 3 of iteration with LastStep=false: no.
+	v, _ := in.Observe(ctxAt(2, 3, krylov.Projection, false), 5)
+	if v != 5 {
+		t.Fatal("fired on non-last projection")
+	}
+	// Normalization is not a LastMGS target even though LastStep is true.
+	v, _ = in.Observe(ctxAt(2, 4, krylov.Normalization, true), 5)
+	if v != 5 {
+		t.Fatal("LastMGS fired on normalization")
+	}
+	v, _ = in.Observe(ctxAt(2, 3, krylov.Projection, true), 5)
+	if v != 5e-300 {
+		t.Fatalf("LastMGS did not fire: %g", v)
+	}
+}
+
+func TestInjectorNormStepSelector(t *testing.T) {
+	in := NewInjector(SetValue{Value: math.NaN()}, Site{AggregateInner: 1, Step: NormStep})
+	v, _ := in.Observe(ctxAt(1, 1, krylov.Projection, true), 2)
+	if v != 2 {
+		t.Fatal("NormStep fired on projection")
+	}
+	v, _ = in.Observe(ctxAt(1, 2, krylov.Normalization, true), 2)
+	if !math.IsNaN(v) {
+		t.Fatalf("NormStep did not fire: %g", v)
+	}
+}
+
+func TestInjectorReset(t *testing.T) {
+	in := NewInjector(Scale{Factor: 2}, Site{AggregateInner: 1, Step: FirstMGS})
+	in.Observe(ctxAt(1, 1, krylov.Projection, false), 1)
+	if !in.Fired() {
+		t.Fatal("should have fired")
+	}
+	in.Reset()
+	if in.Fired() || len(in.Events()) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	v, _ := in.Observe(ctxAt(1, 1, krylov.Projection, false), 1)
+	if v != 2 {
+		t.Fatal("re-armed injector did not fire")
+	}
+}
+
+func TestInjectorNilModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewInjector(nil, Site{})
+}
+
+func TestSiteAndModelAccessors(t *testing.T) {
+	s := Site{AggregateInner: 7, Step: LastMGS}
+	in := NewInjector(ClassLarge, s)
+	if in.Site() != s {
+		t.Fatal("Site accessor")
+	}
+	if in.Model().String() != ClassLarge.String() {
+		t.Fatal("Model accessor")
+	}
+	if s.String() == "" || FirstMGS.String() == "" || NormStep.String() == "" {
+		t.Fatal("String() empty")
+	}
+}

@@ -1,0 +1,81 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/vec"
+)
+
+func TestOpInjectorFiresOnce(t *testing.T) {
+	a := gallery.Tridiag(6, -1, 2, -1)
+	inj := NewOpInjector(a, Scale{Factor: 1e6}, 2, 3)
+	x := vec.Ones(6)
+	dst := make([]float64, 6)
+	ref := make([]float64, 6)
+	a.MatVec(ref, x)
+
+	inj.MatVec(dst, x) // application 1: clean
+	for i := range dst {
+		if dst[i] != ref[i] {
+			t.Fatalf("application 1 corrupted: %v", dst)
+		}
+	}
+	inj.MatVec(dst, x) // application 2: strikes index 3
+	if dst[3] != ref[3]*1e6 {
+		t.Fatalf("dst[3] = %g, want %g", dst[3], ref[3]*1e6)
+	}
+	for i := range dst {
+		if i != 3 && dst[i] != ref[i] {
+			t.Fatalf("collateral corruption at %d", i)
+		}
+	}
+	inj.MatVec(dst, x) // application 3: clean again (one-shot)
+	if dst[3] != ref[3] {
+		t.Fatal("injector fired twice")
+	}
+	if !inj.Fired() || inj.Calls() != 3 {
+		t.Fatalf("state: fired=%v calls=%d", inj.Fired(), inj.Calls())
+	}
+	ev := inj.Events()
+	if len(ev) != 1 || ev[0].Application != 2 || ev[0].Index != 3 {
+		t.Fatalf("events: %+v", ev)
+	}
+}
+
+func TestOpInjectorDefaultIndexAndReset(t *testing.T) {
+	a := gallery.Tridiag(9, -1, 2, -1)
+	inj := NewOpInjector(a, SetValue{Value: math.NaN()}, 1, -1)
+	dst := make([]float64, 9)
+	inj.MatVec(dst, vec.Ones(9))
+	if !math.IsNaN(dst[4]) { // middle element 9/2 = 4
+		t.Fatalf("default index not middle: %v", dst)
+	}
+	inj.Reset()
+	if inj.Fired() || inj.Calls() != 0 || len(inj.Events()) != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	inj.MatVec(dst, vec.Ones(9))
+	if !math.IsNaN(dst[4]) {
+		t.Fatal("re-armed injector did not fire")
+	}
+}
+
+func TestOpInjectorValidation(t *testing.T) {
+	a := gallery.Tridiag(4, -1, 2, -1)
+	for name, f := range map[string]func(){
+		"nil model":   func() { NewOpInjector(a, nil, 1, 0) },
+		"application": func() { NewOpInjector(a, ClassLarge, 0, 0) },
+		"index":       func() { NewOpInjector(a, ClassLarge, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

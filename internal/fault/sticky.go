@@ -1,0 +1,72 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+
+	"sdcgmres/internal/krylov"
+)
+
+// StickyInjector models the *sticky* and *persistent* classes of the
+// paper's fault taxonomy (Figure 1): hardware that is faulty for a
+// duration — every coefficient matching the step selector within the
+// aggregate-iteration window [From, To] is corrupted — or permanently
+// (To = 0 means "never recovers").
+//
+// The paper scopes its analysis to a single transient SDC and argues the
+// single-event understanding is the baseline for reasoning about multiple
+// events. This injector exists to probe beyond that scope: it shows where
+// the transient assumption is load-bearing (the restart-inner response
+// presumes a retry runs clean; against a sticky fault the retry re-faults
+// and only the run-through and halt responses still help).
+type StickyInjector struct {
+	model Model
+	step  StepSelector
+	from  int
+	to    int // 0 = persistent (no recovery)
+
+	mu      sync.Mutex
+	strikes int
+}
+
+// NewStickyInjector arms a sticky injector corrupting every matching
+// coefficient with aggregate inner iteration in [from, to]; to = 0 makes
+// the fault persistent.
+func NewStickyInjector(model Model, step StepSelector, from, to int) *StickyInjector {
+	if model == nil {
+		panic("fault.NewStickyInjector: nil model")
+	}
+	if from < 1 {
+		panic(fmt.Sprintf("fault.NewStickyInjector: from = %d < 1", from))
+	}
+	if to != 0 && to < from {
+		panic(fmt.Sprintf("fault.NewStickyInjector: window [%d, %d] is empty", from, to))
+	}
+	return &StickyInjector{model: model, step: step, from: from, to: to}
+}
+
+// Observe implements krylov.CoeffHook.
+func (s *StickyInjector) Observe(ctx krylov.CoeffContext, h float64) (float64, error) {
+	if ctx.AggregateInner < s.from || (s.to != 0 && ctx.AggregateInner > s.to) {
+		return h, nil
+	}
+	if !(Site{AggregateInner: ctx.AggregateInner, Step: s.step}).matches(ctx) {
+		return h, nil
+	}
+	s.mu.Lock()
+	s.strikes++
+	s.mu.Unlock()
+	return s.model.Corrupt(h), nil
+}
+
+// Strikes returns how many coefficients have been corrupted so far.
+func (s *StickyInjector) Strikes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.strikes
+}
+
+// Persistent reports whether the fault never recovers.
+func (s *StickyInjector) Persistent() bool { return s.to == 0 }
+
+var _ krylov.CoeffHook = (*StickyInjector)(nil)

@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"testing"
+
+	"sdcgmres/internal/krylov"
+)
+
+func TestStickyInjectorWindow(t *testing.T) {
+	s := NewStickyInjector(Scale{Factor: 10}, FirstMGS, 3, 5)
+	// Before the window.
+	v, err := s.Observe(ctxAt(2, 1, krylov.Projection, false), 1)
+	if err != nil || v != 1 {
+		t.Fatalf("fired before window: %g", v)
+	}
+	// Inside the window: fires every matching coefficient, repeatedly.
+	for _, agg := range []int{3, 4, 5} {
+		v, _ = s.Observe(ctxAt(agg, 1, krylov.Projection, false), 1)
+		if v != 10 {
+			t.Fatalf("did not fire at %d", agg)
+		}
+	}
+	// Wrong step inside window.
+	v, _ = s.Observe(ctxAt(4, 2, krylov.Projection, false), 1)
+	if v != 1 {
+		t.Fatal("fired on wrong step")
+	}
+	// After the window: recovered.
+	v, _ = s.Observe(ctxAt(6, 1, krylov.Projection, false), 1)
+	if v != 1 {
+		t.Fatal("sticky fault did not recover")
+	}
+	if s.Strikes() != 3 {
+		t.Fatalf("strikes = %d", s.Strikes())
+	}
+	if s.Persistent() {
+		t.Fatal("windowed fault is not persistent")
+	}
+}
+
+func TestStickyInjectorPersistent(t *testing.T) {
+	s := NewStickyInjector(Scale{Factor: 2}, NormStep, 1, 0)
+	if !s.Persistent() {
+		t.Fatal("to=0 should be persistent")
+	}
+	for _, agg := range []int{1, 100, 100000} {
+		v, _ := s.Observe(ctxAt(agg, agg+1, krylov.Normalization, true), 3)
+		if v != 6 {
+			t.Fatalf("persistent fault missed at %d", agg)
+		}
+	}
+}
+
+func TestStickyInjectorValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nil model":    func() { NewStickyInjector(nil, FirstMGS, 1, 2) },
+		"from":         func() { NewStickyInjector(ClassLarge, FirstMGS, 0, 2) },
+		"empty window": func() { NewStickyInjector(ClassLarge, FirstMGS, 5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,247 @@
+package gallery
+
+import (
+	"math"
+	"testing"
+
+	"sdcgmres/internal/sparse"
+	"sdcgmres/internal/vec"
+)
+
+func TestPoisson2DSmallStructure(t *testing.T) {
+	m := Poisson2D(2)
+	// 4x4 matrix:
+	// [ 4 -1 -1  0]
+	// [-1  4  0 -1]
+	// [-1  0  4 -1]
+	// [ 0 -1 -1  4]
+	want := []float64{
+		4, -1, -1, 0,
+		-1, 4, 0, -1,
+		-1, 0, 4, -1,
+		0, -1, -1, 4,
+	}
+	got := m.Dense()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Poisson2D(2) dense = %v", got)
+		}
+	}
+}
+
+func TestPoisson2DMatchesTable1(t *testing.T) {
+	// The paper's Table I row for the Poisson problem: n=10,000 rows,
+	// nnz=49,600, symmetric pattern, ‖A‖₂ = 8, ‖A‖F = 446.
+	m := Poisson2D(100)
+	if m.Rows() != 10000 || m.Cols() != 10000 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	if m.NNZ() != 49600 {
+		t.Fatalf("nnz = %d, want 49600", m.NNZ())
+	}
+	f := m.FrobeniusNorm()
+	if math.Abs(f-446) > 1 { // paper rounds to 446; exact is sqrt(199600)=446.76
+		t.Fatalf("‖A‖F = %g", f)
+	}
+	lmin, lmax := Poisson2DEigBounds(100)
+	if math.Abs(lmax-8) > 0.01 {
+		t.Fatalf("λmax = %g, want ≈8", lmax)
+	}
+	if lmin <= 0 || lmin > 0.01 {
+		t.Fatalf("λmin = %g", lmin)
+	}
+	// Power-method estimate must agree with the analytic 2-norm. The top of
+	// the Poisson spectrum is clustered, so power iteration converges slowly;
+	// a 0.5% agreement window reflects the method, not a bug.
+	est := m.Norm2Est(800, 1e-10)
+	if math.Abs(est-lmax) > 5e-3*lmax {
+		t.Fatalf("Norm2Est %g vs analytic %g", est, lmax)
+	}
+}
+
+func TestPoisson2DSymmetric(t *testing.T) {
+	p := sparse.Analyze(Poisson2D(7), 1e-14)
+	if !p.PatternSymmetric || !p.NumericallySymmetric || !p.StructuralFullRank {
+		t.Fatalf("Poisson misclassified: %+v", p)
+	}
+}
+
+func TestPoisson2DEigBoundsAgainstMatVec(t *testing.T) {
+	// Rayleigh quotient of the known extreme eigenvector must reproduce
+	// λmin: v_{ij} = sin(iπ/(n+1)) sin(jπ/(n+1)).
+	n := 9
+	m := Poisson2D(n)
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v[i*n+j] = math.Sin(float64(i+1)*math.Pi/float64(n+1)) * math.Sin(float64(j+1)*math.Pi/float64(n+1))
+		}
+	}
+	av := make([]float64, n*n)
+	m.MatVec(av, v)
+	rq := vec.Dot(v, av) / vec.Dot(v, v)
+	lmin, _ := Poisson2DEigBounds(n)
+	if math.Abs(rq-lmin) > 1e-12 {
+		t.Fatalf("Rayleigh quotient %g vs analytic λmin %g", rq, lmin)
+	}
+}
+
+func TestCircuitDCOPProperties(t *testing.T) {
+	cfg := DefaultCircuitDCOPConfig(2000)
+	m := CircuitDCOP(cfg)
+	if m.Rows() != 2000 {
+		t.Fatalf("rows = %d", m.Rows())
+	}
+	p := sparse.Analyze(m, 1e-14)
+	if p.PatternSymmetric {
+		t.Fatal("surrogate should be pattern-nonsymmetric")
+	}
+	if !p.StructuralFullRank {
+		t.Fatal("surrogate must have full structural rank (nonzero diagonal)")
+	}
+	if math.Abs(p.Norm2Est-cfg.TargetNorm2) > 0.05*cfg.TargetNorm2 {
+		t.Fatalf("‖A‖₂ = %g, want ≈%g", p.Norm2Est, cfg.TargetNorm2)
+	}
+	// Indefinite: some negative diagonals must survive.
+	neg := 0
+	for _, d := range m.Diagonal() {
+		if d < 0 {
+			neg++
+		}
+	}
+	if neg == 0 {
+		t.Fatal("surrogate should be indefinite (no negative diagonals found)")
+	}
+	// Average nonzeros per row in the circuit-like range.
+	perRow := float64(m.NNZ()) / float64(m.Rows())
+	if perRow < 3 || perRow > 12 {
+		t.Fatalf("nnz per row = %g, want circuit-like density", perRow)
+	}
+}
+
+func TestCircuitDCOPConditionNumber(t *testing.T) {
+	cfg := DefaultCircuitDCOPConfig(1500)
+	m := CircuitDCOP(cfg)
+	smin, err := sparse.SigmaMinEstDominant(m, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smax := m.Norm2Est(300, 1e-10)
+	cond := smax / smin
+	// The construction targets ~7e13 (13 decades): accept one decade slack
+	// either way — the point is "very ill-conditioned".
+	if cond < 1e12 || cond > 1e15 {
+		t.Fatalf("cond = %.3g, want ~7e13", cond)
+	}
+}
+
+func TestCircuitDCOPDeterministic(t *testing.T) {
+	a := CircuitDCOP(DefaultCircuitDCOPConfig(500))
+	b := CircuitDCOP(DefaultCircuitDCOPConfig(500))
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("generator not deterministic (nnz differs)")
+	}
+	da, db := a.Dense(), b.Dense()
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatal("generator not deterministic (values differ)")
+		}
+	}
+}
+
+func TestCircuitDCOPDiagonallyDominantBothWays(t *testing.T) {
+	m := CircuitDCOP(DefaultCircuitDCOPConfig(800))
+	n := m.Rows()
+	rowOff := make([]float64, n)
+	colOff := make([]float64, n)
+	diag := make([]float64, n)
+	for _, tr := range m.Triplets() {
+		if tr.Row == tr.Col {
+			diag[tr.Row] = math.Abs(tr.Val)
+		} else {
+			rowOff[tr.Row] += math.Abs(tr.Val)
+			colOff[tr.Col] += math.Abs(tr.Val)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if rowOff[i] >= diag[i] {
+			t.Fatalf("row %d not strictly dominant: off %g vs diag %g", i, rowOff[i], diag[i])
+		}
+		if colOff[i] >= diag[i] {
+			t.Fatalf("col %d not strictly dominant: off %g vs diag %g", i, colOff[i], diag[i])
+		}
+	}
+}
+
+func TestConvectionDiffusionNonsymmetric(t *testing.T) {
+	m := ConvectionDiffusion2D(6, 20, 0)
+	p := sparse.Analyze(m, 1e-14)
+	if !p.PatternSymmetric {
+		t.Fatal("pattern should be symmetric (5-point stencil)")
+	}
+	if p.NumericallySymmetric {
+		t.Fatal("values should be nonsymmetric with wind")
+	}
+	// Zero wind reduces to Poisson.
+	z := ConvectionDiffusion2D(6, 0, 0)
+	pz := sparse.Analyze(z, 1e-14)
+	if !pz.NumericallySymmetric {
+		t.Fatal("zero wind should be symmetric")
+	}
+}
+
+func TestTridiagAndDiagonal(t *testing.T) {
+	m := Tridiag(4, -1, 2, -1)
+	if m.NNZ() != 10 || m.At(1, 0) != -1 || m.At(1, 1) != 2 || m.At(1, 2) != -1 {
+		t.Fatalf("Tridiag wrong")
+	}
+	d := Diagonal([]float64{1, 2, 3})
+	if d.NNZ() != 3 || d.At(2, 2) != 3 {
+		t.Fatal("Diagonal wrong")
+	}
+}
+
+func TestRandomSparseDominantAndDeterministic(t *testing.T) {
+	a := RandomSparse(50, 0.1, 42)
+	b := RandomSparse(50, 0.1, 42)
+	da, db := a.Dense(), b.Dense()
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatal("RandomSparse not deterministic")
+		}
+	}
+	// Diagonal dominance by construction.
+	for i := 0; i < 50; i++ {
+		var off float64
+		cols, vals := a.Row(i)
+		var diag float64
+		for k, j := range cols {
+			if j == i {
+				diag = math.Abs(vals[k])
+			} else {
+				off += math.Abs(vals[k])
+			}
+		}
+		if diag <= off {
+			t.Fatalf("row %d not dominant", i)
+		}
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"poisson":  func() { Poisson2D(0) },
+		"circuit":  func() { CircuitDCOP(CircuitDCOPConfig{N: 1}) },
+		"convdiff": func() { ConvectionDiffusion2D(-1, 0, 0) },
+		"tridiag":  func() { Tridiag(0, 1, 2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

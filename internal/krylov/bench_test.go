@@ -1,0 +1,100 @@
+package krylov
+
+import (
+	"testing"
+
+	"sdcgmres/internal/gallery"
+)
+
+func benchSolve(b *testing.B, f func() (*Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatalf("not converged: %g", res.FinalResidual)
+		}
+	}
+}
+
+func BenchmarkGMRESPoisson(b *testing.B) {
+	a := gallery.Poisson2D(32)
+	rhs := onesRHS(a)
+	b.Run("MGS", func(b *testing.B) {
+		benchSolve(b, func() (*Result, error) {
+			return GMRES(a, rhs, nil, Options{MaxIter: 200, Tol: 1e-8})
+		})
+	})
+	b.Run("CGS", func(b *testing.B) {
+		benchSolve(b, func() (*Result, error) {
+			return GMRES(a, rhs, nil, Options{MaxIter: 200, Tol: 1e-8, Ortho: CGS})
+		})
+	})
+	b.Run("Householder", func(b *testing.B) {
+		benchSolve(b, func() (*Result, error) {
+			return GMRESHouseholder(a, rhs, nil, Options{MaxIter: 200, Tol: 1e-8})
+		})
+	})
+}
+
+func BenchmarkGMRESRestartLengths(b *testing.B) {
+	a := gallery.ConvectionDiffusion2D(24, 8, -4)
+	rhs := onesRHS(a)
+	for _, m := range []int{10, 25, 50} {
+		b.Run(restartTag(m), func(b *testing.B) {
+			benchSolve(b, func() (*Result, error) {
+				return GMRES(a, rhs, nil, Options{MaxIter: m, MaxRestarts: 100, Tol: 1e-8})
+			})
+		})
+	}
+}
+
+func restartTag(m int) string {
+	switch m {
+	case 10:
+		return "m10"
+	case 25:
+		return "m25"
+	default:
+		return "m50"
+	}
+}
+
+func BenchmarkCGPoisson(b *testing.B) {
+	a := gallery.Poisson2D(48)
+	rhs := onesRHS(a)
+	benchSolve(b, func() (*Result, error) {
+		return CG(a, rhs, nil, CGOptions{Tol: 1e-8})
+	})
+}
+
+func BenchmarkFGMRESNested(b *testing.B) {
+	a := gallery.Poisson2D(32)
+	rhs := onesRHS(a)
+	benchSolve(b, func() (*Result, error) {
+		return FGMRES(a, rhs, nil, FixedPreconditioner(innerGMRES(a, 10)), FGMRESOptions{
+			Options:          Options{MaxIter: 40, Tol: 1e-8},
+			ExplicitResidual: true,
+		})
+	})
+}
+
+func BenchmarkHookOverhead(b *testing.B) {
+	// Cost of the detection seam itself: a pass-through hook on every
+	// coefficient vs no hooks at all.
+	a := gallery.Poisson2D(32)
+	rhs := onesRHS(a)
+	noop := CoeffHookFunc(func(ctx CoeffContext, h float64) (float64, error) { return h, nil })
+	b.Run("no_hooks", func(b *testing.B) {
+		benchSolve(b, func() (*Result, error) {
+			return GMRES(a, rhs, nil, Options{MaxIter: 200, Tol: 1e-8})
+		})
+	})
+	b.Run("noop_hook", func(b *testing.B) {
+		benchSolve(b, func() (*Result, error) {
+			return GMRES(a, rhs, nil, Options{MaxIter: 200, Tol: 1e-8, Hooks: []CoeffHook{noop}})
+		})
+	})
+}

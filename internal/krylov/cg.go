@@ -1,0 +1,93 @@
+package krylov
+
+import (
+	"fmt"
+	"math"
+
+	"sdcgmres/internal/vec"
+)
+
+// CGOptions configures the Conjugate Gradient solver.
+type CGOptions struct {
+	// MaxIter bounds the iteration count (default 10·n when zero).
+	MaxIter int
+	// Tol is the relative residual convergence threshold (default 1e-10
+	// when zero).
+	Tol float64
+}
+
+// CG solves A x = b for symmetric positive definite A. The paper uses CG
+// only as a framing device — Table I notes the Poisson problem "could be
+// solved using the Conjugate Gradient method" — and this implementation
+// serves as the SPD baseline for the examples and ablations.
+func CG(a Operator, b, x0 []float64, opts CGOptions) (*Result, error) {
+	if err := checkSystem(a, b, x0); err != nil {
+		return nil, err
+	}
+	n := a.Rows()
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 10 * n
+	}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-10
+	}
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	res := &Result{}
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		res.X = x
+		res.Converged = true
+		return res, nil
+	}
+
+	r := make([]float64, n)
+	a.MatVec(r, x)
+	vec.Sub(r, b, r)
+	p := vec.Clone(r)
+	ap := make([]float64, n)
+	rr := vec.Dot(r, r)
+
+	for it := 0; it < opts.MaxIter; it++ {
+		rel := sqrtNonneg(rr) / normB
+		res.ResidualHistory = append(res.ResidualHistory, rel)
+		if rel <= opts.Tol {
+			res.Converged = true
+			break
+		}
+		a.MatVec(ap, p)
+		pap := vec.Dot(p, ap)
+		if pap <= 0 {
+			// A is not positive definite along p; CG's invariants are gone.
+			res.X = x
+			res.FinalResidual = rel
+			return res, fmt.Errorf("krylov: CG found non-positive curvature pᵀAp = %g at iteration %d (matrix not SPD?)", pap, it+1)
+		}
+		alpha := rr / pap
+		vec.Axpy(alpha, p, x)
+		vec.Axpy(-alpha, ap, r)
+		rrNew := vec.Dot(r, r)
+		beta := rrNew / rr
+		rr = rrNew
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		res.Iterations++
+	}
+	res.X = x
+	if k := len(res.ResidualHistory); k > 0 {
+		res.FinalResidual = res.ResidualHistory[k-1]
+	} else {
+		res.FinalResidual = 1
+	}
+	return res, nil
+}
+
+func sqrtNonneg(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,140 @@
+package krylov
+
+import (
+	"fmt"
+
+	"sdcgmres/internal/vec"
+)
+
+// FCGOptions configures the flexible Conjugate Gradient solver.
+type FCGOptions struct {
+	// MaxIter bounds the outer iterations.
+	MaxIter int
+	// Tol is the relative residual convergence threshold on the
+	// explicitly computed residual.
+	Tol float64
+	// Truncate is the direction-orthogonalization depth: each new search
+	// direction is A-orthogonalized against the last Truncate directions
+	// (1 reproduces Notay's FCG(1), the usual flexible CG; larger values
+	// approach full orthogonalization at higher cost). Default 1.
+	Truncate int
+	// OnIteration, when non-nil, observes (iteration, relative residual).
+	OnIteration func(iter int, rel float64)
+}
+
+// FCG solves the SPD system A x = b with the flexible (inexact-
+// preconditioner) Conjugate Gradient method of Golub & Ye / Notay, which
+// the paper names as an alternative flexible outer iteration for FT
+// solvers ("There are flexible versions of other iterative methods besides
+// GMRES, such as CG", Section VI-A). The preconditioner may change every
+// iteration; each new direction is explicitly A-orthogonalized against the
+// previous one(s), which is what buys the flexibility.
+//
+// Robustness notes for the fault-tolerant setting: convergence is judged
+// on an explicitly recomputed residual, and a direction with non-positive
+// curvature (possible only if the preconditioner result was corrupted,
+// since A is SPD) is discarded in favour of the steepest-descent direction
+// — a run-through response rather than a failure.
+func FCG(a Operator, b, x0 []float64, provider PrecondProvider, opts FCGOptions) (*Result, error) {
+	if err := checkSystem(a, b, x0); err != nil {
+		return nil, err
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 100
+	}
+	if opts.Truncate <= 0 {
+		opts.Truncate = 1
+	}
+	if provider == nil {
+		provider = FixedPreconditioner(IdentityPreconditioner)
+	}
+	n := a.Rows()
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	res := &Result{}
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		res.X = x
+		res.Converged = true
+		return res, nil
+	}
+
+	r := make([]float64, n)
+	a.MatVec(r, x)
+	vec.Sub(r, b, r)
+
+	type direction struct {
+		p, ap []float64
+		pap   float64
+	}
+	var hist []direction
+	z := make([]float64, n)
+
+	for k := 0; k < opts.MaxIter; k++ {
+		rel := vec.Norm2(r) / normB
+		res.ResidualHistory = append(res.ResidualHistory, rel)
+		if opts.OnIteration != nil {
+			opts.OnIteration(k, rel)
+		}
+		if opts.Tol > 0 && rel <= opts.Tol {
+			res.Converged = true
+			break
+		}
+
+		m := provider(k + 1)
+		if m == nil {
+			m = IdentityPreconditioner
+		}
+		if err := m.Apply(z, r); err != nil {
+			return nil, fmt.Errorf("krylov: FCG preconditioner failed at iteration %d: %w", k+1, err)
+		}
+		// Untrusted guest output: screen non-finite results.
+		if !vec.AllFinite(z) {
+			copy(z, r)
+		}
+
+		// New direction: A-orthogonalize z against the retained history.
+		p := vec.Clone(z)
+		for _, d := range hist {
+			beta := vec.Dot(z, d.ap) / d.pap
+			vec.Axpy(-beta, d.p, p)
+		}
+		ap := make([]float64, n)
+		a.MatVec(ap, p)
+		pap := vec.Dot(p, ap)
+		if !(pap > 0) {
+			// Corrupted preconditioner result produced a non-positive-
+			// curvature direction (impossible for SPD A with honest z).
+			// Run through with steepest descent instead.
+			p = vec.Clone(r)
+			a.MatVec(ap, p)
+			pap = vec.Dot(p, ap)
+			if !(pap > 0) {
+				res.X = x
+				res.FinalResidual = rel
+				return res, fmt.Errorf("krylov: FCG found non-positive curvature on the residual direction (matrix not SPD?)")
+			}
+		}
+		alpha := vec.Dot(p, r) / pap
+		vec.Axpy(alpha, p, x)
+		// Reliable residual: recompute explicitly rather than trusting the
+		// recurrence across possibly faulty directions.
+		a.MatVec(r, x)
+		vec.Sub(r, b, r)
+		res.Iterations++
+
+		hist = append(hist, direction{p: p, ap: ap, pap: pap})
+		if len(hist) > opts.Truncate {
+			hist = hist[1:]
+		}
+	}
+	res.X = x
+	if k := len(res.ResidualHistory); k > 0 {
+		res.FinalResidual = res.ResidualHistory[k-1]
+	} else {
+		res.FinalResidual = 1
+	}
+	return res, nil
+}

@@ -1,0 +1,172 @@
+package krylov
+
+import (
+	"math"
+	"testing"
+
+	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/vec"
+)
+
+func TestFCGIdentityPreconditionerSolvesPoisson(t *testing.T) {
+	a := gallery.Poisson2D(10)
+	b := onesRHS(a)
+	res, err := FCG(a, b, nil, nil, FCGOptions{MaxIter: 400, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("FCG did not converge: %g", res.FinalResidual)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("x[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestFCGNestedInnerGMRES(t *testing.T) {
+	a := gallery.Poisson2D(10)
+	b := onesRHS(a)
+	res, err := FCG(a, b, nil, FixedPreconditioner(innerGMRES(a, 15)), FCGOptions{MaxIter: 40, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("nested FCG failed: %g", res.FinalResidual)
+	}
+	// Preconditioning with 15 GMRES iterations must drastically beat
+	// unpreconditioned FCG.
+	plain, _ := FCG(a, b, nil, nil, FCGOptions{MaxIter: 400, Tol: 1e-9})
+	if res.Iterations*5 > plain.Iterations {
+		t.Fatalf("nested FCG not accelerating: %d vs %d iterations", res.Iterations, plain.Iterations)
+	}
+}
+
+func TestFCGChangingPreconditioner(t *testing.T) {
+	a := gallery.Poisson2D(8)
+	b := onesRHS(a)
+	provider := func(k int) Preconditioner { return innerGMRES(a, 2+k%5) }
+	res, err := FCG(a, b, nil, provider, FCGOptions{MaxIter: 80, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("flexible preconditioning failed: %g", res.FinalResidual)
+	}
+}
+
+func TestFCGRunsThroughCorruptedPreconditioner(t *testing.T) {
+	// A preconditioner that returns garbage (negated residual scaled
+	// hugely, or NaN) on one iteration must not derail the solve.
+	a := gallery.Poisson2D(8)
+	b := onesRHS(a)
+	call := 0
+	evil := PrecondFunc(func(z, q []float64) error {
+		call++
+		switch call {
+		case 3:
+			for i := range z {
+				z[i] = -1e100 * q[i]
+			}
+		case 5:
+			for i := range z {
+				z[i] = math.NaN()
+			}
+		default:
+			copy(z, q)
+		}
+		return nil
+	})
+	res, err := FCG(a, b, nil, FixedPreconditioner(evil), FCGOptions{MaxIter: 500, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("FCG did not run through corruption: %g", res.FinalResidual)
+	}
+	if !vec.AllFinite(res.X) {
+		t.Fatal("NaN leaked into the iterate")
+	}
+}
+
+func TestFCGIndefiniteMatrixNoSilentFailure(t *testing.T) {
+	// FCG's SPD assumption can fail in two visible ways on an indefinite
+	// matrix — a curvature error or non-convergence — but never a silent
+	// wrong answer: if it reports convergence the solution must be right.
+	a := gallery.Diagonal([]float64{1, -2, 3})
+	b := []float64{1, 1, 1}
+	res, err := FCG(a, b, nil, nil, FCGOptions{MaxIter: 20, Tol: 1e-10})
+	if err != nil {
+		return // loud failure: acceptable
+	}
+	if !res.Converged {
+		return // honest non-convergence: acceptable
+	}
+	want := []float64{1, -0.5, 1.0 / 3.0}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-8 {
+			t.Fatalf("silent failure: x = %v", res.X)
+		}
+	}
+}
+
+func TestFCGZeroRHSAndCallbacks(t *testing.T) {
+	a := gallery.Tridiag(6, -1, 2, -1)
+	res, err := FCG(a, make([]float64, 6), nil, nil, FCGOptions{MaxIter: 5, Tol: 1e-10})
+	if err != nil || !res.Converged {
+		t.Fatalf("zero rhs: %+v %v", res, err)
+	}
+	var seen int
+	b := onesRHS(a)
+	res2, err := FCG(a, b, nil, nil, FCGOptions{
+		MaxIter: 20, Tol: 1e-12,
+		OnIteration: func(it int, rel float64) { seen++ },
+	})
+	if err != nil || !res2.Converged {
+		t.Fatalf("solve: %v", err)
+	}
+	if seen == 0 {
+		t.Fatal("OnIteration never called")
+	}
+}
+
+func TestFCGTruncationDepth(t *testing.T) {
+	// Deeper truncation can only help (or tie) on a fixed problem.
+	a := gallery.Poisson2D(9)
+	b := onesRHS(a)
+	t1, err := FCG(a, b, nil, nil, FCGOptions{MaxIter: 500, Tol: 1e-9, Truncate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := FCG(a, b, nil, nil, FCGOptions{MaxIter: 500, Tol: 1e-9, Truncate: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !t1.Converged || !t4.Converged {
+		t.Fatal("convergence")
+	}
+	if t4.Iterations > t1.Iterations+2 {
+		t.Fatalf("deeper truncation slower: %d vs %d", t4.Iterations, t1.Iterations)
+	}
+}
+
+func TestFCGMatchesCGWhenUnpreconditioned(t *testing.T) {
+	// With the identity preconditioner and full A-orthogonalization
+	// against the previous direction, FCG reduces to CG in exact
+	// arithmetic; iteration counts must be close.
+	a := gallery.Poisson2D(8)
+	b := onesRHS(a)
+	cg, err := CG(a, b, nil, CGOptions{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcg, err := FCG(a, b, nil, nil, FCGOptions{MaxIter: 1000, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cg.Iterations - fcg.Iterations
+	if d < -5 || d > 5 {
+		t.Fatalf("FCG/CG iteration counts diverge: %d vs %d", fcg.Iterations, cg.Iterations)
+	}
+}

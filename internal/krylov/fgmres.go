@@ -1,0 +1,164 @@
+package krylov
+
+import (
+	"fmt"
+
+	"sdcgmres/internal/dense"
+	"sdcgmres/internal/vec"
+)
+
+// FGMRESOptions configures the flexible solver. It embeds Options; the
+// orthogonalization hooks apply to the *outer* Arnoldi coefficients (which
+// the fault model leaves reliable — the paper injects only into inner
+// solves, via the preconditioner's own hooks).
+type FGMRESOptions struct {
+	Options
+	// ExplicitResidual, when true, computes the true residual
+	// ‖b − A x_j‖/‖b‖ at every outer iteration and uses it for the
+	// convergence decision. This is the "reliably computed residual" of
+	// FT-GMRES: the projected residual of a flexible method is not
+	// trustworthy when inner solves may be corrupted.
+	ExplicitResidual bool
+	// OnIteration, when non-nil, is called after every outer iteration
+	// with the 1-based index and the relative residual used for the
+	// convergence decision. Experiment harnesses use it to trace
+	// convergence.
+	OnIteration func(iter int, rel float64)
+}
+
+// PrecondProvider returns the preconditioner to use at outer iteration j
+// (1-based). Flexible GMRES allows it to differ arbitrarily per iteration;
+// FT-GMRES exploits exactly that freedom to model faulty inner solves.
+type PrecondProvider func(j int) Preconditioner
+
+// FixedPreconditioner adapts a single Preconditioner to a PrecondProvider.
+func FixedPreconditioner(m Preconditioner) PrecondProvider {
+	return func(int) Preconditioner { return m }
+}
+
+// FGMRES solves A x = b with Saad's Flexible GMRES (Algorithm 2 of the
+// paper): right preconditioning with a preconditioner that may change every
+// iteration, storing the preconditioned vectors Z so the solution update
+// x = x0 + Z y remains correct.
+//
+// The trichotomy of Section VI-C is implemented: the solver either (1)
+// converges, (2) detects a genuine invariant subspace (happy breakdown with
+// a full-rank projected matrix), or (3) returns ErrRankDeficient when the
+// projected matrix is numerically singular at breakdown.
+func FGMRES(a Operator, b, x0 []float64, provider PrecondProvider, opts FGMRESOptions) (*Result, error) {
+	o := opts.Options.withDefaults()
+	if err := checkSystem(a, b, x0); err != nil {
+		return nil, err
+	}
+	if provider == nil {
+		provider = FixedPreconditioner(IdentityPreconditioner)
+	}
+	if o.RankCheckTol == 0 {
+		o.RankCheckTol = 1e-12
+	}
+	n := a.Rows()
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	res := &Result{}
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		res.X = x
+		res.Converged = true
+		return res, nil
+	}
+
+	r0 := make([]float64, n)
+	a.MatVec(r0, x)
+	res.Work.SpMVs++
+	vec.Sub(r0, b, r0)
+	beta := vec.Norm2(r0)
+	if o.Tol > 0 && beta/normB <= o.Tol {
+		res.X = x
+		res.Converged = true
+		res.FinalResidual = beta / normB
+		return res, nil
+	}
+
+	q := make([][]float64, 0, o.MaxIter+1)
+	vec.Scale(1/beta, r0)
+	q = append(q, r0)
+	z := make([][]float64, 0, o.MaxIter)
+	lsq := dense.NewHessLSQ(o.MaxIter, beta)
+
+	w := make([]float64, n)
+	for j := 0; j < o.MaxIter; j++ {
+		// Apply the (possibly different, possibly faulty) preconditioner.
+		zj := make([]float64, n)
+		m := provider(j + 1)
+		if m == nil {
+			m = IdentityPreconditioner
+		}
+		if err := m.Apply(zj, q[j]); err != nil {
+			return nil, fmt.Errorf("krylov: preconditioner failed at outer iteration %d: %w", j+1, err)
+		}
+		z = append(z, zj)
+		a.MatVec(w, zj)
+		res.Work.SpMVs++
+
+		or := orthogonalize(q, w, j, &o, &res.HookEvents)
+		res.Work.OrthoFlops += or.flops
+		if or.halted {
+			res.Halted = true
+			break
+		}
+		projRel := lsq.AppendColumn(or.h) / normB
+		res.Iterations++
+
+		hj1 := or.h[j+1]
+		happy := abs(hj1) <= o.HappyTol*beta
+		if happy {
+			// FGMRES extra failure mode: at breakdown H(1:j,1:j) may be
+			// singular even in exact arithmetic (Saad Prop. 2.2). The
+			// incremental estimate is a lower bound on the true condition
+			// number, so a positive ICE alarm is conclusive on its own and
+			// the exact SVD runs only when ICE stayed quiet.
+			threshold := 1 / o.RankCheckTol
+			if lsq.RCondICE() > threshold || lsq.RCondSVD() > threshold {
+				res.X = x
+				return res, ErrRankDeficient
+			}
+			res.Breakdown = true
+		} else {
+			qn := vec.Clone(w)
+			vec.Scale(1/hj1, qn)
+			q = append(q, qn)
+		}
+
+		// Convergence decision: explicit (reliable) or projected residual.
+		rel := projRel
+		if opts.ExplicitResidual {
+			y := solveProjected(lsq, &o, res)
+			cand := vec.Clone(x)
+			applyUpdate(cand, z, y)
+			rel = TrueResidual(a, b, cand)
+			res.Work.SpMVs++
+		}
+		res.ResidualHistory = append(res.ResidualHistory, rel)
+		if opts.OnIteration != nil {
+			opts.OnIteration(j+1, rel)
+		}
+		if (o.Tol > 0 && rel <= o.Tol) || res.Breakdown {
+			res.Converged = o.Tol > 0 && rel <= o.Tol || res.Breakdown
+			break
+		}
+	}
+
+	if lsq.K() > 0 {
+		y := solveProjected(lsq, &o, res)
+		applyUpdate(x, z, y)
+	}
+	res.X = x
+	if k := len(res.ResidualHistory); k > 0 {
+		res.FinalResidual = res.ResidualHistory[k-1]
+	} else {
+		res.FinalResidual = 1
+	}
+	return res, nil
+}

@@ -1,0 +1,236 @@
+package krylov
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/vec"
+)
+
+// innerGMRES builds a Preconditioner that runs a fixed number of GMRES
+// iterations on the same operator — the nested-solver configuration of the
+// paper.
+func innerGMRES(a Operator, iters int) Preconditioner {
+	return PrecondFunc(func(z, q []float64) error {
+		res, err := GMRES(a, q, nil, Options{MaxIter: iters, Tol: 0})
+		if err != nil {
+			return err
+		}
+		copy(z, res.X)
+		return nil
+	})
+}
+
+func TestFGMRESIdentityPreconditionerMatchesGMRES(t *testing.T) {
+	a := gallery.ConvectionDiffusion2D(6, 4, 4)
+	b := onesRHS(a)
+	g, err := GMRES(a, b, nil, Options{MaxIter: 36, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FGMRES(a, b, nil, nil, FGMRESOptions{Options: Options{MaxIter: 36, Tol: 1e-10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Converged || !f.Converged {
+		t.Fatalf("convergence: gmres %v fgmres %v", g.Converged, f.Converged)
+	}
+	if g.Iterations != f.Iterations {
+		t.Fatalf("iteration counts differ: %d vs %d", g.Iterations, f.Iterations)
+	}
+	for i := range g.X {
+		if math.Abs(g.X[i]-f.X[i]) > 1e-8 {
+			t.Fatalf("solutions differ at %d", i)
+		}
+	}
+}
+
+func TestFGMRESNestedSolvesPoisson(t *testing.T) {
+	a := gallery.Poisson2D(10)
+	b := onesRHS(a)
+	res, err := FGMRES(a, b, nil, FixedPreconditioner(innerGMRES(a, 15)), FGMRESOptions{
+		Options:          Options{MaxIter: 30, Tol: 1e-8},
+		ExplicitResidual: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("nested solve did not converge: %g", res.FinalResidual)
+	}
+	if tr := TrueResidual(a, b, res.X); tr > 1e-8 {
+		t.Fatalf("true residual %g", tr)
+	}
+	// Inner preconditioning must beat unpreconditioned outer iterations.
+	plain, _ := GMRES(a, b, nil, Options{MaxIter: res.Iterations, Tol: 1e-8})
+	if plain.Converged && plain.Iterations < res.Iterations {
+		t.Fatalf("preconditioning did not help: %d outer vs %d plain", res.Iterations, plain.Iterations)
+	}
+}
+
+func TestFGMRESChangingPreconditioner(t *testing.T) {
+	// Alternate inner iteration counts per outer iteration — legal for
+	// FGMRES, illegal for plain right-preconditioned GMRES.
+	a := gallery.ConvectionDiffusion2D(8, 10, -5)
+	b := onesRHS(a)
+	provider := func(j int) Preconditioner {
+		return innerGMRES(a, 3+2*(j%3))
+	}
+	res, err := FGMRES(a, b, nil, provider, FGMRESOptions{
+		Options:          Options{MaxIter: 40, Tol: 1e-9},
+		ExplicitResidual: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("varying preconditioner: residual %g", res.FinalResidual)
+	}
+}
+
+func TestFGMRESOnIterationCallback(t *testing.T) {
+	a := gallery.Poisson2D(5)
+	b := onesRHS(a)
+	var iters []int
+	res, err := FGMRES(a, b, nil, FixedPreconditioner(innerGMRES(a, 5)), FGMRESOptions{
+		Options:          Options{MaxIter: 20, Tol: 1e-8},
+		ExplicitResidual: true,
+		OnIteration:      func(it int, rel float64) { iters = append(iters, it) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != res.Iterations {
+		t.Fatalf("callback count %d vs iterations %d", len(iters), res.Iterations)
+	}
+	for i, it := range iters {
+		if it != i+1 {
+			t.Fatalf("callback order: %v", iters)
+		}
+	}
+}
+
+func TestFGMRESRankDeficiencyDetected(t *testing.T) {
+	// Engineer Saad's pathological case: M1 = A⁻¹ gives z1 = A⁻¹q1, so
+	// w = A z1 = q1, the orthogonalization annihilates w completely, and
+	// H(1:1,1:1) = [h11] with h(2,1)=0. H is nonsingular here (h11=1), so
+	// this is a *genuine* happy breakdown after one iteration... to force
+	// rank deficiency we need h11 = 0 too: use M1 with z1 ⊥ range needed:
+	// choose M1 z = A⁻¹ applied to a vector orthogonal in a way that makes
+	// h11 = q1ᵀ A z1 = 0. Take z1 = A⁻¹ p with p ⊥ q1.
+	n := 6
+	a := gallery.Tridiag(n, -1, 2, -1)
+	b := onesRHS(a)
+
+	solveExact := func(rhs []float64) []float64 {
+		r, err := GMRES(a, rhs, nil, Options{MaxIter: n, Tol: 1e-14})
+		if err != nil || !r.Converged {
+			t.Fatalf("exact solve failed: %v", err)
+		}
+		return r.X
+	}
+	evil := PrecondFunc(func(z, q []float64) error {
+		// p = some vector orthogonal to q: swap two components.
+		p := make([]float64, len(q))
+		p[0], p[1] = -q[1], q[0] // orthogonal to q in the first two coords only if rest zero; make rest zero
+		copy(z, solveExact(p))
+		return nil
+	})
+	_, err := FGMRES(a, b, nil, FixedPreconditioner(evil), FGMRESOptions{
+		Options: Options{MaxIter: 5, Tol: 1e-10, HappyTol: 1e-10, RankCheckTol: 1e-10},
+	})
+	// Either the rank check fires (ErrRankDeficient) or the solve survives
+	// with a finite answer; what must NOT happen is a silent NaN solution.
+	if err != nil && !errors.Is(err, ErrRankDeficient) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if err == nil {
+		t.Skip("pathological preconditioner did not trigger exact breakdown on this system")
+	}
+}
+
+func TestFGMRESZeroRHS(t *testing.T) {
+	a := gallery.Tridiag(5, -1, 2, -1)
+	res, err := FGMRES(a, make([]float64, 5), nil, nil, FGMRESOptions{Options: Options{MaxIter: 5, Tol: 1e-10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || vec.Norm2(res.X) != 0 {
+		t.Fatalf("zero rhs: %+v", res)
+	}
+}
+
+func TestFGMRESPreconditionerErrorPropagates(t *testing.T) {
+	a := gallery.Tridiag(5, -1, 2, -1)
+	b := onesRHS(a)
+	bad := PrecondFunc(func(z, q []float64) error { return errTest })
+	_, err := FGMRES(a, b, nil, FixedPreconditioner(bad), FGMRESOptions{Options: Options{MaxIter: 5}})
+	if err == nil {
+		t.Fatal("expected propagated preconditioner error")
+	}
+}
+
+// --- CG ---
+
+func TestCGSolvesPoisson(t *testing.T) {
+	a := gallery.Poisson2D(12)
+	b := onesRHS(a)
+	res, err := CG(a, b, nil, CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %g", res.FinalResidual)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-1) > 1e-7 {
+			t.Fatalf("x[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestCGRejectsIndefinite(t *testing.T) {
+	// Indefinite diagonal: CG must detect non-positive curvature.
+	a := gallery.Diagonal([]float64{1, -1, 2, 3})
+	b := []float64{1, 1, 1, 1}
+	_, err := CG(a, b, nil, CGOptions{Tol: 1e-10, MaxIter: 10})
+	if err == nil {
+		t.Fatal("expected curvature error on indefinite matrix")
+	}
+}
+
+func TestCGZeroRHSAndWarmStart(t *testing.T) {
+	a := gallery.Poisson2D(4)
+	res, err := CG(a, make([]float64, 16), nil, CGOptions{})
+	if err != nil || !res.Converged {
+		t.Fatalf("zero rhs: %v %v", res, err)
+	}
+	b := onesRHS(a)
+	res2, err := CG(a, b, vec.Ones(16), CGOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Iterations != 0 {
+		t.Fatalf("warm start with exact solution took %d iterations", res2.Iterations)
+	}
+}
+
+func TestCGMatchesGMRESOnSPD(t *testing.T) {
+	a := gallery.Poisson2D(7)
+	b := onesRHS(a)
+	cg, err := CG(a, b, nil, CGOptions{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := GMRES(a, b, nil, Options{MaxIter: 49, Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cg.X {
+		if math.Abs(cg.X[i]-gm.X[i]) > 1e-7 {
+			t.Fatalf("CG and GMRES disagree at %d: %g vs %g", i, cg.X[i], gm.X[i])
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package krylov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/vec"
+)
+
+func onesRHS(a Operator) []float64 {
+	b := make([]float64, a.Rows())
+	a.MatVec(b, vec.Ones(a.Cols()))
+	return b
+}
+
+func TestGMRESSolvesSmallPoisson(t *testing.T) {
+	a := gallery.Poisson2D(8)
+	b := onesRHS(a)
+	res, err := GMRES(a, b, nil, Options{MaxIter: 64, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: final residual %g after %d iters", res.FinalResidual, res.Iterations)
+	}
+	if tr := TrueResidual(a, b, res.X); tr > 1e-9 {
+		t.Fatalf("true residual %g", tr)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-1) > 1e-7 {
+			t.Fatalf("x[%d] = %g, want 1", i, v)
+		}
+	}
+}
+
+func TestGMRESRestartedMatchesLong(t *testing.T) {
+	a := gallery.ConvectionDiffusion2D(7, 5, -3)
+	b := onesRHS(a)
+	long, err := GMRES(a, b, nil, Options{MaxIter: 60, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := GMRES(a, b, nil, Options{MaxIter: 10, MaxRestarts: 50, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !long.Converged || !short.Converged {
+		t.Fatalf("convergence: long %v short %v", long.Converged, short.Converged)
+	}
+	if tr := TrueResidual(a, b, short.X); tr > 1e-9 {
+		t.Fatalf("restarted true residual %g", tr)
+	}
+}
+
+func TestGMRESMonotoneProjectedResidual(t *testing.T) {
+	a := gallery.ConvectionDiffusion2D(6, 10, 2)
+	b := onesRHS(a)
+	res, err := GMRES(a, b, nil, Options{MaxIter: 36, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.ResidualHistory); i++ {
+		if res.ResidualHistory[i] > res.ResidualHistory[i-1]*(1+1e-12) {
+			t.Fatalf("residual increased at %d: %g -> %g", i, res.ResidualHistory[i-1], res.ResidualHistory[i])
+		}
+	}
+}
+
+func TestGMRESZeroRHS(t *testing.T) {
+	a := gallery.Tridiag(5, -1, 2, -1)
+	res, err := GMRES(a, make([]float64, 5), nil, Options{MaxIter: 5, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || vec.Norm2(res.X) != 0 {
+		t.Fatalf("zero rhs: %+v", res)
+	}
+}
+
+func TestGMRESNonzeroInitialGuess(t *testing.T) {
+	a := gallery.Tridiag(20, -1, 3, -1)
+	b := onesRHS(a)
+	x0 := make([]float64, 20)
+	for i := range x0 {
+		x0[i] = 0.9 + 0.01*float64(i)
+	}
+	res, err := GMRES(a, b, x0, Options{MaxIter: 20, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged from warm start")
+	}
+	for i, v := range res.X {
+		if math.Abs(v-1) > 1e-8 {
+			t.Fatalf("x[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestGMRESExactSolutionInitialGuessConvergesImmediately(t *testing.T) {
+	a := gallery.Tridiag(10, -1, 2, -1)
+	b := onesRHS(a)
+	res, err := GMRES(a, b, vec.Ones(10), Options{MaxIter: 10, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 0 {
+		t.Fatalf("expected immediate convergence, got %d iterations", res.Iterations)
+	}
+}
+
+func TestGMRESDimensionMismatch(t *testing.T) {
+	a := gallery.Tridiag(5, -1, 2, -1)
+	if _, err := GMRES(a, make([]float64, 4), nil, Options{}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := GMRES(a, make([]float64, 5), make([]float64, 3), Options{}); err == nil {
+		t.Fatal("expected x0 dimension error")
+	}
+}
+
+func TestGMRESHappyBreakdownOnIdentity(t *testing.T) {
+	// For A = I, GMRES converges in one iteration with h(2,1) = 0.
+	a := gallery.Diagonal(vec.Ones(6))
+	b := []float64{1, 2, 3, 4, 5, 6}
+	res, err := GMRES(a, b, nil, Options{MaxIter: 6, Tol: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Breakdown {
+		t.Fatalf("expected happy breakdown, got %+v", res)
+	}
+	if tr := TrueResidual(a, b, res.X); tr > 1e-12 {
+		t.Fatalf("true residual %g after breakdown", tr)
+	}
+}
+
+func TestGMRESFixedIterationBudgetNoTol(t *testing.T) {
+	// Tol=0: run exactly MaxIter iterations and return best iterate — the
+	// sandboxed inner-solve mode.
+	a := gallery.Poisson2D(6)
+	b := onesRHS(a)
+	res, err := GMRES(a, b, nil, Options{MaxIter: 7, Tol: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Iterations != 7 {
+		t.Fatalf("want exactly 7 iterations without convergence, got %d (conv=%v)", res.Iterations, res.Converged)
+	}
+	// Still must have made progress.
+	if TrueResidual(a, b, res.X) >= 1 {
+		t.Fatal("no progress made")
+	}
+}
+
+func TestGMRESOrthoVariantsAgree(t *testing.T) {
+	a := gallery.ConvectionDiffusion2D(6, 8, -4)
+	b := onesRHS(a)
+	var sols [][]float64
+	for _, m := range []OrthoMethod{MGS, CGS, CGS2} {
+		res, err := GMRES(a, b, nil, Options{MaxIter: 36, Tol: 1e-11, Ortho: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%v did not converge", m)
+		}
+		sols = append(sols, res.X)
+	}
+	for k := 1; k < len(sols); k++ {
+		for i := range sols[0] {
+			if math.Abs(sols[k][i]-sols[0][i]) > 1e-6 {
+				t.Fatalf("variant %d differs at %d: %g vs %g", k, i, sols[k][i], sols[0][i])
+			}
+		}
+	}
+}
+
+func TestGMRESBasisOrthonormalViaHooks(t *testing.T) {
+	// Property: in a fault-free solve the Arnoldi relation holds, which we
+	// verify indirectly — the projected residual must match the true
+	// residual at convergence.
+	a := gallery.RandomSparse(40, 0.1, 7)
+	b := onesRHS(a)
+	res, err := GMRES(a, b, nil, Options{MaxIter: 40, Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	tr := TrueResidual(a, b, res.X)
+	if math.Abs(tr-res.FinalResidual) > 1e-8 {
+		t.Fatalf("projected %g vs true %g residual", res.FinalResidual, tr)
+	}
+}
+
+func TestGMRESPropertyRandomDominantSystems(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 12 + int(seed%17+17)%17
+		a := gallery.RandomSparse(n, 0.15, seed)
+		b := onesRHS(a)
+		res, err := GMRES(a, b, nil, Options{MaxIter: n, Tol: 1e-10, MaxRestarts: 3})
+		if err != nil || !res.Converged {
+			return false
+		}
+		return TrueResidual(a, b, res.X) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGMRESHookSeesEveryCoefficient(t *testing.T) {
+	a := gallery.Tridiag(12, -1, 2.5, -1)
+	b := onesRHS(a)
+	var got []CoeffContext
+	hook := CoeffHookFunc(func(ctx CoeffContext, h float64) (float64, error) {
+		got = append(got, ctx)
+		return h, nil
+	})
+	res, err := GMRES(a, b, nil, Options{MaxIter: 5, Tol: 0, Hooks: []CoeffHook{hook}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 5 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+	// Iteration j has j projections + 1 normalization: total Σ(j+1)+1 for
+	// j=1..5 = (1+2+3+4+5) + 5 = 20.
+	if len(got) != 20 {
+		t.Fatalf("hook saw %d coefficients, want 20", len(got))
+	}
+	// Check coordinates of the first and last.
+	first := got[0]
+	if first.InnerIteration != 1 || first.Step != 1 || first.Kind != Projection || !first.LastStep {
+		t.Fatalf("first ctx = %+v", first)
+	}
+	last := got[len(got)-1]
+	if last.InnerIteration != 5 || last.Kind != Normalization || last.Step != 6 {
+		t.Fatalf("last ctx = %+v", last)
+	}
+}
+
+func TestGMRESHookHaltStopsEarly(t *testing.T) {
+	a := gallery.Poisson2D(5)
+	b := onesRHS(a)
+	boom := CoeffHookFunc(func(ctx CoeffContext, h float64) (float64, error) {
+		if ctx.InnerIteration == 3 && ctx.Step == 1 {
+			return h, errTest
+		}
+		return h, nil
+	})
+	res, err := GMRES(a, b, nil, Options{MaxIter: 10, Tol: 0, Hooks: []CoeffHook{boom}, OnHookErr: DetectHalt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("expected halt")
+	}
+	if res.Iterations != 2 {
+		t.Fatalf("iterations = %d, want 2 (halted during the 3rd)", res.Iterations)
+	}
+	if len(res.HookEvents) != 1 {
+		t.Fatalf("events = %d", len(res.HookEvents))
+	}
+	// Best-so-far iterate is still usable.
+	if TrueResidual(a, b, res.X) >= 1 {
+		t.Fatal("halted iterate made no progress")
+	}
+}
+
+func TestGMRESHookRecordKeepsGoing(t *testing.T) {
+	a := gallery.Poisson2D(4)
+	// A deliberately unstructured right-hand side so the solve does not
+	// break down before 6 iterations.
+	b := make([]float64, a.Rows())
+	for i := range b {
+		b[i] = math.Sin(float64(i + 1))
+	}
+	boom := CoeffHookFunc(func(ctx CoeffContext, h float64) (float64, error) {
+		if ctx.InnerIteration == 2 {
+			return h, errTest
+		}
+		return h, nil
+	})
+	res, err := GMRES(a, b, nil, Options{MaxIter: 6, Tol: 0, Hooks: []CoeffHook{boom}, OnHookErr: DetectRecord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted || res.Iterations != 6 {
+		t.Fatalf("record mode should not halt: %+v", res)
+	}
+	if len(res.HookEvents) != 3 { // iteration 2 has 2 projections + 1 normalization
+		t.Fatalf("events = %d, want 3", len(res.HookEvents))
+	}
+}
+
+var errTest = errTestType{}
+
+type errTestType struct{}
+
+func (errTestType) Error() string { return "test hook error" }
+
+func TestTrueResidualZeroRHS(t *testing.T) {
+	a := gallery.Tridiag(4, 0, 1, 0)
+	if got := TrueResidual(a, make([]float64, 4), make([]float64, 4)); got != 0 {
+		t.Fatalf("TrueResidual = %g", got)
+	}
+}

@@ -1,0 +1,218 @@
+package krylov
+
+import (
+	"math"
+	"testing"
+
+	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/vec"
+)
+
+func TestReflectorAnnihilatesTail(t *testing.T) {
+	tvec := []float64{3, -1, 4, 1, -5}
+	p, alpha := makeReflector(vec.Clone(tvec), 2)
+	y := vec.Clone(tvec)
+	p.apply(y)
+	if math.Abs(y[0]-3) > 1e-14 || math.Abs(y[1]+1) > 1e-14 {
+		t.Fatalf("leading entries disturbed: %v", y)
+	}
+	if math.Abs(y[2]-alpha) > 1e-12 {
+		t.Fatalf("y[2] = %g, alpha = %g", y[2], alpha)
+	}
+	for i := 3; i < 5; i++ {
+		if math.Abs(y[i]) > 1e-12 {
+			t.Fatalf("tail not annihilated: %v", y)
+		}
+	}
+	// Norm preserved: |alpha| = ‖t[2:]‖.
+	if math.Abs(math.Abs(alpha)-vec.Norm2(tvec[2:])) > 1e-12 {
+		t.Fatalf("alpha = %g", alpha)
+	}
+}
+
+func TestReflectorInvolution(t *testing.T) {
+	tvec := []float64{1, 2, 3, 4}
+	p, _ := makeReflector(vec.Clone(tvec), 1)
+	y := []float64{0.5, -1, 2, 7}
+	orig := vec.Clone(y)
+	p.apply(y)
+	p.apply(y)
+	for i := range y {
+		if math.Abs(y[i]-orig[i]) > 1e-13 {
+			t.Fatalf("P² != I: %v vs %v", y, orig)
+		}
+	}
+}
+
+func TestReflectorZeroTailNoOp(t *testing.T) {
+	p, alpha := makeReflector([]float64{1, 0, 0}, 1)
+	if alpha != 0 {
+		t.Fatalf("alpha = %g", alpha)
+	}
+	y := []float64{5, 6, 7}
+	p.apply(y)
+	if y[0] != 5 || y[1] != 6 || y[2] != 7 {
+		t.Fatal("no-op reflector modified y")
+	}
+}
+
+func TestHouseholderGMRESSolvesPoisson(t *testing.T) {
+	a := gallery.Poisson2D(8)
+	b := onesRHS(a)
+	res, err := GMRESHouseholder(a, b, nil, Options{MaxIter: 64, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %g after %d iters", res.FinalResidual, res.Iterations)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-1) > 1e-7 {
+			t.Fatalf("x[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestHouseholderGMRESMatchesMGSIterationCounts(t *testing.T) {
+	// In exact arithmetic MGS-GMRES and Householder-GMRES generate the
+	// same Krylov spaces, so the residual histories must agree closely.
+	a := gallery.ConvectionDiffusion2D(7, 6, -3)
+	b := onesRHS(a)
+	mgs, err := GMRES(a, b, nil, Options{MaxIter: 49, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh, err := GMRESHouseholder(a, b, nil, Options{MaxIter: 49, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mgs.Converged || !hh.Converged {
+		t.Fatalf("convergence: mgs %v hh %v", mgs.Converged, hh.Converged)
+	}
+	if d := mgs.Iterations - hh.Iterations; d > 1 || d < -1 {
+		t.Fatalf("iteration counts diverge: mgs %d, hh %d", mgs.Iterations, hh.Iterations)
+	}
+	for i := 0; i < min(len(mgs.ResidualHistory), len(hh.ResidualHistory)); i++ {
+		rm, rh := mgs.ResidualHistory[i], hh.ResidualHistory[i]
+		if math.Abs(rm-rh) > 1e-6*(1+rm) {
+			t.Fatalf("residual histories diverge at %d: %g vs %g", i, rm, rh)
+		}
+	}
+	for i := range mgs.X {
+		if math.Abs(mgs.X[i]-hh.X[i]) > 1e-7 {
+			t.Fatalf("solutions differ at %d: %g vs %g", i, mgs.X[i], hh.X[i])
+		}
+	}
+}
+
+func TestHouseholderGMRESNegativeAlphaBranch(t *testing.T) {
+	// A right-hand side whose first residual component is positive forces
+	// alpha = -beta; the sign convention must still produce the right
+	// solution.
+	a := gallery.Tridiag(12, -1, 3, -1)
+	truth := make([]float64, 12)
+	for i := range truth {
+		truth[i] = math.Cos(float64(i))
+	}
+	b := make([]float64, 12)
+	a.MatVec(b, truth)
+	res, err := GMRESHouseholder(a, b, nil, Options{MaxIter: 12, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	for i := range truth {
+		if math.Abs(res.X[i]-truth[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %g, want %g", i, res.X[i], truth[i])
+		}
+	}
+}
+
+func TestHouseholderGMRESRestarted(t *testing.T) {
+	a := gallery.ConvectionDiffusion2D(7, 5, -3)
+	b := onesRHS(a)
+	res, err := GMRESHouseholder(a, b, nil, Options{MaxIter: 12, MaxRestarts: 40, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("restarted HH-GMRES did not converge: %g", res.FinalResidual)
+	}
+	if tr := TrueResidual(a, b, res.X); tr > 1e-8 {
+		t.Fatalf("true residual %g", tr)
+	}
+}
+
+func TestHouseholderGMRESZeroRHSAndWarmStart(t *testing.T) {
+	a := gallery.Tridiag(6, -1, 2, -1)
+	res, err := GMRESHouseholder(a, make([]float64, 6), nil, Options{MaxIter: 6, Tol: 1e-10})
+	if err != nil || !res.Converged || vec.Norm2(res.X) != 0 {
+		t.Fatalf("zero rhs: %+v %v", res, err)
+	}
+	b := onesRHS(a)
+	res2, err := GMRESHouseholder(a, b, vec.Ones(6), Options{MaxIter: 6, Tol: 1e-12})
+	if err != nil || !res2.Converged || res2.Iterations != 0 {
+		t.Fatalf("warm start: %+v %v", res2, err)
+	}
+}
+
+func TestHouseholderGMRESMaxIterCappedAtDimension(t *testing.T) {
+	a := gallery.Tridiag(5, -1, 2, -1)
+	b := onesRHS(a)
+	res, err := GMRESHouseholder(a, b, nil, Options{MaxIter: 50, Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 5 {
+		t.Fatalf("ran %d iterations on a 5-dim problem", res.Iterations)
+	}
+	if !res.Converged {
+		t.Fatal("full-dimension solve must converge")
+	}
+}
+
+func TestHouseholderGMRESHooksSeeSameCoefficientsAsMGS(t *testing.T) {
+	// Bound invariance (Sec. V-B): the Hessenberg entries produced by
+	// Householder orthogonalization obey the same |h| ≤ ‖A‖F bound, and
+	// agree with MGS up to sign conventions of the basis.
+	a := gallery.Poisson2D(6)
+	b := onesRHS(a)
+	bound := a.FrobeniusNorm()
+	var worst float64
+	hook := CoeffHookFunc(func(ctx CoeffContext, h float64) (float64, error) {
+		if v := math.Abs(h); v > worst {
+			worst = v
+		}
+		return h, nil
+	})
+	res, err := GMRESHouseholder(a, b, nil, Options{MaxIter: 20, Tol: 1e-10, Hooks: []CoeffHook{hook}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations")
+	}
+	if worst > bound {
+		t.Fatalf("Hessenberg bound violated under Householder: %g > %g", worst, bound)
+	}
+}
+
+func TestHouseholderGMRESHaltOnHookError(t *testing.T) {
+	a := gallery.Poisson2D(5)
+	b := onesRHS(a)
+	boom := CoeffHookFunc(func(ctx CoeffContext, h float64) (float64, error) {
+		if ctx.InnerIteration == 3 {
+			return h, errTest
+		}
+		return h, nil
+	})
+	res, err := GMRESHouseholder(a, b, nil, Options{MaxIter: 10, Tol: 0, Hooks: []CoeffHook{boom}, OnHookErr: DetectHalt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || res.Iterations != 2 {
+		t.Fatalf("halt: %+v", res)
+	}
+}

@@ -1,0 +1,83 @@
+package krylov
+
+import (
+	"testing"
+
+	"sdcgmres/internal/gallery"
+)
+
+func TestWorkModelLinearPerIterationGrowth(t *testing.T) {
+	// Section VII-E-1: the orthogonalization work of iteration j is
+	// proportional to j, so total orthogonalization flops grow
+	// quadratically with the iteration count while SpMVs grow linearly.
+	a := gallery.Poisson2D(10)
+	b := onesRHS(a)
+	run := func(iters int) Work {
+		res, err := GMRES(a, b, nil, Options{MaxIter: iters, Tol: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iterations != iters {
+			t.Fatalf("ran %d iterations, want %d", res.Iterations, iters)
+		}
+		return res.Work
+	}
+	w10 := run(10)
+	w20 := run(20)
+	// SpMVs: linear (1 setup + k iterations).
+	if w10.SpMVs != 11 || w20.SpMVs != 21 {
+		t.Fatalf("SpMVs: %d, %d", w10.SpMVs, w20.SpMVs)
+	}
+	// OrthoFlops: Σ_{j=1..k} (4nj + 2n) = 2nk(k+1) + 2nk → ratio between
+	// k=20 and k=10 is (2·20·21+2·20)/(2·10·11+2·10) = 880/240 ≈ 3.67.
+	ratio := float64(w20.OrthoFlops) / float64(w10.OrthoFlops)
+	if ratio < 3.5 || ratio > 3.8 {
+		t.Fatalf("ortho flops ratio %g, want ≈3.67 (quadratic growth)", ratio)
+	}
+	n := int64(a.Rows())
+	wantW10 := 2*n*10*11 + 2*n*10
+	if w10.OrthoFlops != wantW10 {
+		t.Fatalf("OrthoFlops(10) = %d, want %d", w10.OrthoFlops, wantW10)
+	}
+}
+
+func TestWorkModelCGS2CostsDouble(t *testing.T) {
+	a := gallery.Poisson2D(8)
+	b := onesRHS(a)
+	mgs, err := GMRES(a, b, nil, Options{MaxIter: 10, Tol: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cgs2, err := GMRES(a, b, nil, Options{MaxIter: 10, Tol: 0, Ortho: CGS2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CGS2 doubles the projection work but not the normalization.
+	lo := float64(mgs.Work.OrthoFlops) * 1.7
+	hi := float64(mgs.Work.OrthoFlops) * 2.0
+	if f := float64(cgs2.Work.OrthoFlops); f < lo || f > hi {
+		t.Fatalf("CGS2 flops %d vs MGS %d: ratio %.2f outside [1.7,2.0]",
+			cgs2.Work.OrthoFlops, mgs.Work.OrthoFlops, f/float64(mgs.Work.OrthoFlops))
+	}
+}
+
+func TestWorkModelFGMRESCountsExplicitResiduals(t *testing.T) {
+	a := gallery.Poisson2D(8)
+	b := onesRHS(a)
+	proj, err := FGMRES(a, b, nil, nil, FGMRESOptions{Options: Options{MaxIter: 10, Tol: 1e-20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expl, err := FGMRES(a, b, nil, nil, FGMRESOptions{
+		Options:          Options{MaxIter: 10, Tol: 1e-20},
+		ExplicitResidual: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explicit residual costs exactly one extra SpMV per iteration.
+	if expl.Work.SpMVs != proj.Work.SpMVs+expl.Iterations {
+		t.Fatalf("explicit %d vs projected %d SpMVs over %d iterations",
+			expl.Work.SpMVs, proj.Work.SpMVs, expl.Iterations)
+	}
+}

@@ -1,0 +1,106 @@
+// Package sandbox implements the sandbox reliability model of Section IV:
+// an unreliable "guest" computation is isolated so that, whatever happens
+// inside it, the reliable "host" gets back control with *something* within
+// a bounded time. The two promises the model makes — the guest returns
+// something (possibly wrong) and completes in fixed time — are exactly what
+// Run enforces:
+//
+//   - Panics inside the guest are recovered and reported, converting a
+//     would-be hard fault (crash) into a soft fault the host can handle.
+//   - A wall-clock budget bounds how long the host waits. On timeout the
+//     host proceeds without the guest's result; the runaway goroutine is
+//     abandoned (Go cannot kill it), which models a "crashed or
+//     unresponsive node" that the host simply stops waiting for.
+//
+// The model deliberately does not say how the guest misbehaves — that is
+// the whole point. Fault injection (package fault) happens inside the
+// guest; the sandbox only guarantees the host's invariants.
+package sandbox
+
+import (
+	"fmt"
+	"time"
+)
+
+// Outcome classifies a sandboxed execution.
+type Outcome int
+
+const (
+	// OK: the guest returned normally within budget.
+	OK Outcome = iota
+	// Panicked: the guest panicked; the panic was contained.
+	Panicked
+	// TimedOut: the guest exceeded its wall-clock budget.
+	TimedOut
+	// Errored: the guest returned a non-nil error.
+	Errored
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Panicked:
+		return "panicked"
+	case TimedOut:
+		return "timed-out"
+	case Errored:
+		return "errored"
+	default:
+		return "ok"
+	}
+}
+
+// Report describes one guest execution.
+type Report struct {
+	Outcome    Outcome
+	Err        error
+	PanicValue any
+	Elapsed    time.Duration
+}
+
+// Usable reports whether the guest's output may be consumed. Note that the
+// sandbox model makes no correctness promise even when Usable is true —
+// the host must treat the data as untrusted either way.
+func (r Report) Usable() bool { return r.Outcome == OK }
+
+// Run executes guest under the sandbox contract. budget <= 0 means no time
+// limit (panic isolation only, executed on the caller's goroutine). With a
+// positive budget the guest runs on its own goroutine and Run returns by
+// the deadline even if the guest does not.
+func Run(budget time.Duration, guest func() error) Report {
+	start := time.Now()
+	if budget <= 0 {
+		rep := runIsolated(guest)
+		rep.Elapsed = time.Since(start)
+		return rep
+	}
+	done := make(chan Report, 1)
+	go func() {
+		done <- runIsolated(guest)
+	}()
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	select {
+	case rep := <-done:
+		rep.Elapsed = time.Since(start)
+		return rep
+	case <-timer.C:
+		return Report{Outcome: TimedOut, Err: fmt.Errorf("sandbox: guest exceeded %v budget", budget), Elapsed: time.Since(start)}
+	}
+}
+
+func runIsolated(guest func() error) (rep Report) {
+	defer func() {
+		if p := recover(); p != nil {
+			rep = Report{
+				Outcome:    Panicked,
+				PanicValue: p,
+				Err:        fmt.Errorf("sandbox: guest panicked: %v", p),
+			}
+		}
+	}()
+	if err := guest(); err != nil {
+		return Report{Outcome: Errored, Err: err}
+	}
+	return Report{Outcome: OK}
+}

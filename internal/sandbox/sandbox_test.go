@@ -1,0 +1,93 @@
+package sandbox
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunOK(t *testing.T) {
+	ran := false
+	rep := Run(0, func() error {
+		ran = true
+		return nil
+	})
+	if !ran || rep.Outcome != OK || !rep.Usable() || rep.Err != nil {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestRunGuestError(t *testing.T) {
+	sentinel := errors.New("guest failed")
+	rep := Run(0, func() error { return sentinel })
+	if rep.Outcome != Errored || !errors.Is(rep.Err, sentinel) || rep.Usable() {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestRunContainsPanic(t *testing.T) {
+	rep := Run(0, func() error { panic("kaboom") })
+	if rep.Outcome != Panicked {
+		t.Fatalf("outcome: %v", rep.Outcome)
+	}
+	if rep.PanicValue != "kaboom" {
+		t.Fatalf("panic value: %v", rep.PanicValue)
+	}
+	if rep.Usable() {
+		t.Fatal("panicked guest must not be usable")
+	}
+	if rep.Err == nil {
+		t.Fatal("panic should surface as error for logging")
+	}
+}
+
+func TestRunContainsRuntimePanic(t *testing.T) {
+	rep := Run(0, func() error {
+		var s []int
+		_ = s[3] // index out of range
+		return nil
+	})
+	if rep.Outcome != Panicked {
+		t.Fatalf("outcome: %v", rep.Outcome)
+	}
+}
+
+func TestRunWithBudgetCompletes(t *testing.T) {
+	rep := Run(5*time.Second, func() error { return nil })
+	if rep.Outcome != OK {
+		t.Fatalf("outcome: %v (%v)", rep.Outcome, rep.Err)
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("elapsed not measured")
+	}
+}
+
+func TestRunTimesOut(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	rep := Run(20*time.Millisecond, func() error {
+		<-block
+		return nil
+	})
+	if rep.Outcome != TimedOut || rep.Usable() {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Err == nil {
+		t.Fatal("timeout should carry an error")
+	}
+}
+
+func TestRunWithBudgetContainsPanic(t *testing.T) {
+	rep := Run(time.Second, func() error { panic(42) })
+	if rep.Outcome != Panicked || rep.PanicValue != 42 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for _, o := range []Outcome{OK, Panicked, TimedOut, Errored} {
+		if o.String() == "" {
+			t.Fatal("empty outcome string")
+		}
+	}
+}

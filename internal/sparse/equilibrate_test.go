@@ -1,0 +1,168 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdcgmres/internal/vec"
+)
+
+func TestScaleRowsCols(t *testing.T) {
+	m := small()
+	s := m.ScaleRowsCols([]float64{2, 1, 0.5}, []float64{1, 1, 10})
+	if s.At(0, 0) != 2 || s.At(0, 2) != 40 || s.At(2, 2) != 25 {
+		t.Fatalf("scaled values wrong: %v", s.Dense())
+	}
+	// Input untouched.
+	if m.At(0, 0) != 1 {
+		t.Fatal("ScaleRowsCols mutated input")
+	}
+}
+
+func TestEquilibrateUnitNorms(t *testing.T) {
+	// Wildly graded matrix: after equilibration every row and column
+	// ∞-norm must be ≈ 1.
+	b := NewBuilder(4, 4)
+	b.Add(0, 0, 1e8)
+	b.Add(0, 1, 3)
+	b.Add(1, 1, 1e-6)
+	b.Add(2, 2, 42)
+	b.Add(2, 0, 1e3)
+	b.Add(3, 3, 5e-9)
+	m := b.Build()
+	eq, err := Equilibrate(m, 50, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := eq.B.Rows()
+	rowMax := make([]float64, n)
+	colMax := make([]float64, n)
+	for _, tr := range eq.B.Triplets() {
+		v := math.Abs(tr.Val)
+		rowMax[tr.Row] = math.Max(rowMax[tr.Row], v)
+		colMax[tr.Col] = math.Max(colMax[tr.Col], v)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(rowMax[i]-1) > 1e-8 || math.Abs(colMax[i]-1) > 1e-8 {
+			t.Fatalf("row/col %d norms %g/%g", i, rowMax[i], colMax[i])
+		}
+	}
+	if eq.B.MaxAbsEntry() > 1+1e-8 {
+		t.Fatalf("entries exceed 1: %g", eq.B.MaxAbsEntry())
+	}
+}
+
+func TestEquilibratePreservesSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := randomCSR(rng, 12, 12, 0.4)
+	// Ensure nonzero diagonal so rows/cols are non-empty and the system is
+	// solvable enough for the residual identity check.
+	bld := NewBuilder(12, 12)
+	for _, tr := range m.Triplets() {
+		bld.Add(tr.Row, tr.Col, tr.Val)
+	}
+	for i := 0; i < 12; i++ {
+		bld.Add(i, i, 5)
+	}
+	m = bld.Build()
+
+	truth := make([]float64, 12)
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	b := make([]float64, 12)
+	m.MatVec(b, truth)
+
+	eq, err := Equilibrate(m, 50, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scaled system must be consistent: B·(Dc⁻¹ truth) = Dr b.
+	yTruth := make([]float64, 12)
+	for j := range yTruth {
+		yTruth[j] = truth[j] / eq.Dc[j]
+	}
+	by := make([]float64, 12)
+	eq.B.MatVec(by, yTruth)
+	rb := eq.TransformRHS(b)
+	for i := range by {
+		if math.Abs(by[i]-rb[i]) > 1e-10*(1+math.Abs(rb[i])) {
+			t.Fatalf("scaled system inconsistent at %d: %g vs %g", i, by[i], rb[i])
+		}
+	}
+	// Round trip: recovering from yTruth gives truth.
+	back := eq.RecoverSolution(yTruth)
+	for i := range truth {
+		if math.Abs(back[i]-truth[i]) > 1e-12*(1+math.Abs(truth[i])) {
+			t.Fatalf("recover mismatch at %d", i)
+		}
+	}
+}
+
+func TestEquilibrateTightensDetectorBound(t *testing.T) {
+	// The point of scaling for the paper: the Frobenius detector bound of
+	// a badly scaled matrix is dominated by its largest entries; after
+	// equilibration all entries are ≤1, so the bound is ≤ sqrt(nnz) and
+	// usually far tighter *relative to the matrix's own coefficients*.
+	b := NewBuilder(3, 3)
+	b.Add(0, 0, 1e9)
+	b.Add(1, 1, 1)
+	b.Add(2, 2, 1e-9)
+	b.Add(0, 1, 1e4)
+	m := b.Build()
+	eq, err := Equilibrate(m, 50, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.FrobeniusNorm() / m.MaxAbsEntry() // relative spread ~1
+	after := eq.B.FrobeniusNorm() / eq.B.MaxAbsEntry()
+	_ = before
+	if eq.B.FrobeniusNorm() > math.Sqrt(float64(eq.B.NNZ()))+1e-9 {
+		t.Fatalf("scaled ‖B‖F %g exceeds sqrt(nnz)", eq.B.FrobeniusNorm())
+	}
+	if after < 1 {
+		t.Fatalf("relative bound degraded: %g", after)
+	}
+}
+
+func TestEquilibrateErrors(t *testing.T) {
+	if _, err := Equilibrate(NewBuilder(0, 0).Build(), 10, 1e-10); err == nil {
+		t.Fatal("empty matrix should error")
+	}
+	// Zero row.
+	m := NewCSRFromTriplets(2, 2, []Triplet{{Row: 0, Col: 0, Val: 1}})
+	if _, err := Equilibrate(m, 10, 1e-10); err == nil {
+		t.Fatal("zero row should error")
+	}
+}
+
+func TestEquilibrateIdempotentOnScaledMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := randomCSR(rng, 10, 10, 0.5)
+	bld := NewBuilder(10, 10)
+	for _, tr := range m.Triplets() {
+		bld.Add(tr.Row, tr.Col, tr.Val)
+	}
+	for i := 0; i < 10; i++ {
+		bld.Add(i, i, 3)
+	}
+	m = bld.Build()
+	eq1, err := Equilibrate(m, 50, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq2, err := Equilibrate(eq1.B, 50, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scaling an equilibrated matrix is a near no-op.
+	for i := range eq2.Dr {
+		if math.Abs(eq2.Dr[i]-1) > 1e-6 {
+			t.Fatalf("Dr[%d] = %g after re-equilibration", i, eq2.Dr[i])
+		}
+	}
+	if vec.Norm2(eq2.Dc)/math.Sqrt(float64(len(eq2.Dc))) > 1+1e-6 {
+		t.Fatal("Dc not ≈ identity after re-equilibration")
+	}
+}

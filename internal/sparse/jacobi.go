@@ -1,0 +1,106 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sdcgmres/internal/vec"
+)
+
+// ErrJacobiStalled is returned when Jacobi iteration fails to reach the
+// requested tolerance, usually because the matrix is not diagonally dominant
+// enough for the splitting to contract.
+var ErrJacobiStalled = errors.New("sparse: jacobi iteration did not converge")
+
+// JacobiSolve solves A x = b by Jacobi iteration
+//
+//	x_{k+1} = D⁻¹ (b − R x_k),   A = D + R,
+//
+// which converges geometrically whenever A is strictly diagonally dominant
+// by rows. It exists as high-accuracy instrumentation: the circuit surrogate
+// is dominant by construction, so Jacobi gives essentially exact solves for
+// the σmin (condition-number) estimator without needing a sparse LU. It
+// returns the achieved relative residual alongside the solution.
+func JacobiSolve(m *CSR, b []float64, maxIter int, tol float64) ([]float64, float64, error) {
+	n := m.Rows()
+	if m.Cols() != n || len(b) != n {
+		panic(fmt.Sprintf("sparse.JacobiSolve: A is %dx%d, b[%d]", m.Rows(), m.Cols(), len(b)))
+	}
+	d := m.Diagonal()
+	for i, v := range d {
+		if v == 0 {
+			return nil, math.Inf(1), fmt.Errorf("sparse: jacobi needs nonzero diagonal, row %d is zero", i)
+		}
+	}
+	nb := vec.Norm2(b)
+	if nb == 0 {
+		return make([]float64, n), 0, nil
+	}
+	x := make([]float64, n)
+	ax := make([]float64, n)
+	r := make([]float64, n)
+	for it := 0; it < maxIter; it++ {
+		m.MatVec(ax, x)
+		vec.Sub(r, b, ax)
+		rel := vec.Norm2(r) / nb
+		if rel <= tol {
+			return x, rel, nil
+		}
+		// x += D⁻¹ r  (equivalent to the splitting update).
+		for i := 0; i < n; i++ {
+			x[i] += r[i] / d[i]
+		}
+	}
+	m.MatVec(ax, x)
+	vec.Sub(r, b, ax)
+	rel := vec.Norm2(r) / nb
+	if rel <= tol {
+		return x, rel, nil
+	}
+	return x, rel, fmt.Errorf("%w: relative residual %.3g after %d iterations", ErrJacobiStalled, rel, maxIter)
+}
+
+// SigmaMinEstDominant estimates σmin(A) for a matrix that is strictly
+// diagonally dominant by rows and columns, by inverse power iteration on
+// AᵀA: each step solves Aᵀ(A z) = x with two Jacobi solves (dominance by
+// rows makes A solvable, dominance by columns makes Aᵀ solvable). Combined
+// with Norm2Est this yields the 2-norm condition number reported in Table I
+// for the circuit surrogate.
+func SigmaMinEstDominant(m *CSR, powerIters int) (float64, error) {
+	n := m.Rows()
+	if m.Cols() != n {
+		return 0, fmt.Errorf("sparse.SigmaMinEstDominant: matrix must be square, got %dx%d", m.Rows(), m.Cols())
+	}
+	t := m.Transpose()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 + 0.5*math.Cos(float64(3*i+1))
+	}
+	vec.Scale(1/vec.Norm2(x), x)
+	sigma := math.Inf(1)
+	for it := 0; it < powerIters; it++ {
+		// Solve AᵀA z = x:  Aᵀ y = x, then A z = y.
+		y, _, err := JacobiSolve(t, x, 500, 1e-14)
+		if err != nil {
+			return 0, fmt.Errorf("sigma-min inverse iteration (Aᵀ solve): %w", err)
+		}
+		z, _, err := JacobiSolve(m, y, 500, 1e-14)
+		if err != nil {
+			return 0, fmt.Errorf("sigma-min inverse iteration (A solve): %w", err)
+		}
+		nz := vec.Norm2(z)
+		if nz == 0 {
+			return 0, errors.New("sparse: inverse power iteration collapsed to zero vector")
+		}
+		// ‖z‖ ≈ 1/σmin² after normalization of x.
+		est := 1 / math.Sqrt(nz)
+		vec.Scale(1/nz, z)
+		copy(x, z)
+		if math.Abs(est-sigma) <= 1e-10*est {
+			return est, nil
+		}
+		sigma = est
+	}
+	return sigma, nil
+}

@@ -1,0 +1,159 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Matrix Market exchange-format support (the format the University of
+// Florida / SuiteSparse collection distributes, including mult_dcop_03).
+// Supported header: "matrix coordinate real|integer|pattern
+// general|symmetric|skew-symmetric". Array (dense) files and complex fields
+// are rejected with a descriptive error.
+
+// ReadMatrixMarket parses a Matrix Market coordinate stream into a CSR
+// matrix. Symmetric and skew-symmetric files are expanded to general form,
+// as solvers here expect a fully stored operator.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("matrixmarket: empty input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" {
+		return nil, fmt.Errorf("matrixmarket: bad header %q", sc.Text())
+	}
+	object, format, field, symm := header[1], header[2], header[3], header[4]
+	if object != "matrix" {
+		return nil, fmt.Errorf("matrixmarket: unsupported object %q", object)
+	}
+	if format != "coordinate" {
+		return nil, fmt.Errorf("matrixmarket: only coordinate format supported, got %q", format)
+	}
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("matrixmarket: unsupported field %q", field)
+	}
+	switch symm {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return nil, fmt.Errorf("matrixmarket: unsupported symmetry %q", symm)
+	}
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("matrixmarket: missing size line")
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("matrixmarket: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("matrixmarket: negative sizes %d %d %d", rows, cols, nnz)
+	}
+
+	b := NewBuilder(rows, cols)
+	read := 0
+	for read < nnz {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("matrixmarket: expected %d entries, got %d", nnz, read)
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		wantFields := 3
+		if field == "pattern" {
+			wantFields = 2
+		}
+		if len(f) < wantFields {
+			return nil, fmt.Errorf("matrixmarket: bad entry line %q", line)
+		}
+		i, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("matrixmarket: bad row index %q: %w", f[0], err)
+		}
+		j, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("matrixmarket: bad col index %q: %w", f[1], err)
+		}
+		v := 1.0
+		if field != "pattern" {
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("matrixmarket: bad value %q: %w", f[2], err)
+			}
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("matrixmarket: entry (%d,%d) out of %dx%d", i, j, rows, cols)
+		}
+		i--
+		j--
+		b.Add(i, j, v)
+		if i != j {
+			switch symm {
+			case "symmetric":
+				b.Add(j, i, v)
+			case "skew-symmetric":
+				b.Add(j, i, -v)
+			}
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("matrixmarket: %w", err)
+	}
+	return b.Build(), nil
+}
+
+// ReadMatrixMarketFile reads a Matrix Market file from disk.
+func ReadMatrixMarketFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadMatrixMarket(f)
+}
+
+// WriteMatrixMarket writes the matrix in general coordinate real form.
+func WriteMatrixMarket(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows(), m.Cols(), m.NNZ()); err != nil {
+		return err
+	}
+	for _, t := range m.Triplets() {
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", t.Row+1, t.Col+1, t.Val); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMatrixMarketFile writes the matrix to a file.
+func WriteMatrixMarketFile(path string, m *CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteMatrixMarket(f, m)
+}

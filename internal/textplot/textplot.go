@@ -1,0 +1,163 @@
+// Package textplot renders small ASCII charts so cmd/paperfigs can show the
+// paper's figures directly in a terminal: step/scatter plots of outer
+// iteration count versus the faulted aggregate inner iteration, with
+// vertical guides at inner-solve boundaries (the "vertical bars indicate the
+// start of a new inner solve" of Figures 3 and 4).
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is a set of integer-valued samples over an integer x-axis.
+type Series struct {
+	// X are sample positions (aggregate inner iterations).
+	X []int
+	// Y are the values (outer iterations to convergence).
+	Y []int
+}
+
+// Options controls rendering.
+type Options struct {
+	// Title is printed above the plot.
+	Title string
+	// Width is the plot area width in characters (default 100).
+	Width int
+	// Baseline, when nonzero, draws a dashed guide at this y value (the
+	// failure-free outer count).
+	Baseline int
+	// GuideEvery draws a vertical guide every GuideEvery x units (the
+	// paper marks inner-solve boundaries every 25).
+	GuideEvery int
+	// YLabel annotates the y axis.
+	YLabel string
+	// XLabel annotates the x axis.
+	XLabel string
+}
+
+// Render draws the series as an ASCII chart. Multiple samples falling into
+// one column are summarized by their maximum (the conservative choice for a
+// penalty plot).
+func Render(w io.Writer, s Series, opt Options) error {
+	if len(s.X) == 0 || len(s.X) != len(s.Y) {
+		return fmt.Errorf("textplot: series needs matched non-empty X/Y, got %d/%d", len(s.X), len(s.Y))
+	}
+	if opt.Width <= 0 {
+		opt.Width = 100
+	}
+	xmin, xmax := s.X[0], s.X[0]
+	ymin, ymax := s.Y[0], s.Y[0]
+	for i := range s.X {
+		xmin = min(xmin, s.X[i])
+		xmax = max(xmax, s.X[i])
+		ymin = min(ymin, s.Y[i])
+		ymax = max(ymax, s.Y[i])
+	}
+	if opt.Baseline != 0 {
+		ymin = min(ymin, opt.Baseline)
+		ymax = max(ymax, opt.Baseline)
+	}
+	// A little headroom keeps flat series readable.
+	if ymax == ymin {
+		ymax++
+	}
+
+	cols := opt.Width
+	span := xmax - xmin + 1
+	if span < cols {
+		cols = span
+	}
+	colOf := func(x int) int {
+		if span == 1 {
+			return 0
+		}
+		c := (x - xmin) * cols / span
+		if c >= cols {
+			c = cols - 1
+		}
+		return c
+	}
+	// Column-wise maxima.
+	colVal := make([]int, cols)
+	colSet := make([]bool, cols)
+	for i := range s.X {
+		c := colOf(s.X[i])
+		if !colSet[c] || s.Y[i] > colVal[c] {
+			colVal[c] = s.Y[i]
+			colSet[c] = true
+		}
+	}
+
+	if opt.Title != "" {
+		fmt.Fprintln(w, opt.Title)
+	}
+	if opt.YLabel != "" {
+		fmt.Fprintf(w, "%s\n", opt.YLabel)
+	}
+	labelW := len(fmt.Sprintf("%d", ymax))
+	for y := ymax; y >= ymin; y-- {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%*d |", labelW, y)
+		for c := 0; c < cols; c++ {
+			ch := byte(' ')
+			if opt.GuideEvery > 0 {
+				// Guide if an inner-solve boundary falls in this column.
+				x0 := xmin + c*span/cols
+				x1 := xmin + (c+1)*span/cols
+				for g := (x0/opt.GuideEvery + 1) * opt.GuideEvery; g < x1+1; g += opt.GuideEvery {
+					if g >= x0 && g <= x1 {
+						ch = '.'
+						break
+					}
+				}
+			}
+			if opt.Baseline != 0 && y == opt.Baseline {
+				ch = '-'
+			}
+			if colSet[c] && colVal[c] == y {
+				ch = '*'
+			}
+			sb.WriteByte(ch)
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", cols))
+	if opt.XLabel != "" {
+		fmt.Fprintf(w, "%s  %s [%d..%d]\n", strings.Repeat(" ", labelW), opt.XLabel, xmin, xmax)
+	}
+	return nil
+}
+
+// Histogram renders value counts as horizontal bars — used for penalty
+// distributions in summaries.
+func Histogram(w io.Writer, title string, values []int, barWidth int) {
+	if barWidth <= 0 {
+		barWidth = 60
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	if len(values) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	counts := map[int]int{}
+	lo, hi := values[0], values[0]
+	maxCount := 0
+	for _, v := range values {
+		counts[v]++
+		lo = min(lo, v)
+		hi = max(hi, v)
+		if counts[v] > maxCount {
+			maxCount = counts[v]
+		}
+	}
+	for v := lo; v <= hi; v++ {
+		n := counts[v]
+		bar := int(math.Round(float64(n) / float64(maxCount) * float64(barWidth)))
+		fmt.Fprintf(w, "%6d | %-*s %d\n", v, barWidth, strings.Repeat("#", bar), n)
+	}
+}

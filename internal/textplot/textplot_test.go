@@ -1,0 +1,115 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	var buf bytes.Buffer
+	s := Series{X: []int{1, 2, 3, 4, 5}, Y: []int{9, 9, 10, 9, 12}}
+	err := Render(&buf, s, Options{Title: "demo", Baseline: 9, Width: 20, XLabel: "t", YLabel: "outer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "*") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "12 |") || !strings.Contains(out, " 9 |") {
+		t.Fatalf("missing y labels:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing baseline:\n%s", out)
+	}
+	if !strings.Contains(out, "t [1..5]") {
+		t.Fatalf("missing x label:\n%s", out)
+	}
+}
+
+func TestRenderEmptyErrors(t *testing.T) {
+	if err := Render(&bytes.Buffer{}, Series{}, Options{}); err == nil {
+		t.Fatal("expected error for empty series")
+	}
+	if err := Render(&bytes.Buffer{}, Series{X: []int{1}, Y: []int{1, 2}}, Options{}); err == nil {
+		t.Fatal("expected error for mismatched series")
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	var buf bytes.Buffer
+	s := Series{X: []int{1, 2, 3}, Y: []int{5, 5, 5}}
+	if err := Render(&buf, s, Options{Width: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "5 |") {
+		t.Fatalf("flat series render:\n%s", buf.String())
+	}
+}
+
+func TestRenderGuides(t *testing.T) {
+	var buf bytes.Buffer
+	x := make([]int, 50)
+	y := make([]int, 50)
+	for i := range x {
+		x[i] = i + 1
+		y[i] = 3
+	}
+	if err := Render(&buf, Series{X: x, Y: y}, Options{Width: 50, GuideEvery: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ".") {
+		t.Fatalf("missing vertical guides:\n%s", buf.String())
+	}
+}
+
+func TestRenderDownsamples(t *testing.T) {
+	// More points than width: must not panic, and every column value is
+	// the max of its bucket.
+	n := 1000
+	x := make([]int, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = i + 1
+		y[i] = 2
+	}
+	y[500] = 7 // spike must survive the column max
+	var buf bytes.Buffer
+	if err := Render(&buf, Series{X: x, Y: y}, Options{Width: 80}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "7 |") {
+		t.Fatal("spike lost in downsampling")
+	}
+	row7 := ""
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "7 |") {
+			row7 = line
+		}
+	}
+	if !strings.Contains(row7, "*") {
+		t.Fatalf("spike row has no marker: %q", row7)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	Histogram(&buf, "penalties", []int{9, 9, 9, 10, 12}, 20)
+	out := buf.String()
+	if !strings.Contains(out, "penalties") || !strings.Contains(out, "#") {
+		t.Fatalf("histogram:\n%s", out)
+	}
+	// All values between lo and hi appear, including empty 11.
+	if !strings.Contains(out, "11 |") {
+		t.Fatalf("gap value missing:\n%s", out)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Histogram(&buf, "", nil, 0)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty histogram should say so")
+	}
+}

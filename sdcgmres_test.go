@@ -1,0 +1,203 @@
+package sdcgmres_test
+
+import (
+	"math"
+	"testing"
+
+	"sdcgmres"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	a := sdcgmres.Poisson2D(8)
+	b := sdcgmres.OnesRHS(a)
+	solver := sdcgmres.NewFTGMRES(a, sdcgmres.FTConfig{
+		MaxOuter: 30,
+		OuterTol: 1e-8,
+		Inner:    sdcgmres.InnerConfig{Iterations: 8},
+		Detector: sdcgmres.DetectorConfig{Enabled: true},
+	})
+	res, err := solver.Solve(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("quickstart did not converge: %g", res.FinalResidual)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("x[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestPublicGMRESAndCG(t *testing.T) {
+	a := sdcgmres.Poisson2D(7)
+	b := sdcgmres.OnesRHS(a)
+	g, err := sdcgmres.GMRES(a, b, nil, sdcgmres.SolveOptions{MaxIter: 49, Tol: 1e-10})
+	if err != nil || !g.Converged {
+		t.Fatalf("GMRES: %v %v", g, err)
+	}
+	c, err := sdcgmres.CG(a, b, nil, sdcgmres.CGOptions{Tol: 1e-10})
+	if err != nil || !c.Converged {
+		t.Fatalf("CG: %v %v", c, err)
+	}
+	if sdcgmres.TrueResidual(a, b, g.X) > 1e-9 {
+		t.Fatal("GMRES residual")
+	}
+}
+
+func TestPublicFaultInjectionAndDetection(t *testing.T) {
+	a := sdcgmres.Poisson2D(8)
+	b := sdcgmres.OnesRHS(a)
+	inj := sdcgmres.NewFaultInjector(sdcgmres.FaultClassLarge,
+		sdcgmres.FaultSite{AggregateInner: 4, Step: sdcgmres.FirstMGSStep})
+	det := sdcgmres.NewSDCDetector(a, sdcgmres.FrobeniusBound)
+	res, err := sdcgmres.GMRES(a, b, nil, sdcgmres.SolveOptions{
+		MaxIter: 10, Tol: 0,
+		Hooks: []sdcgmres.CoeffHook{inj, det},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Fired() {
+		t.Fatal("fault did not fire")
+	}
+	if det.Stats().Violations == 0 {
+		t.Fatal("detector missed a class-1 fault")
+	}
+	_ = res
+}
+
+func TestPublicMatrixAssemblyAndAnalysis(t *testing.T) {
+	bld := sdcgmres.NewMatrixBuilder(3, 3)
+	bld.Add(0, 0, 2)
+	bld.Add(1, 1, 2)
+	bld.Add(2, 2, 2)
+	bld.Add(0, 1, -1)
+	bld.Add(1, 0, -1)
+	a := bld.Build()
+	p := sdcgmres.AnalyzeMatrix(a)
+	if !p.PatternSymmetric || p.NNZ != 5 {
+		t.Fatalf("properties: %+v", p)
+	}
+	a2 := sdcgmres.NewMatrix(2, 2, []sdcgmres.Triplet{{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 1}})
+	if a2.NNZ() != 2 {
+		t.Fatal("NewMatrix")
+	}
+}
+
+func TestPublicFGMRESNested(t *testing.T) {
+	a := sdcgmres.ConvectionDiffusion2D(7, 8, -4)
+	b := sdcgmres.OnesRHS(a)
+	inner := sdcgmres.PrecondFunc(func(z, q []float64) error {
+		r, err := sdcgmres.GMRES(a, q, nil, sdcgmres.SolveOptions{MaxIter: 8, Tol: 0})
+		if err != nil {
+			return err
+		}
+		copy(z, r.X)
+		return nil
+	})
+	res, err := sdcgmres.FGMRES(a, b, nil, sdcgmres.FixedPreconditioner(inner), sdcgmres.FGMRESOptions{
+		Options:          sdcgmres.SolveOptions{MaxIter: 30, Tol: 1e-9},
+		ExplicitResidual: true,
+	})
+	if err != nil || !res.Converged {
+		t.Fatalf("nested FGMRES: %+v %v", res, err)
+	}
+}
+
+func TestPublicHouseholderAndFCG(t *testing.T) {
+	a := sdcgmres.Poisson2D(7)
+	b := sdcgmres.OnesRHS(a)
+	hh, err := sdcgmres.GMRESHouseholder(a, b, nil, sdcgmres.SolveOptions{MaxIter: 49, Tol: 1e-10})
+	if err != nil || !hh.Converged {
+		t.Fatalf("householder: %v", err)
+	}
+	fcg, err := sdcgmres.FCG(a, b, nil, nil, sdcgmres.FCGOptions{MaxIter: 300, Tol: 1e-9})
+	if err != nil || !fcg.Converged {
+		t.Fatalf("fcg: %v", err)
+	}
+}
+
+func TestPublicPreconditioners(t *testing.T) {
+	a := sdcgmres.Poisson2D(8)
+	b := sdcgmres.OnesRHS(a)
+	ilu, err := sdcgmres.NewILU0Preconditioner(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sdcgmres.GMRES(a, b, nil, sdcgmres.SolveOptions{MaxIter: 64, Tol: 1e-9, Precond: ilu})
+	if err != nil || !res.Converged {
+		t.Fatalf("preconditioned GMRES: %v", err)
+	}
+	bound, err := sdcgmres.Norm2EstPreconditioned(a, ilu, 200, 1e-8)
+	if err != nil || bound <= 0 {
+		t.Fatalf("preconditioned bound: %g %v", bound, err)
+	}
+	if _, err := sdcgmres.NewJacobiPreconditioner(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sdcgmres.NewSSORPreconditioner(a, 1.3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicEquilibrationSolvePath(t *testing.T) {
+	// End-to-end scaled solve: equilibrate, solve the scaled system with
+	// FT-GMRES, recover the original solution.
+	cfg := sdcgmres.DefaultCircuitDCOPConfig(600)
+	a := sdcgmres.CircuitDCOP(cfg)
+	b := sdcgmres.OnesRHS(a)
+	eq, err := sdcgmres.Equilibrate(a, 30, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.B.FrobeniusNorm() >= a.FrobeniusNorm() {
+		t.Fatalf("equilibration did not tighten the bound: %g vs %g",
+			eq.B.FrobeniusNorm(), a.FrobeniusNorm())
+	}
+	solver := sdcgmres.NewFTGMRES(eq.B, sdcgmres.FTConfig{
+		MaxOuter: 120, OuterTol: 1e-9,
+		Inner:    sdcgmres.InnerConfig{Iterations: 20},
+		Detector: sdcgmres.DetectorConfig{Enabled: true},
+	})
+	res, err := solver.Solve(eq.TransformRHS(b), nil)
+	if err != nil || !res.Converged {
+		t.Fatalf("scaled solve: %v (converged=%v)", err, res != nil && res.Converged)
+	}
+	x := eq.RecoverSolution(res.X)
+	for i, v := range x {
+		if math.Abs(v-1) > 1e-5 {
+			t.Fatalf("recovered x[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestPublicFTFCGOuter(t *testing.T) {
+	a := sdcgmres.Poisson2D(8)
+	b := sdcgmres.OnesRHS(a)
+	res, err := sdcgmres.NewFTGMRES(a, sdcgmres.FTConfig{
+		Outer:    sdcgmres.OuterFCG,
+		MaxOuter: 60, OuterTol: 1e-8,
+		Inner: sdcgmres.InnerConfig{Iterations: 8},
+	}).Solve(b, nil)
+	if err != nil || !res.Converged {
+		t.Fatalf("FT-FCG: %v", err)
+	}
+}
+
+func TestPublicBaseline(t *testing.T) {
+	a := sdcgmres.Poisson2D(7)
+	b := sdcgmres.OnesRHS(a)
+	op := sdcgmres.NewChecksumOperator(a, 0)
+	x, stats, err := sdcgmres.RollbackGMRES(op, b, sdcgmres.RollbackOptions{CheckEvery: 10, Tol: 1e-9})
+	if err != nil || !stats.Converged {
+		t.Fatalf("baseline: %+v %v", stats, err)
+	}
+	if sdcgmres.TrueResidual(a, b, x) > 1e-8 {
+		t.Fatal("baseline residual")
+	}
+	if op.Stats().Violations != 0 {
+		t.Fatal("checksum false positives")
+	}
+}
