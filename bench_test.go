@@ -11,6 +11,7 @@
 package sdcgmres_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -127,7 +128,7 @@ func benchmarkSweep(b *testing.B, kind string, step fault.StepSelector) {
 			var sum expt.Summary
 			for i := 0; i < b.N; i++ {
 				cfg := expt.SweepConfig{Model: model, Step: step, Stride: 7}
-				pts := expt.Sweep(p, cfg)
+				pts := expt.Sweep(context.Background(), p, cfg)
 				sum = expt.Summarize(p, cfg, pts)
 				if sum.SilentFailures > 0 {
 					b.Fatalf("silent failure in sweep: %+v", sum)
@@ -170,7 +171,7 @@ func BenchmarkSummaryFindings(b *testing.B) {
 			var sum expt.Summary
 			for i := 0; i < b.N; i++ {
 				cfg := expt.SweepConfig{Model: fault.ClassLarge, Step: fault.FirstMGS, Stride: 5, Detector: mode.det}
-				pts := expt.Sweep(p, cfg)
+				pts := expt.Sweep(context.Background(), p, cfg)
 				sum = expt.Summarize(p, cfg, pts)
 			}
 			b.ReportMetric(float64(sum.MaxExtraOuter), "worst_extra_outer")

@@ -18,11 +18,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"sdcgmres/internal/core"
@@ -67,6 +70,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown profile %q (want tiny, fast or paper)\n", *profName)
 		os.Exit(2)
 	}
+	// Ctrl-C cancels long campaigns mid-sweep instead of killing the run
+	// between experiments.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *stride > 0 {
 		prof.stride = *stride
 	}
@@ -129,7 +136,11 @@ func main() {
 		for _, model := range fault.Classes() {
 			cfg := expt.SweepConfig{Model: model, Step: f.step, Stride: prof.stride, Workers: *workers}
 			start := time.Now()
-			pts := expt.Sweep(p, cfg)
+			pts := expt.Sweep(ctx, p, cfg)
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "paperfigs: interrupted, partial sweep discarded")
+				os.Exit(130)
+			}
 			sum := expt.Summarize(p, cfg, pts)
 			summaries = append(summaries, sum)
 			writeCSV(*outdir, fmt.Sprintf("%s_%s.csv", f.key, slug(model.String())), p, cfg, pts)
@@ -142,7 +153,7 @@ func main() {
 	}
 
 	if sel("summary") {
-		runSummary(prof, *outdir, poisson, circuit, summaries, *workers)
+		runSummary(ctx, prof, *outdir, poisson, circuit, summaries, *workers)
 	}
 	if sel("montecarlo") {
 		if poisson == nil {
@@ -220,7 +231,7 @@ func captureH(a krylov.Operator, k int) *dense.Matrix {
 	return h
 }
 
-func runSummary(prof profile, outdir string, poisson, circuit *expt.Problem, noDetector []expt.Summary, workers int) {
+func runSummary(ctx context.Context, prof profile, outdir string, poisson, circuit *expt.Problem, noDetector []expt.Summary, workers int) {
 	fmt.Println("-- Summary (Sec. VII-E): detector impact on worst-case time-to-solution --")
 	det := core.DetectorConfig{Enabled: true, Kind: detect.FrobeniusBound, Response: core.ResponseRestartInner}
 	var withDetector []expt.Summary
@@ -230,7 +241,11 @@ func runSummary(prof profile, outdir string, poisson, circuit *expt.Problem, noD
 		}
 		for _, step := range []fault.StepSelector{fault.FirstMGS, fault.LastMGS} {
 			cfg := expt.SweepConfig{Model: fault.ClassLarge, Step: step, Stride: prof.stride, Detector: det, Workers: workers}
-			pts := expt.Sweep(p, cfg)
+			pts := expt.Sweep(ctx, p, cfg)
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "paperfigs: interrupted, partial sweep discarded")
+				os.Exit(130)
+			}
 			withDetector = append(withDetector, expt.Summarize(p, cfg, pts))
 			writeCSV(outdir, fmt.Sprintf("summary_det_%s_%s.csv", slug(p.Name), step.String()), p, cfg, pts)
 		}

@@ -11,18 +11,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
-	"strconv"
-	"strings"
+	"time"
 
 	"sdcgmres/internal/core"
 	"sdcgmres/internal/detect"
 	"sdcgmres/internal/fault"
 	"sdcgmres/internal/gallery"
 	"sdcgmres/internal/krylov"
+	"sdcgmres/internal/service"
 	"sdcgmres/internal/sparse"
 	"sdcgmres/internal/vec"
 )
@@ -41,6 +42,7 @@ func main() {
 	bound := flag.String("bound", "frobenius", "detector bound: frobenius | spectral")
 	response := flag.String("response", "warn", "detector response: warn | halt | restart")
 	verbose := flag.Bool("v", false, "print the per-iteration residual history")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable result record (same schema as the solver service)")
 	flag.Parse()
 
 	a, name := buildMatrix(*gen, *file, *n)
@@ -86,9 +88,27 @@ func main() {
 	}
 
 	solver := core.New(a, cfg)
+	start := time.Now()
 	res, err := solver.Solve(b, nil)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *jsonOut {
+		rec := service.RecordFromCore(name, a, res, time.Since(start))
+		if inj != nil {
+			rec.FaultInjected = true
+			rec.FaultFired = inj.Fired()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			fatal(err)
+		}
+		if !res.Converged {
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("problem:    %s (%d x %d, %d nnz)\n", name, a.Rows(), a.Cols(), a.NNZ())
@@ -151,49 +171,11 @@ func buildMatrix(gen, file string, n int) (*sparse.CSR, string) {
 	}
 }
 
-func parseModel(spec string) (fault.Model, error) {
-	switch spec {
-	case "large":
-		return fault.ClassLarge, nil
-	case "slight":
-		return fault.ClassSlight, nil
-	case "tiny":
-		return fault.ClassTiny, nil
-	}
-	switch {
-	case strings.HasPrefix(spec, "bitflip:"):
-		bit, err := strconv.Atoi(spec[len("bitflip:"):])
-		if err != nil || bit < 0 || bit > 63 {
-			return nil, fmt.Errorf("bad bitflip spec %q", spec)
-		}
-		return fault.BitFlip{Bit: uint(bit)}, nil
-	case strings.HasPrefix(spec, "set:"):
-		v, err := strconv.ParseFloat(spec[len("set:"):], 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad set spec %q", spec)
-		}
-		return fault.SetValue{Value: v}, nil
-	case strings.HasPrefix(spec, "scale:"):
-		v, err := strconv.ParseFloat(spec[len("scale:"):], 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad scale spec %q", spec)
-		}
-		return fault.Scale{Factor: v}, nil
-	}
-	return nil, fmt.Errorf("unknown fault class %q", spec)
-}
+// parseModel and parseStep delegate to the service package so the CLI and
+// the solver service accept identical fault spellings.
+func parseModel(spec string) (fault.Model, error) { return service.ParseFaultModel(spec) }
 
-func parseStep(s string) (fault.StepSelector, error) {
-	switch s {
-	case "first":
-		return fault.FirstMGS, nil
-	case "last":
-		return fault.LastMGS, nil
-	case "norm":
-		return fault.NormStep, nil
-	}
-	return 0, fmt.Errorf("unknown fault step %q", s)
-}
+func parseStep(s string) (fault.StepSelector, error) { return service.ParseStep(s) }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sdcrun:", err)

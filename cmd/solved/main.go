@@ -1,0 +1,122 @@
+// Command solved is the solver-as-a-service daemon: a long-lived HTTP
+// process serving FT-GMRES / GMRES / CG solve jobs through the
+// internal/service engine — bounded queue, worker pool, per-job wall-clock
+// budgets, sandbox isolation, Prometheus metrics, and graceful drain on
+// SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	solved [-addr :8080] [-workers N] [-queue 64] [-budget 30s]
+//	       [-max-budget 5m] [-retain 1024] [-drain-timeout 30s] [-pprof]
+//
+// Submit a job:
+//
+//	curl -s -X POST localhost:8080/v1/jobs -d '{
+//	  "matrix": {"kind": "poisson", "n": 64},
+//	  "solver": {"kind": "ftgmres", "detector": true, "response": "restart"},
+//	  "fault":  {"class": "large", "at": 30}
+//	}'
+//
+// then poll GET /v1/jobs/<id> for the result and GET /metrics for the
+// service counters.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sdcgmres/internal/service"
+)
+
+// cliConfig is the flag-settable daemon configuration.
+type cliConfig struct {
+	addr         string
+	workers      int
+	queueDepth   int
+	budget       time.Duration
+	maxBudget    time.Duration
+	retain       int
+	drainTimeout time.Duration
+	pprof        bool
+}
+
+func parseFlags(args []string) (cliConfig, error) {
+	fs := flag.NewFlagSet("solved", flag.ContinueOnError)
+	cfg := cliConfig{}
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.queueDepth, "queue", 64, "admission queue depth")
+	fs.DurationVar(&cfg.budget, "budget", 30*time.Second, "default per-job wall-clock budget")
+	fs.DurationVar(&cfg.maxBudget, "max-budget", 5*time.Minute, "maximum per-job wall-clock budget")
+	fs.IntVar(&cfg.retain, "retain", 1024, "finished jobs kept queryable")
+	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	err := fs.Parse(args)
+	return cfg, err
+}
+
+// setup wires the engine and HTTP handler from a cliConfig; split from main
+// so tests can drive the exact production wiring in-process.
+func setup(cfg cliConfig) (*service.Engine, http.Handler) {
+	engine := service.NewEngine(service.Config{
+		Workers:       cfg.workers,
+		QueueDepth:    cfg.queueDepth,
+		DefaultBudget: cfg.budget,
+		MaxBudget:     cfg.maxBudget,
+		Retain:        cfg.retain,
+	})
+	handler := service.NewServer(engine, service.ServerOptions{EnablePprof: cfg.pprof})
+	return engine, handler
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	engine, handler := setup(cfg)
+	engine.Start()
+
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("solved: listening on %s (%d workers, queue %d, budget %v)",
+		cfg.addr, engine.Workers(), cfg.queueDepth, cfg.budget)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("solved: server failed: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	log.Printf("solved: draining (%v budget, %d queued)...", cfg.drainTimeout, engine.QueueLen())
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := engine.Shutdown(drainCtx); err != nil {
+		log.Printf("solved: drain incomplete, running jobs aborted: %v", err)
+	} else {
+		log.Printf("solved: drained cleanly")
+	}
+	httpCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(httpCtx); err != nil {
+		log.Printf("solved: http shutdown: %v", err)
+	}
+	fmt.Println("solved: bye")
+}

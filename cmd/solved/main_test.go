@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sdcgmres/internal/service"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":8080" || cfg.queueDepth != 64 || cfg.budget != 30*time.Second ||
+		cfg.maxBudget != 5*time.Minute || cfg.retain != 1024 ||
+		cfg.drainTimeout != 30*time.Second || cfg.pprof {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+}
+
+func TestParseFlagsOverrides(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-addr", ":9090", "-workers", "3", "-queue", "5",
+		"-budget", "2s", "-pprof",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":9090" || cfg.workers != 3 || cfg.queueDepth != 5 ||
+		cfg.budget != 2*time.Second || !cfg.pprof {
+		t.Fatalf("overrides: %+v", cfg)
+	}
+}
+
+func TestParseFlagsBad(t *testing.T) {
+	if _, err := parseFlags([]string{"-budget", "soon"}); err == nil {
+		t.Fatal("bad duration must fail")
+	}
+}
+
+// TestDaemonWiring drives the production setup() end to end: submit a real
+// solve job over HTTP, poll for the result, check metrics, then drain.
+func TestDaemonWiring(t *testing.T) {
+	cfg, err := parseFlags([]string{"-workers", "2", "-queue", "8", "-budget", "30s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, handler := setup(cfg)
+	engine.Start()
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	spec := service.PoissonJob(12)
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if view.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", view)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if view.State != service.StateDone || view.Result == nil || !view.Result.Converged {
+		t.Fatalf("job: %+v", view)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := io.ReadAll(mr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr.Body.Close()
+	if !strings.Contains(string(expo), "solved_jobs_completed_total 1") {
+		t.Fatalf("metrics:\n%s", expo)
+	}
+
+	if err := engine.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	for _, on := range []bool{false, true} {
+		engine, handler := setup(cliConfig{workers: 1, queueDepth: 1, pprof: on})
+		engine.Start()
+		ts := httptest.NewServer(handler)
+		resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if on && resp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof enabled: status %d", resp.StatusCode)
+		}
+		if !on && resp.StatusCode == http.StatusOK {
+			t.Fatal("pprof must be gated off by default")
+		}
+		engine.Shutdown(context.Background())
+		ts.Close()
+	}
+}

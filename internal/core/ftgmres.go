@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -256,6 +257,19 @@ func (s *Solver) Config() Config { return s.cfg }
 
 // Solve runs FT-GMRES on A x = b starting from x0 (nil = zero).
 func (s *Solver) Solve(b, x0 []float64) (*Result, error) {
+	return s.SolveCtx(context.Background(), b, x0)
+}
+
+// SolveCtx is Solve with cancellation: when ctx ends the solve aborts at
+// the next inner-solve boundary (each outer iteration runs one inner
+// solve, so cancellation lands within one outer iteration's work) and
+// returns ctx's error. A guest blocked inside an inner solve is abandoned
+// per the sandbox contract, so cancellation never waits on a hung inner
+// solve.
+func (s *Solver) SolveCtx(ctx context.Context, b, x0 []float64) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	stats := &Stats{}
 	if s.det != nil {
 		s.det.Reset()
@@ -263,8 +277,14 @@ func (s *Solver) Solve(b, x0 []float64) (*Result, error) {
 
 	provider := func(j int) krylov.Preconditioner {
 		return krylov.PrecondFunc(func(z, q []float64) error {
-			s.innerSolve(j, z, q, stats)
-			return nil // the sandbox never lets inner failures escape
+			// The sandbox never lets inner failures escape; the only error
+			// crossing this boundary is the host's own cancellation, which
+			// aborts the outer solve.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			s.innerSolve(ctx, j, z, q, stats)
+			return ctx.Err()
 		})
 	}
 
@@ -293,6 +313,9 @@ func (s *Solver) Solve(b, x0 []float64) (*Result, error) {
 			})
 		}
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("core: solve canceled: %w", cerr)
+			}
 			return nil, fmt.Errorf("core: outer solve failed: %w", err)
 		}
 		stats.OuterIterations += res.Iterations
@@ -302,6 +325,9 @@ func (s *Solver) Solve(b, x0 []float64) (*Result, error) {
 		out.ResidualHistory = append(out.ResidualHistory, res.ResidualHistory...)
 		if res.Converged || cycle >= s.cfg.OuterRestarts || res.Iterations == 0 {
 			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: solve canceled: %w", err)
 		}
 		x = res.X // restart the reliable outer iteration from here
 	}
@@ -319,7 +345,7 @@ func (s *Solver) Solve(b, x0 []float64) (*Result, error) {
 // sandbox, honouring the detector response policy. It always leaves a
 // usable vector in z: the inner result when the sandbox reports success,
 // or q itself (identity preconditioning) when the guest failed outright.
-func (s *Solver) innerSolve(j int, z, q []float64, stats *Stats) {
+func (s *Solver) innerSolve(ctx context.Context, j int, z, q []float64, stats *Stats) {
 	onErr := krylov.DetectRecord
 	if s.cfg.Detector.Enabled && s.cfg.Detector.Response != ResponseWarn {
 		onErr = krylov.DetectHalt
@@ -358,7 +384,7 @@ func (s *Solver) innerSolve(j int, z, q []float64, stats *Stats) {
 	}
 	for attempt := 0; attempt < attempts; attempt++ {
 		var inner *krylov.Result
-		rep := sandbox.Run(s.cfg.SandboxBudget, func() error {
+		rep := sandbox.RunCtx(ctx, s.cfg.SandboxBudget, func() error {
 			r, err := krylov.GMRES(op, q, nil, opts)
 			if err != nil {
 				return err

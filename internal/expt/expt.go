@@ -5,10 +5,12 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"sdcgmres/internal/core"
 	"sdcgmres/internal/fault"
@@ -171,8 +173,14 @@ type SweepConfig struct {
 
 // Sweep injects one SDC at every (strided) aggregate inner iteration of the
 // failure-free schedule and records the outer iteration counts — one series
-// of one subplot of Figure 3 or 4.
-func Sweep(p *Problem, cfg SweepConfig) []SweepPoint {
+// of one subplot of Figure 3 or 4. Cancelling ctx stops the campaign early:
+// workers finish their in-flight experiment and the points not yet run are
+// returned zero-valued (AggregateInner == 0), so partial sweeps are
+// distinguishable from completed ones.
+func Sweep(ctx context.Context, p *Problem, cfg SweepConfig) []SweepPoint {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Stride <= 0 {
 		cfg.Stride = 1
 	}
@@ -190,22 +198,18 @@ func Sweep(p *Problem, cfg SweepConfig) []SweepPoint {
 	if workers > len(sites) {
 		workers = len(sites)
 	}
-	var next int
-	var mu sync.Mutex
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
 				if i >= len(sites) {
 					return
 				}
-				points[i] = runOne(p, cfg, sites[i])
+				points[i] = runOne(ctx, p, cfg, sites[i])
 			}
 		}()
 	}
@@ -214,11 +218,15 @@ func Sweep(p *Problem, cfg SweepConfig) []SweepPoint {
 }
 
 // runOne executes a single faulted experiment.
-func runOne(p *Problem, cfg SweepConfig, aggregate int) SweepPoint {
+func runOne(ctx context.Context, p *Problem, cfg SweepConfig, aggregate int) SweepPoint {
 	inj := fault.NewInjector(cfg.Model, fault.Site{AggregateInner: aggregate, Step: cfg.Step})
 	s := core.New(p.A, p.Config(cfg.Detector, []krylov.CoeffHook{inj}))
-	res, err := s.Solve(p.B, nil)
+	res, err := s.SolveCtx(ctx, p.B, nil)
 	pt := SweepPoint{AggregateInner: aggregate}
+	if ctx.Err() != nil {
+		// Canceled mid-experiment: report the site as not run.
+		return SweepPoint{}
+	}
 	if err != nil {
 		// Loud failure (e.g. rank deficiency): recorded as non-converged at
 		// the cap — visible, not silent.

@@ -2,6 +2,7 @@ package expt
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -46,7 +47,7 @@ func TestCalibrateRejectsTinyTarget(t *testing.T) {
 func TestSweepFullCoverage(t *testing.T) {
 	p := testProblem(t)
 	cfg := SweepConfig{Model: fault.ClassSlight, Step: fault.FirstMGS, Stride: 1}
-	pts := Sweep(p, cfg)
+	pts := Sweep(context.Background(), p, cfg)
 	want := p.FailureFreeOuter * p.InnerIters
 	if len(pts) != want {
 		t.Fatalf("points = %d, want %d", len(pts), want)
@@ -69,7 +70,7 @@ func TestSweepFullCoverage(t *testing.T) {
 
 func TestSweepStride(t *testing.T) {
 	p := testProblem(t)
-	pts := Sweep(p, SweepConfig{Model: fault.ClassTiny, Step: fault.LastMGS, Stride: 7})
+	pts := Sweep(context.Background(), p, SweepConfig{Model: fault.ClassTiny, Step: fault.LastMGS, Stride: 7})
 	if len(pts) == 0 {
 		t.Fatal("no points")
 	}
@@ -85,7 +86,7 @@ func TestSweepRunThroughShape(t *testing.T) {
 	// problem: worst case a few extra outer iterations (paper Fig. 3a,
 	// classes 2 and 3).
 	p := testProblem(t)
-	pts := Sweep(p, SweepConfig{Model: fault.ClassSlight, Step: fault.FirstMGS, Stride: 2})
+	pts := Sweep(context.Background(), p, SweepConfig{Model: fault.ClassSlight, Step: fault.FirstMGS, Stride: 2})
 	worst := MaxOuter(pts)
 	if worst > p.FailureFreeOuter+3 {
 		t.Fatalf("class-2 worst case %d vs failure-free %d: run-through property violated", worst, p.FailureFreeOuter)
@@ -95,7 +96,7 @@ func TestSweepRunThroughShape(t *testing.T) {
 func TestSweepLargeFaultDetectedWhenEnabled(t *testing.T) {
 	p := testProblem(t)
 	det := core.DetectorConfig{Enabled: true, Kind: detect.FrobeniusBound, Response: core.ResponseWarn}
-	pts := Sweep(p, SweepConfig{Model: fault.ClassLarge, Step: fault.FirstMGS, Stride: 5, Detector: det})
+	pts := Sweep(context.Background(), p, SweepConfig{Model: fault.ClassLarge, Step: fault.FirstMGS, Stride: 5, Detector: det})
 	detected, missed := 0, 0
 	for _, pt := range pts {
 		if pt.Detections > 0 {
@@ -119,7 +120,7 @@ func TestSweepLargeFaultDetectedWhenEnabled(t *testing.T) {
 func TestSummarize(t *testing.T) {
 	p := testProblem(t)
 	cfg := SweepConfig{Model: fault.ClassLarge, Step: fault.FirstMGS, Stride: 3}
-	pts := Sweep(p, cfg)
+	pts := Sweep(context.Background(), p, cfg)
 	s := Summarize(p, cfg, pts)
 	if s.Points != len(pts) || s.FailureFreeOuter != p.FailureFreeOuter {
 		t.Fatalf("summary: %+v", s)
@@ -140,7 +141,7 @@ func TestSummarize(t *testing.T) {
 func TestWriteSweepCSV(t *testing.T) {
 	p := testProblem(t)
 	cfg := SweepConfig{Model: fault.ClassTiny, Step: fault.NormStep, Stride: 10}
-	pts := Sweep(p, cfg)
+	pts := Sweep(context.Background(), p, cfg)
 	var buf bytes.Buffer
 	if err := WriteSweepCSV(&buf, p.Name, cfg, pts); err != nil {
 		t.Fatal(err)
@@ -204,8 +205,8 @@ func TestHelpers(t *testing.T) {
 func TestSweepDeterministic(t *testing.T) {
 	p := testProblem(t)
 	cfg := SweepConfig{Model: fault.ClassLarge, Step: fault.FirstMGS, Stride: 6}
-	a := Sweep(p, cfg)
-	b := Sweep(p, cfg)
+	a := Sweep(context.Background(), p, cfg)
+	b := Sweep(context.Background(), p, cfg)
 	if len(a) != len(b) {
 		t.Fatal("sweep lengths differ")
 	}

@@ -18,6 +18,7 @@
 package sandbox
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -34,6 +35,11 @@ const (
 	TimedOut
 	// Errored: the guest returned a non-nil error.
 	Errored
+	// Canceled: the host's context ended before the guest finished. Like
+	// TimedOut, the runaway goroutine is abandoned; unlike TimedOut the
+	// host chose to stop waiting (cancellation or a context deadline)
+	// rather than the sandbox budget expiring.
+	Canceled
 )
 
 // String implements fmt.Stringer.
@@ -45,6 +51,8 @@ func (o Outcome) String() string {
 		return "timed-out"
 	case Errored:
 		return "errored"
+	case Canceled:
+		return "canceled"
 	default:
 		return "ok"
 	}
@@ -68,24 +76,46 @@ func (r Report) Usable() bool { return r.Outcome == OK }
 // positive budget the guest runs on its own goroutine and Run returns by
 // the deadline even if the guest does not.
 func Run(budget time.Duration, guest func() error) Report {
+	return RunCtx(context.Background(), budget, guest)
+}
+
+// RunCtx is Run with a host context: the host stops waiting when ctx ends,
+// whichever of the sandbox budget and the context fires first. A context
+// that can never end (e.g. context.Background()) combined with budget <= 0
+// keeps Run's fast path: the guest executes on the caller's goroutine with
+// panic isolation only.
+func RunCtx(ctx context.Context, budget time.Duration, guest func() error) Report {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
-	if budget <= 0 {
+	if budget <= 0 && ctx.Done() == nil {
 		rep := runIsolated(guest)
 		rep.Elapsed = time.Since(start)
 		return rep
+	}
+	if err := ctx.Err(); err != nil {
+		// Already over: don't start a guest nobody will wait for.
+		return Report{Outcome: Canceled, Err: err}
 	}
 	done := make(chan Report, 1)
 	go func() {
 		done <- runIsolated(guest)
 	}()
-	timer := time.NewTimer(budget)
-	defer timer.Stop()
+	var timeout <-chan time.Time
+	if budget > 0 {
+		timer := time.NewTimer(budget)
+		defer timer.Stop()
+		timeout = timer.C
+	}
 	select {
 	case rep := <-done:
 		rep.Elapsed = time.Since(start)
 		return rep
-	case <-timer.C:
+	case <-timeout:
 		return Report{Outcome: TimedOut, Err: fmt.Errorf("sandbox: guest exceeded %v budget", budget), Elapsed: time.Since(start)}
+	case <-ctx.Done():
+		return Report{Outcome: Canceled, Err: ctx.Err(), Elapsed: time.Since(start)}
 	}
 }
 

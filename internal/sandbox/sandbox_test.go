@@ -1,7 +1,9 @@
 package sandbox
 
 import (
+	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -85,9 +87,133 @@ func TestRunWithBudgetContainsPanic(t *testing.T) {
 }
 
 func TestOutcomeStrings(t *testing.T) {
-	for _, o := range []Outcome{OK, Panicked, TimedOut, Errored} {
-		if o.String() == "" {
+	seen := map[string]bool{}
+	for _, o := range []Outcome{OK, Panicked, TimedOut, Errored, Canceled} {
+		s := o.String()
+		if s == "" {
 			t.Fatal("empty outcome string")
 		}
+		if seen[s] {
+			t.Fatalf("duplicate outcome string %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestRunCtxCancelAbandonsGuest(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	block := make(chan struct{})
+	defer close(block)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	rep := RunCtx(ctx, 0, func() error {
+		<-block
+		return nil
+	})
+	if rep.Outcome != Canceled || rep.Usable() {
+		t.Fatalf("report: %+v", rep)
+	}
+	if !errors.Is(rep.Err, context.Canceled) {
+		t.Fatalf("err: %v", rep.Err)
+	}
+}
+
+func TestRunCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	block := make(chan struct{})
+	defer close(block)
+	rep := RunCtx(ctx, time.Minute, func() error {
+		<-block
+		return nil
+	})
+	if rep.Outcome != Canceled {
+		t.Fatalf("outcome: %v", rep.Outcome)
+	}
+	if !errors.Is(rep.Err, context.DeadlineExceeded) {
+		t.Fatalf("deadline should be distinguishable from cancel: %v", rep.Err)
+	}
+}
+
+func TestRunCtxBudgetFiresBeforeContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	block := make(chan struct{})
+	defer close(block)
+	rep := RunCtx(ctx, 10*time.Millisecond, func() error {
+		<-block
+		return nil
+	})
+	if rep.Outcome != TimedOut {
+		t.Fatalf("outcome: %v (budget must win over a later context deadline)", rep.Outcome)
+	}
+}
+
+func TestRunCtxAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	rep := RunCtx(ctx, 0, func() error { ran = true; return nil })
+	if rep.Outcome != Canceled {
+		t.Fatalf("outcome: %v", rep.Outcome)
+	}
+	if ran {
+		t.Fatal("guest must not start under a dead context")
+	}
+}
+
+func TestRunCtxNilContext(t *testing.T) {
+	rep := RunCtx(nil, 0, func() error { return nil })
+	if rep.Outcome != OK {
+		t.Fatalf("outcome: %v", rep.Outcome)
+	}
+}
+
+func TestRunCtxCompletesNormally(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rep := RunCtx(ctx, time.Second, func() error { return nil })
+	if rep.Outcome != OK || !rep.Usable() {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+// TestManyConcurrentGuests exercises every outcome class under heavy
+// goroutine concurrency — meant to run with -race, proving the sandbox's
+// host-side bookkeeping is data-race free while guests misbehave in every
+// supported way at once.
+func TestManyConcurrentGuests(t *testing.T) {
+	const perKind = 32
+	block := make(chan struct{})
+	defer close(block)
+	var wg sync.WaitGroup
+	fail := make(chan string, 4*perKind)
+	check := func(kind string, want Outcome, f func() Report) {
+		defer wg.Done()
+		if rep := f(); rep.Outcome != want {
+			fail <- kind + ": got " + rep.Outcome.String()
+		}
+	}
+	for i := 0; i < perKind; i++ {
+		wg.Add(4)
+		go check("ok", OK, func() Report {
+			return Run(time.Second, func() error { return nil })
+		})
+		go check("panic", Panicked, func() Report {
+			return Run(time.Second, func() error { panic("boom") })
+		})
+		go check("error", Errored, func() Report {
+			return Run(time.Second, func() error { return errors.New("bad") })
+		})
+		go check("timeout", TimedOut, func() Report {
+			return Run(5*time.Millisecond, func() error { <-block; return nil })
+		})
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Error(msg)
 	}
 }

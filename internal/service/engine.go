@@ -1,0 +1,361 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdcgmres/internal/sandbox"
+)
+
+// Engine API errors.
+var (
+	// ErrDraining: the engine is shutting down and admits no new work.
+	ErrDraining = errors.New("service: engine draining")
+	// ErrUnknownJob: no job with that ID (possibly evicted by retention).
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrNotCancelable: the job already reached a terminal state.
+	ErrNotCancelable = errors.New("service: job already terminal")
+)
+
+// Runner executes one validated job spec. The engine calls it inside the
+// sandbox with a deadline-carrying context, so a Runner may hang or panic
+// without harming the process.
+type Runner func(ctx context.Context, spec *JobSpec) (*SolveRecord, error)
+
+// Config parameterizes an Engine. The zero value is usable: every field
+// has a production default.
+type Config struct {
+	// Workers is the worker pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (default 64).
+	QueueDepth int
+	// DefaultBudget is the per-job wall-clock budget when the spec names
+	// none (default 30s).
+	DefaultBudget time.Duration
+	// MaxBudget clamps spec-requested budgets (default 5m).
+	MaxBudget time.Duration
+	// Retain bounds how many terminal jobs stay queryable before the
+	// oldest are evicted (default 1024).
+	Retain int
+	// Metrics receives the engine's observations (default: a fresh
+	// registry, available via Engine.Metrics).
+	Metrics *Metrics
+	// Runner executes solves (default RunSpec). Tests substitute stubs.
+	Runner Runner
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 30 * time.Second
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 5 * time.Minute
+	}
+	if c.Retain <= 0 {
+		c.Retain = 1024
+	}
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics()
+	}
+	if c.Runner == nil {
+		c.Runner = RunSpec
+	}
+	return c
+}
+
+// Engine is the solver job engine: a bounded queue feeding a worker pool
+// that runs each solve inside the sandbox reliability model. It is the
+// reliable host of the paper's Section IV contract, with every job as an
+// unreliable guest.
+type Engine struct {
+	cfg     Config
+	queue   *FIFO[*Job]
+	wg      sync.WaitGroup
+	started atomic.Bool
+	drain   atomic.Bool
+	nextID  atomic.Int64
+
+	// baseCtx parents every job context; hardCancel aborts all running
+	// jobs when a shutdown deadline expires.
+	baseCtx    context.Context
+	hardCancel context.CancelFunc
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	done []string // terminal job IDs in completion order, for eviction
+}
+
+// NewEngine builds an engine; call Start to launch the worker pool.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Engine{
+		cfg:        cfg,
+		queue:      NewFIFO[*Job](cfg.QueueDepth),
+		baseCtx:    ctx,
+		hardCancel: cancel,
+		jobs:       make(map[string]*Job),
+	}
+}
+
+// Metrics returns the engine's registry.
+func (e *Engine) Metrics() *Metrics { return e.cfg.Metrics }
+
+// Workers returns the worker pool size.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// QueueLen returns the number of jobs waiting for a worker.
+func (e *Engine) QueueLen() int { return e.queue.Len() }
+
+// Draining reports whether shutdown has begun.
+func (e *Engine) Draining() bool { return e.drain.Load() }
+
+// Start launches the worker pool. Safe to call once.
+func (e *Engine) Start() {
+	if !e.started.CompareAndSwap(false, true) {
+		return
+	}
+	e.wg.Add(e.cfg.Workers)
+	for i := 0; i < e.cfg.Workers; i++ {
+		go e.worker()
+	}
+}
+
+// Submit validates and enqueues a job. It returns ErrDraining during
+// shutdown, ErrQueueFull when admission control rejects the job, or the
+// spec's validation error.
+func (e *Engine) Submit(spec JobSpec) (JobView, error) {
+	if e.drain.Load() {
+		return JobView{}, ErrDraining
+	}
+	if err := spec.Validate(); err != nil {
+		return JobView{}, err
+	}
+	j := &Job{
+		id:        fmt.Sprintf("job-%06d", e.nextID.Add(1)),
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	e.mu.Lock()
+	e.jobs[j.id] = j
+	e.mu.Unlock()
+	if err := e.queue.Push(j); err != nil {
+		e.mu.Lock()
+		delete(e.jobs, j.id)
+		e.mu.Unlock()
+		if errors.Is(err, ErrQueueClosed) {
+			return JobView{}, ErrDraining
+		}
+		e.cfg.Metrics.JobsRejected.Inc()
+		return JobView{}, err
+	}
+	e.cfg.Metrics.JobsAccepted.Inc()
+	return j.View(), nil
+}
+
+// Job returns a snapshot of the job with the given ID.
+func (e *Engine) Job(id string) (JobView, bool) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return JobView{}, false
+	}
+	return j.View(), true
+}
+
+// Jobs snapshots every tracked job in submission order.
+func (e *Engine) Jobs() []JobView {
+	e.mu.Lock()
+	all := make([]*Job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		all = append(all, j)
+	}
+	e.mu.Unlock()
+	views := make([]JobView, len(all))
+	for i, j := range all {
+		views[i] = j.View()
+	}
+	// Submission order == ID order by construction.
+	for i := 1; i < len(views); i++ {
+		for k := i; k > 0 && views[k].ID < views[k-1].ID; k-- {
+			views[k], views[k-1] = views[k-1], views[k]
+		}
+	}
+	return views
+}
+
+// Cancel aborts a queued or running job. Queued jobs turn terminal
+// immediately and are skipped when a worker reaches them; running jobs get
+// their context canceled and the abandoned guest is left to the sandbox.
+func (e *Engine) Cancel(id string) (JobView, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return JobView{}, ErrUnknownJob
+	}
+	j.mu.Lock()
+	switch {
+	case j.state == StateQueued:
+		j.state = StateCanceled
+		j.err = "canceled while queued"
+		j.finished = time.Now()
+		j.mu.Unlock()
+		e.cfg.Metrics.JobsCanceled.Inc()
+		e.retire(j)
+	case j.state == StateRunning && j.cancel != nil:
+		j.cancel()
+		j.mu.Unlock()
+	default:
+		j.mu.Unlock()
+		return j.View(), ErrNotCancelable
+	}
+	return j.View(), nil
+}
+
+// Shutdown drains the engine: admission stops immediately, queued jobs are
+// still executed, and Shutdown returns when every worker has finished. If
+// ctx ends before the drain completes, all running jobs are hard-canceled
+// (their guests abandoned) and Shutdown waits for the workers to observe
+// that, then returns ctx's error.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.drain.Store(true)
+	e.queue.Close()
+	drained := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		e.hardCancel()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// worker pops jobs until the queue closes and drains.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		j, ok := e.queue.Pop()
+		if !ok {
+			return
+		}
+		e.run(j)
+	}
+}
+
+// budget resolves a job's effective wall-clock budget.
+func (e *Engine) budget(spec *JobSpec) time.Duration {
+	b := spec.Budget()
+	if b <= 0 {
+		b = e.cfg.DefaultBudget
+	}
+	if b > e.cfg.MaxBudget {
+		b = e.cfg.MaxBudget
+	}
+	return b
+}
+
+// run executes one job under the sandbox contract and records its fate.
+func (e *Engine) run(j *Job) {
+	m := e.cfg.Metrics
+
+	j.mu.Lock()
+	if j.state.Terminal() { // canceled while queued; already retired
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithTimeout(e.baseCtx, e.budget(&j.spec))
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	var rec *SolveRecord
+	rep := sandbox.RunCtx(ctx, 0, func() error {
+		r, err := e.cfg.Runner(ctx, &j.spec)
+		if err != nil {
+			return err
+		}
+		rec = r
+		return nil
+	})
+
+	j.mu.Lock()
+	j.cancel = nil
+	j.finished = time.Now()
+	elapsed := j.finished.Sub(j.started)
+	switch {
+	case rep.Outcome == sandbox.OK && rec != nil:
+		j.state = StateDone
+		j.result = rec
+	case isDeadline(rep.Err):
+		j.state = StateTimedOut
+		j.err = fmt.Sprintf("wall-clock budget exceeded after %v", elapsed.Round(time.Millisecond))
+	case isCancel(rep.Err):
+		j.state = StateCanceled
+		j.err = "canceled while running"
+	default:
+		// Runner error, panic, or an OK report with no record (a guest
+		// that lied) — all are failures the host absorbs.
+		j.state = StateFailed
+		if rep.Err != nil {
+			j.err = rep.Err.Error()
+		} else {
+			j.err = "runner returned no result"
+		}
+	}
+	state := j.state
+	j.mu.Unlock()
+
+	switch state {
+	case StateDone:
+		m.JobsCompleted.Inc()
+		m.ObserveSolve(j.spec.SolverKind(), elapsed)
+		m.DetectorFirings.Add(int64(rec.Detections))
+		m.SandboxFailures.Add(int64(rec.SandboxFailures))
+		if rec.FaultFired {
+			m.FaultInjections.Inc()
+		}
+	case StateTimedOut:
+		m.JobsTimedOut.Inc()
+	case StateCanceled:
+		m.JobsCanceled.Inc()
+	default:
+		m.JobsFailed.Inc()
+	}
+	e.retire(j)
+}
+
+// retire records a terminal job and evicts the oldest beyond the retention
+// cap, bounding the engine's memory under sustained traffic.
+func (e *Engine) retire(j *Job) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.done = append(e.done, j.id)
+	for len(e.done) > e.cfg.Retain {
+		delete(e.jobs, e.done[0])
+		e.done = e.done[1:]
+	}
+}
+
+func isDeadline(err error) bool { return errors.Is(err, context.DeadlineExceeded) }
+func isCancel(err error) bool   { return errors.Is(err, context.Canceled) }

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued: admitted, waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is executing the solve.
+	StateRunning State = "running"
+	// StateDone: the solve returned a record (converged or not — see the
+	// record; "done" means the guest completed, not that it succeeded
+	// numerically).
+	StateDone State = "done"
+	// StateFailed: the solve returned an error or panicked.
+	StateFailed State = "failed"
+	// StateTimedOut: the job's wall-clock budget expired; the guest was
+	// abandoned per the sandbox contract.
+	StateTimedOut State = "timed-out"
+	// StateCanceled: canceled by the caller or by engine shutdown before
+	// completing.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateTimedOut, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// Job is one tracked unit of work inside the engine. All mutable fields are
+// guarded by mu; external observers read consistent snapshots via View.
+type Job struct {
+	id   string
+	spec JobSpec
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	result    *SolveRecord
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	// cancel aborts the running solve's context; non-nil only while
+	// running.
+	cancel context.CancelFunc
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// JobView is an immutable snapshot of a job, also its JSON wire form.
+type JobView struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Budget is the effective wall-clock budget in milliseconds (0 until
+	// the engine resolves the default at start).
+	Spec        JobSpec      `json:"spec"`
+	Error       string       `json:"error,omitempty"`
+	Result      *SolveRecord `json:"result,omitempty"`
+	SubmittedAt time.Time    `json:"submitted_at"`
+	StartedAt   *time.Time   `json:"started_at,omitempty"`
+	FinishedAt  *time.Time   `json:"finished_at,omitempty"`
+}
+
+// View snapshots the job under its lock.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.id,
+		State:       j.state,
+		Spec:        j.spec,
+		Error:       j.err,
+		Result:      j.result,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	return v
+}

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds d (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.n.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// defaultBuckets are the latency histogram upper bounds in seconds.
+var defaultBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// Histogram is a fixed-bucket latency histogram (cumulative on export, as
+// the Prometheus text format expects).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // per-bucket, counts[len(bounds)] = overflow (+Inf)
+	sum    float64
+	total  int64
+}
+
+// NewHistogram builds a histogram with the given upper bounds (seconds),
+// or the default latency buckets when none are given.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = defaultBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Metrics is the service's observability registry: counters for the job
+// lifecycle and the resilience machinery, plus per-solver-kind latency
+// histograms. All methods are safe for concurrent use.
+type Metrics struct {
+	// Job lifecycle.
+	JobsAccepted  Counter
+	JobsRejected  Counter
+	JobsCompleted Counter
+	JobsFailed    Counter
+	JobsTimedOut  Counter
+	JobsCanceled  Counter
+	// Resilience activity, aggregated from completed jobs' records.
+	DetectorFirings Counter
+	FaultInjections Counter
+	SandboxFailures Counter
+
+	mu    sync.Mutex
+	solve map[string]*Histogram // per solver kind
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{solve: make(map[string]*Histogram)}
+}
+
+// ObserveSolve records one completed solve's latency under its solver kind.
+func (m *Metrics) ObserveSolve(kind string, d time.Duration) {
+	m.mu.Lock()
+	h := m.solve[kind]
+	if h == nil {
+		h = NewHistogram()
+		m.solve[kind] = h
+	}
+	m.mu.Unlock()
+	h.Observe(d.Seconds())
+}
+
+// SolveHistogram returns the latency histogram for a solver kind (nil if
+// nothing was observed yet).
+func (m *Metrics) SolveHistogram(kind string) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.solve[kind]
+}
+
+// Snapshot returns the counters by exported name, for tests and JSON use.
+func (m *Metrics) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"jobs_accepted":    m.JobsAccepted.Value(),
+		"jobs_rejected":    m.JobsRejected.Value(),
+		"jobs_completed":   m.JobsCompleted.Value(),
+		"jobs_failed":      m.JobsFailed.Value(),
+		"jobs_timed_out":   m.JobsTimedOut.Value(),
+		"jobs_canceled":    m.JobsCanceled.Value(),
+		"detector_firings": m.DetectorFirings.Value(),
+		"fault_injections": m.FaultInjections.Value(),
+		"sandbox_failures": m.SandboxFailures.Value(),
+	}
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4) — what GET /metrics serves.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counters := []struct {
+		name, help string
+		c          *Counter
+	}{
+		{"solved_jobs_accepted_total", "Jobs admitted to the queue.", &m.JobsAccepted},
+		{"solved_jobs_rejected_total", "Jobs rejected by admission control (queue full).", &m.JobsRejected},
+		{"solved_jobs_completed_total", "Jobs whose solve completed.", &m.JobsCompleted},
+		{"solved_jobs_failed_total", "Jobs whose solve errored or panicked.", &m.JobsFailed},
+		{"solved_jobs_timed_out_total", "Jobs killed by their wall-clock budget.", &m.JobsTimedOut},
+		{"solved_jobs_canceled_total", "Jobs canceled by the caller or by shutdown.", &m.JobsCanceled},
+		{"solved_detector_firings_total", "SDC detector violations across all jobs.", &m.DetectorFirings},
+		{"solved_fault_injections_total", "Armed fault injectors that actually fired.", &m.FaultInjections},
+		{"solved_sandbox_failures_total", "Inner solves rejected at the sandbox boundary.", &m.SandboxFailures},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.c.Value())
+	}
+
+	m.mu.Lock()
+	kinds := make([]string, 0, len(m.solve))
+	for k := range m.solve {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	hists := make([]*Histogram, len(kinds))
+	for i, k := range kinds {
+		hists[i] = m.solve[k]
+	}
+	m.mu.Unlock()
+
+	if len(kinds) > 0 {
+		fmt.Fprintf(w, "# HELP solved_solve_duration_seconds Completed solve wall-clock latency by solver kind.\n")
+		fmt.Fprintf(w, "# TYPE solved_solve_duration_seconds histogram\n")
+	}
+	for i, k := range kinds {
+		h := hists[i]
+		h.mu.Lock()
+		cum := int64(0)
+		for bi, bound := range h.bounds {
+			cum += h.counts[bi]
+			fmt.Fprintf(w, "solved_solve_duration_seconds_bucket{solver=%q,le=%q} %d\n", k, fmt.Sprintf("%g", bound), cum)
+		}
+		cum += h.counts[len(h.bounds)]
+		fmt.Fprintf(w, "solved_solve_duration_seconds_bucket{solver=%q,le=\"+Inf\"} %d\n", k, cum)
+		fmt.Fprintf(w, "solved_solve_duration_seconds_sum{solver=%q} %g\n", k, h.sum)
+		fmt.Fprintf(w, "solved_solve_duration_seconds_count{solver=%q} %d\n", k, h.total)
+		h.mu.Unlock()
+	}
+}

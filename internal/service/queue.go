@@ -1,0 +1,96 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// Queue admission errors.
+var (
+	// ErrQueueFull: the bounded queue is at capacity — the caller should
+	// back off (the HTTP layer maps this to 429).
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrQueueClosed: the queue no longer admits work (engine draining —
+	// mapped to 503).
+	ErrQueueClosed = errors.New("service: queue closed")
+)
+
+// FIFO is a bounded first-in-first-out queue with non-blocking admission
+// and blocking removal — the engine's backpressure point. Push never
+// blocks: when the queue is at capacity the work is rejected immediately,
+// which is what lets the service shed load instead of accumulating it.
+type FIFO[T any] struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	items    []T
+	head     int
+	capacity int
+	closed   bool
+}
+
+// NewFIFO returns a queue bounded at capacity items (minimum 1).
+func NewFIFO[T any](capacity int) *FIFO[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &FIFO[T]{capacity: capacity}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push admits v or fails immediately with ErrQueueFull / ErrQueueClosed.
+func (q *FIFO[T]) Push(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if len(q.items)-q.head >= q.capacity {
+		return ErrQueueFull
+	}
+	q.items = append(q.items, v)
+	q.nonEmpty.Signal()
+	return nil
+}
+
+// Pop blocks until an item is available and returns it in FIFO order. The
+// second result is false when the queue is closed and fully drained —
+// workers use that as their exit signal, so Close + Pop-until-false is the
+// graceful drain.
+func (q *FIFO[T]) Pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == q.head && !q.closed {
+		q.nonEmpty.Wait()
+	}
+	var zero T
+	if len(q.items) == q.head {
+		return zero, false
+	}
+	v := q.items[q.head]
+	q.items[q.head] = zero // release the reference for GC
+	q.head++
+	// Compact once the dead prefix dominates, keeping Pop amortized O(1)
+	// without unbounded growth.
+	if q.head > q.capacity && q.head*2 >= len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *FIFO[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}
+
+// Close stops admission and wakes every blocked Pop. Already-queued items
+// remain poppable: closing drains, it does not discard.
+func (q *FIFO[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.nonEmpty.Broadcast()
+}

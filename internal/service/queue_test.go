@@ -1,0 +1,117 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewFIFO[int](8)
+	for i := 0; i < 5; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d ok=%v", i, v, ok)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestFIFOAdmissionControl(t *testing.T) {
+	q := NewFIFO[int](2)
+	if err := q.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(3); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow push: %v", err)
+	}
+	// Popping frees capacity.
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if err := q.Push(3); err != nil {
+		t.Fatalf("push after pop: %v", err)
+	}
+}
+
+func TestFIFOCloseDrains(t *testing.T) {
+	q := NewFIFO[int](4)
+	q.Push(1)
+	q.Push(2)
+	q.Close()
+	if err := q.Push(3); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("push after close: %v", err)
+	}
+	// Closing drains: queued items remain poppable, then Pop reports done.
+	if v, ok := q.Pop(); !ok || v != 1 {
+		t.Fatalf("pop after close: %d %v", v, ok)
+	}
+	if v, ok := q.Pop(); !ok || v != 2 {
+		t.Fatalf("pop after close: %d %v", v, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("drained closed queue must report done")
+	}
+}
+
+func TestFIFOCloseWakesBlockedPop(t *testing.T) {
+	q := NewFIFO[int](1)
+	done := make(chan bool)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	q.Close()
+	if ok := <-done; ok {
+		t.Fatal("blocked pop should wake with ok=false")
+	}
+}
+
+func TestFIFOConcurrent(t *testing.T) {
+	const producers, items = 8, 200
+	q := NewFIFO[int](producers * items)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				if err := q.Push(i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	got := make(chan int, producers*items)
+	var cwg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					return
+				}
+				got <- v
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cwg.Wait()
+	if len(got) != producers*items {
+		t.Fatalf("consumed %d of %d items", len(got), producers*items)
+	}
+}

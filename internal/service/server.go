@@ -1,0 +1,140 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServerOptions configures the HTTP layer.
+type ServerOptions struct {
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// MaxBodyBytes caps request bodies (default 16 MiB — an inline Matrix
+	// Market payload plus JSON overhead).
+	MaxBodyBytes int64
+}
+
+// Server exposes an Engine over HTTP:
+//
+//	POST   /v1/jobs      submit a JobSpec    → 202 JobView | 400 | 429 | 503
+//	GET    /v1/jobs      list jobs           → 200 {"jobs": [JobView]}
+//	GET    /v1/jobs/{id} job status/result   → 200 JobView | 404
+//	DELETE /v1/jobs/{id} cancel a job        → 200 JobView | 404 | 409
+//	GET    /healthz      liveness/readiness  → 200 | 503 (draining)
+//	GET    /metrics      Prometheus text exposition
+//	/debug/pprof/*       (optional) runtime profiling
+type Server struct {
+	engine *Engine
+	opts   ServerOptions
+	mux    *http.ServeMux
+}
+
+// NewServer builds the HTTP front end for an engine.
+func NewServer(engine *Engine, opts ServerOptions) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 16 << 20
+	}
+	s := &Server{engine: engine, opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+		return
+	}
+	view, err := s.engine.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, view)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.engine.Jobs()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.engine.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrUnknownJob.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.engine.Cancel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, view)
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, ErrNotCancelable):
+		writeJSON(w, http.StatusConflict, view)
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.engine.Draining() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":  state,
+		"workers": s.engine.Workers(),
+		"queued":  s.engine.QueueLen(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.engine.Metrics().WritePrometheus(w)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsBuilders(t *testing.T) {
+	for _, spec := range []JobSpec{
+		PoissonJob(32),
+		CircuitJob(500),
+		ConvDiffJob(16),
+		MatrixMarketJob("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 4.0\n2 2 4.0\n"),
+	} {
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("builder spec invalid: %v", err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+		want string
+	}{
+		{"no kind", JobSpec{}, "matrix kind missing"},
+		{"bad kind", JobSpec{Matrix: MatrixSpec{Kind: "dense", N: 4}}, "unknown matrix kind"},
+		{"oversize grid", JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: MaxGridN + 1}}, "out of range"},
+		{"tiny grid", JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 1}}, "out of range"},
+		{"mm empty", JobSpec{Matrix: MatrixSpec{Kind: "mm"}}, "needs inline mm"},
+		{"bad solver", JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 8}, Solver: SolverSpec{Kind: "sor"}}, "unknown solver"},
+		{"cg fault", JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 8}, Solver: SolverSpec{Kind: "cg"}, Fault: &FaultSpec{Class: "large", At: 1}}, "has none"},
+		{"cg detector", JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 8}, Solver: SolverSpec{Kind: "cg", Detector: true}}, "does not apply"},
+		{"bad tol", JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 8}, Solver: SolverSpec{Tol: 1.5}}, "tol"},
+		{"bad ortho", JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 8}, Solver: SolverSpec{Ortho: "gram"}}, "orthogonalization"},
+		{"bad policy", JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 8}, Solver: SolverSpec{Policy: "qr"}}, "lsq policy"},
+		{"bad bound", JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 8}, Solver: SolverSpec{Bound: "l1"}}, "bound"},
+		{"bad response", JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 8}, Solver: SolverSpec{Response: "reboot"}}, "response"},
+		{"bad precond", JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 8}, Solver: SolverSpec{Precond: "amg"}}, "preconditioner"},
+		{"bad fault class", JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 8}, Fault: &FaultSpec{Class: "huge", At: 1}}, "fault class"},
+		{"bad fault site", JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 8}, Fault: &FaultSpec{Class: "large", At: 0}}, "must be >= 1"},
+		{"negative budget", JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 8}, TimeBudgetMS: -1}, "time_budget_ms"},
+		{"huge outer", JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 8}, Solver: SolverSpec{MaxOuter: MaxOuterCap + 1}}, "max_outer"},
+		{"huge inner", JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 8}, Solver: SolverSpec{InnerIters: MaxInnerCap + 1}}, "inner_iters"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Fatalf("%s: expected error", c.name)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseFaultModelRoundTrip(t *testing.T) {
+	for _, spec := range []string{"large", "slight", "tiny", "bitflip:63", "set:1.5", "scale:0.5"} {
+		if _, err := ParseFaultModel(spec); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+	}
+	for _, spec := range []string{"", "huge", "bitflip:64", "set:x"} {
+		if _, err := ParseFaultModel(spec); err == nil {
+			t.Fatalf("%q should fail", spec)
+		}
+	}
+}
+
+func TestRunSpecFTGMRES(t *testing.T) {
+	spec := PoissonJob(16)
+	rec, err := RunSpec(context.Background(), &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Converged {
+		t.Fatalf("failure-free solve should converge: %+v", rec)
+	}
+	if rec.Solver != "ftgmres" || rec.Rows != 256 || rec.Problem != "poisson-16x16" {
+		t.Fatalf("record: %+v", rec)
+	}
+	if len(rec.ResidualHistory) == 0 || rec.OuterIterations == 0 {
+		t.Fatalf("missing history: %+v", rec)
+	}
+	if rec.ForwardError > 1e-4 {
+		t.Fatalf("forward error %g too large for a clean solve", rec.ForwardError)
+	}
+}
+
+func TestRunSpecWithFaultAndDetector(t *testing.T) {
+	spec := PoissonJob(16)
+	spec.Fault = &FaultSpec{Class: "large", At: 3}
+	rec, err := RunSpec(context.Background(), &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.FaultInjected || !rec.FaultFired {
+		t.Fatalf("fault should fire: %+v", rec)
+	}
+	if rec.Detections == 0 {
+		t.Fatalf("class-1 fault must be detected: %+v", rec)
+	}
+	if !rec.Converged {
+		t.Fatalf("restart-inner response should still converge: %+v", rec)
+	}
+}
+
+func TestRunSpecGMRESAndCG(t *testing.T) {
+	gm := JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 12}, Solver: SolverSpec{Kind: "gmres", MaxOuter: 200}}
+	rec, err := RunSpec(context.Background(), &gm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Solver != "gmres" || !rec.Converged {
+		t.Fatalf("gmres record: %+v", rec)
+	}
+
+	cg := JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 12}, Solver: SolverSpec{Kind: "cg", MaxOuter: 500}}
+	rec, err = RunSpec(context.Background(), &cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Solver != "cg" || !rec.Converged {
+		t.Fatalf("cg record: %+v", rec)
+	}
+}
+
+func TestRunSpecMatrixMarket(t *testing.T) {
+	mm := "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 4.0\n2 2 4.0\n3 3 4.0\n1 2 -1.0\n2 1 -1.0\n"
+	spec := MatrixMarketJob(mm)
+	rec, err := RunSpec(context.Background(), &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Converged || rec.Rows != 3 {
+		t.Fatalf("record: %+v", rec)
+	}
+}
+
+func TestRunSpecCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := PoissonJob(16)
+	if _, err := RunSpec(ctx, &spec); err == nil {
+		t.Fatal("canceled context should abort the solve")
+	}
+}
