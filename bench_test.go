@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"sdcgmres"
+	"sdcgmres/internal/campaign"
 	"sdcgmres/internal/core"
 	"sdcgmres/internal/detect"
 	"sdcgmres/internal/expt"
@@ -507,4 +508,55 @@ func BenchmarkSolveCircuitFTGMRES(b *testing.B) {
 			b.Fatalf("solve failed: %v", err)
 		}
 	}
+}
+
+// --- Campaign engine ---
+
+// BenchmarkCampaignReplay measures the restart path of the durable campaign
+// engine: load a journal holding every unit of a finished sweep, then run
+// the campaign again so the runner skips all of them. This is the cost a
+// resumed campaign pays before reaching its first unfinished experiment.
+func BenchmarkCampaignReplay(b *testing.B) {
+	p := benchProblem(b, "poisson")
+	spec := campaign.ProblemSpec{Kind: "poisson", N: 32, InnerIters: 10, TargetOuter: 8}
+	man := campaign.Manifest{
+		Name:     "bench-replay",
+		Problems: []campaign.ProblemSpec{spec},
+		Models:   []string{"large", "slight", "tiny"},
+		Steps:    []string{"first", "last"},
+		Stride:   2,
+	}
+	c, err := campaign.CompileWith(man, map[string]*expt.Problem{spec.Key(): p})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := b.TempDir() + "/replay.jsonl"
+	j, have, err := campaign.OpenJournal(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := campaign.NewRunner(c, j, have, campaign.Options{}).Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	j.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, done, err := campaign.OpenJournal(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(done) != len(c.Units) {
+			b.Fatalf("journal holds %d of %d units", len(done), len(c.Units))
+		}
+		r := campaign.NewRunner(c, j, done, campaign.Options{})
+		if err := r.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if prog := r.Progress(); prog.Skipped != prog.Total || prog.Executed != 0 {
+			b.Fatalf("replay executed work: %+v", prog)
+		}
+		j.Close()
+	}
+	b.ReportMetric(float64(len(c.Units)), "units/replay")
 }

@@ -8,13 +8,19 @@
 // Usage:
 //
 //	paperfigs [-profile tiny|fast|paper] [-only table1,fig2,fig3a,...]
-//	          [-outdir data] [-stride N] [-workers N]
+//	          [-outdir data] [-stride N] [-workers N] [-resume]
 //
 // Profiles trade fidelity for wall-clock time on small machines:
 //
 //	tiny  — minute-scale smoke run (small grids, coarse stride)
 //	fast  — the default: same qualitative shapes, minutes on one core
 //	paper — full problem sizes (Poisson 100×100, circuit n=25187), stride 1
+//
+// The fault sweeps run through the internal/campaign engine: every finished
+// experiment is journaled to <outdir>/campaign-<profile>.jsonl as it
+// completes. Interrupting a run (Ctrl-C) keeps the journal; rerunning with
+// -resume skips every journaled experiment and produces CSVs byte-identical
+// to an uninterrupted run's.
 package main
 
 import (
@@ -28,11 +34,11 @@ import (
 	"syscall"
 	"time"
 
+	"sdcgmres/internal/campaign"
 	"sdcgmres/internal/core"
 	"sdcgmres/internal/dense"
 	"sdcgmres/internal/detect"
 	"sdcgmres/internal/expt"
-	"sdcgmres/internal/fault"
 	"sdcgmres/internal/gallery"
 	"sdcgmres/internal/krylov"
 	"sdcgmres/internal/sparse"
@@ -63,6 +69,7 @@ func main() {
 	outdir := flag.String("outdir", "data", "directory for CSV output")
 	stride := flag.Int("stride", 0, "override sweep stride (0 = profile default)")
 	workers := flag.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS)")
+	resume := flag.Bool("resume", false, "resume an interrupted run from its journal in -outdir")
 	flag.Parse()
 
 	prof, ok := profiles[*profName]
@@ -71,7 +78,7 @@ func main() {
 		os.Exit(2)
 	}
 	// Ctrl-C cancels long campaigns mid-sweep instead of killing the run
-	// between experiments.
+	// between experiments; the journal keeps everything already finished.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *stride > 0 {
@@ -100,24 +107,35 @@ func main() {
 	var poisson, circuit *expt.Problem
 	needPoisson := sel("fig3a") || sel("fig3b") || sel("summary")
 	needCircuit := sel("fig4a") || sel("fig4b") || sel("summary")
+	poissonSpec := campaign.ProblemSpec{Kind: "poisson", N: prof.poissonN, InnerIters: prof.innerIters, TargetOuter: prof.poissonOuter}
+	circuitSpec := campaign.ProblemSpec{Kind: "circuit", N: prof.circuitN, InnerIters: prof.innerIters, TargetOuter: prof.circuitOuter}
+
+	var sw *sweeper
+	if needPoisson || needCircuit {
+		sw = openSweeper(*outdir, prof, *resume, *workers, resumeCommand(prof, *only, *outdir, *stride, *workers))
+		defer sw.Close()
+	}
 	if needPoisson {
 		poisson = calibrate("Poisson", gallery.Poisson2D(prof.poissonN), prof.innerIters, prof.poissonOuter)
+		sw.register(poissonSpec, poisson)
 	}
 	if needCircuit {
 		circuit = calibrate("circuit", gallery.CircuitDCOP(gallery.DefaultCircuitDCOPConfig(prof.circuitN)), prof.innerIters, prof.circuitOuter)
+		sw.register(circuitSpec, circuit)
 	}
 
 	var summaries []expt.Summary
 	figs := []struct {
 		key     string
 		problem **expt.Problem
-		step    fault.StepSelector
+		spec    campaign.ProblemSpec
+		step    string
 		caption string
 	}{
-		{"fig3a", &poisson, fault.FirstMGS, "Fig. 3a: Poisson, SDC on the FIRST MGS iteration"},
-		{"fig3b", &poisson, fault.LastMGS, "Fig. 3b: Poisson, SDC on the LAST MGS iteration"},
-		{"fig4a", &circuit, fault.FirstMGS, "Fig. 4a: circuit (mult_dcop_03 surrogate), SDC on the FIRST MGS iteration"},
-		{"fig4b", &circuit, fault.LastMGS, "Fig. 4b: circuit (mult_dcop_03 surrogate), SDC on the LAST MGS iteration"},
+		{"fig3a", &poisson, poissonSpec, "first", "Fig. 3a: Poisson, SDC on the FIRST MGS iteration"},
+		{"fig3b", &poisson, poissonSpec, "last", "Fig. 3b: Poisson, SDC on the LAST MGS iteration"},
+		{"fig4a", &circuit, circuitSpec, "first", "Fig. 4a: circuit (mult_dcop_03 surrogate), SDC on the FIRST MGS iteration"},
+		{"fig4b", &circuit, circuitSpec, "last", "Fig. 4b: circuit (mult_dcop_03 surrogate), SDC on the LAST MGS iteration"},
 	}
 	for _, f := range figs {
 		if !sel(f.key) && !sel("summary") {
@@ -133,27 +151,26 @@ func main() {
 			fmt.Printf("   %d inner iterations per outer iteration. Failure-free outer iterations = %d\n\n",
 				p.InnerIters, p.FailureFreeOuter)
 		}
-		for _, model := range fault.Classes() {
-			cfg := expt.SweepConfig{Model: model, Step: f.step, Stride: prof.stride, Workers: *workers}
+		for _, model := range []string{"large", "slight", "tiny"} {
 			start := time.Now()
-			pts := expt.Sweep(ctx, p, cfg)
-			if ctx.Err() != nil {
-				fmt.Fprintln(os.Stderr, "paperfigs: interrupted, partial sweep discarded")
-				os.Exit(130)
-			}
+			pts, cfg, prog := sw.sweep(ctx, f.key, f.spec, model, f.step, campaign.DetectorSpec{})
 			sum := expt.Summarize(p, cfg, pts)
 			summaries = append(summaries, sum)
-			writeCSV(*outdir, fmt.Sprintf("%s_%s.csv", f.key, slug(model.String())), p, cfg, pts)
+			writeCSV(*outdir, fmt.Sprintf("%s_%s.csv", f.key, slug(cfg.Model.String())), p, cfg, pts)
 			if show {
-				plotSweep(p, model.String(), pts)
-				fmt.Printf("   [%d runs in %v; worst case %d outer (+%d); %d unaffected]\n\n",
-					len(pts), time.Since(start).Round(time.Second), sum.MaxOuter, sum.MaxExtraOuter, sum.Unaffected)
+				plotSweep(p, cfg.Model.String(), pts)
+				resumed := ""
+				if prog.Skipped > 0 {
+					resumed = fmt.Sprintf(", %d from journal", prog.Skipped)
+				}
+				fmt.Printf("   [%d runs in %v%s; worst case %d outer (+%d); %d unaffected]\n\n",
+					len(pts), time.Since(start).Round(time.Second), resumed, sum.MaxOuter, sum.MaxExtraOuter, sum.Unaffected)
 			}
 		}
 	}
 
 	if sel("summary") {
-		runSummary(ctx, prof, *outdir, poisson, circuit, summaries, *workers)
+		runSummary(ctx, *outdir, sw, poisson, circuit, poissonSpec, circuitSpec, summaries)
 	}
 	if sel("montecarlo") {
 		if poisson == nil {
@@ -231,23 +248,22 @@ func captureH(a krylov.Operator, k int) *dense.Matrix {
 	return h
 }
 
-func runSummary(ctx context.Context, prof profile, outdir string, poisson, circuit *expt.Problem, noDetector []expt.Summary, workers int) {
+func runSummary(ctx context.Context, outdir string, sw *sweeper, poisson, circuit *expt.Problem, poissonSpec, circuitSpec campaign.ProblemSpec, noDetector []expt.Summary) {
 	fmt.Println("-- Summary (Sec. VII-E): detector impact on worst-case time-to-solution --")
-	det := core.DetectorConfig{Enabled: true, Kind: detect.FrobeniusBound, Response: core.ResponseRestartInner}
+	det := campaign.DetectorSpec{Enabled: true, Bound: "frobenius", Response: "restart"}
 	var withDetector []expt.Summary
-	for _, p := range []*expt.Problem{poisson, circuit} {
-		if p == nil {
+	targets := []struct {
+		p    *expt.Problem
+		spec campaign.ProblemSpec
+	}{{poisson, poissonSpec}, {circuit, circuitSpec}}
+	for _, tgt := range targets {
+		if tgt.p == nil {
 			continue
 		}
-		for _, step := range []fault.StepSelector{fault.FirstMGS, fault.LastMGS} {
-			cfg := expt.SweepConfig{Model: fault.ClassLarge, Step: step, Stride: prof.stride, Detector: det, Workers: workers}
-			pts := expt.Sweep(ctx, p, cfg)
-			if ctx.Err() != nil {
-				fmt.Fprintln(os.Stderr, "paperfigs: interrupted, partial sweep discarded")
-				os.Exit(130)
-			}
-			withDetector = append(withDetector, expt.Summarize(p, cfg, pts))
-			writeCSV(outdir, fmt.Sprintf("summary_det_%s_%s.csv", slug(p.Name), step.String()), p, cfg, pts)
+		for _, step := range []string{"first", "last"} {
+			pts, cfg, _ := sw.sweep(ctx, "summary", tgt.spec, "large", step, det)
+			withDetector = append(withDetector, expt.Summarize(tgt.p, cfg, pts))
+			writeCSV(outdir, fmt.Sprintf("summary_det_%s_%s.csv", slug(tgt.p.Name), cfg.Step.String()), tgt.p, cfg, pts)
 		}
 	}
 	fmt.Println("\nWithout detector:")
@@ -291,6 +307,116 @@ func runMonteCarlo(prof profile, outdir string, p *expt.Problem, workers int) {
 	expt.WriteMCReport(f, p, on)
 	f.Close()
 	fmt.Println()
+}
+
+// sweeper drives the fault sweeps through the campaign engine against one
+// shared per-profile journal, so every finished experiment survives an
+// interrupt and is skipped on -resume.
+type sweeper struct {
+	journal   *campaign.Journal
+	have      map[string]campaign.Record
+	problems  map[string]*expt.Problem
+	stride    int
+	workers   int
+	resumeCmd string
+}
+
+// resumeCommand reconstructs the exact invocation that continues this run.
+func resumeCommand(prof profile, only, outdir string, stride, workers int) string {
+	cmd := fmt.Sprintf("paperfigs -profile %s -outdir %s", prof.name, outdir)
+	if only != "all" {
+		cmd += " -only " + only
+	}
+	if stride > 0 {
+		cmd += fmt.Sprintf(" -stride %d", stride)
+	}
+	if workers > 0 {
+		cmd += fmt.Sprintf(" -workers %d", workers)
+	}
+	return cmd + " -resume"
+}
+
+// openSweeper opens (or, with resume, reuses) the profile's journal. A
+// non-empty journal without -resume is refused rather than silently
+// satisfying sweeps with stale records.
+func openSweeper(outdir string, prof profile, resume bool, workers int, resumeCmd string) *sweeper {
+	path := filepath.Join(outdir, "campaign-"+prof.name+".jsonl")
+	if !resume {
+		if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
+			fatal(fmt.Errorf("journal %s already holds finished experiments;\nrerun with -resume to continue it, or delete it to start over", path))
+		}
+	}
+	j, have, err := campaign.OpenJournal(path)
+	if err != nil {
+		fatal(err)
+	}
+	if len(have) > 0 {
+		fmt.Printf("resuming: journal %s holds %d finished experiments\n\n", path, len(have))
+	}
+	return &sweeper{
+		journal:   j,
+		have:      have,
+		problems:  map[string]*expt.Problem{},
+		stride:    prof.stride,
+		workers:   workers,
+		resumeCmd: resumeCmd,
+	}
+}
+
+// register hands the sweeper an already calibrated problem, so campaign
+// compilation reuses it instead of re-running the probe solve.
+func (s *sweeper) register(spec campaign.ProblemSpec, p *expt.Problem) {
+	s.problems[spec.Key()] = p
+}
+
+// Close releases the journal.
+func (s *sweeper) Close() { s.journal.Close() }
+
+// sweep runs one series (one curve of one figure) through the campaign
+// engine, skipping journaled experiments, and returns the aggregated points
+// — byte-for-byte what the in-memory expt.Sweep path would have produced.
+func (s *sweeper) sweep(ctx context.Context, name string, spec campaign.ProblemSpec, model, step string, det campaign.DetectorSpec) ([]expt.SweepPoint, expt.SweepConfig, campaign.Progress) {
+	man := campaign.Manifest{
+		Name:      name,
+		Problems:  []campaign.ProblemSpec{spec},
+		Models:    []string{model},
+		Steps:     []string{step},
+		Detectors: []campaign.DetectorSpec{det},
+		Stride:    s.stride,
+	}
+	c, err := campaign.CompileWith(man, s.problems)
+	if err != nil {
+		fatal(err)
+	}
+	r := campaign.NewRunner(c, s.journal, s.have, campaign.Options{Workers: s.workers, UnitBudget: time.Hour})
+	runErr := r.Run(ctx)
+	for id, rec := range r.Records() {
+		s.have[id] = rec
+	}
+	if runErr != nil {
+		if ctx.Err() != nil {
+			s.interrupted()
+		}
+		fatal(runErr)
+	}
+	series, err := c.Aggregate(s.have)
+	if err != nil {
+		fatal(err)
+	}
+	sr := series[0]
+	if !sr.Complete() {
+		fatal(fmt.Errorf("series %s incomplete after run (%d missing)", sr.Key, sr.Missing))
+	}
+	return sr.Points, sr.Config, r.Progress()
+}
+
+// interrupted reports where the journal lives and the exact command that
+// resumes the run, then exits with the conventional SIGINT status.
+func (s *sweeper) interrupted() {
+	s.journal.Close()
+	fmt.Fprintf(os.Stderr, "\npaperfigs: interrupted — %d finished experiments are journaled at:\n  %s\nresume with:\n  %s\n",
+		len(s.have), s.journal.Path(), s.resumeCmd)
+	os.Exit(130)
 }
 
 func calibrate(label string, a *sparse.CSR, inner, target int) *expt.Problem {

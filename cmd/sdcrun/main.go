@@ -8,18 +8,30 @@
 //	sdcrun -gen poisson -n 64 -inner 25 -tol 1e-8 \
 //	       -fault-class large -fault-at 30 -fault-step first \
 //	       -detector -response restart
+//
+// Batch mode runs a whole campaign manifest (problems × fault models × MGS
+// steps × detector policies) through the durable campaign engine, journaling
+// every experiment so an interrupted run resumes where it stopped:
+//
+//	sdcrun -campaign manifest.json [-journal sweep.jsonl] [-json]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
+	"sdcgmres/internal/campaign"
 	"sdcgmres/internal/core"
 	"sdcgmres/internal/detect"
+	"sdcgmres/internal/expt"
 	"sdcgmres/internal/fault"
 	"sdcgmres/internal/gallery"
 	"sdcgmres/internal/krylov"
@@ -43,7 +55,14 @@ func main() {
 	response := flag.String("response", "warn", "detector response: warn | halt | restart")
 	verbose := flag.Bool("v", false, "print the per-iteration residual history")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable result record (same schema as the solver service)")
+	campaignFile := flag.String("campaign", "", "run a campaign manifest JSON through the durable engine instead of a single experiment")
+	journalPath := flag.String("journal", "", "campaign journal path (default <name>-<hash>.jsonl beside the manifest)")
 	flag.Parse()
+
+	if *campaignFile != "" {
+		runCampaign(*campaignFile, *journalPath, *jsonOut)
+		return
+	}
 
 	a, name := buildMatrix(*gen, *file, *n)
 	b := make([]float64, a.Rows())
@@ -150,13 +169,80 @@ func main() {
 	}
 }
 
+// runCampaign executes a manifest through the campaign engine: journaled
+// experiments are skipped, an interrupt keeps the journal, and rerunning the
+// same command resumes. Output is the Section VII-E summary table per
+// completed series (or the full progress + summaries as JSON).
+func runCampaign(manifestPath, journalPath string, jsonOut bool) {
+	raw, err := os.ReadFile(manifestPath)
+	if err != nil {
+		fatal(err)
+	}
+	var man campaign.Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", manifestPath, err))
+	}
+	if journalPath == "" {
+		journalPath = filepath.Join(filepath.Dir(manifestPath),
+			fmt.Sprintf("%s-%s.jsonl", man.Slug(), man.Hash()))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	c, err := campaign.Compile(man)
+	if err != nil {
+		fatal(err)
+	}
+	j, have, err := campaign.OpenJournal(journalPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer j.Close()
+	if !jsonOut {
+		fmt.Printf("campaign %q: %s\n", man.Name, c.Describe())
+		fmt.Printf("journal:  %s (%d experiments already done)\n\n", journalPath, len(have))
+	}
+
+	r := campaign.NewRunner(c, j, have, campaign.Options{})
+	runErr := r.Run(ctx)
+	for id, rec := range r.Records() {
+		have[id] = rec
+	}
+	if runErr != nil && ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "sdcrun: interrupted — %d finished experiments are journaled at:\n  %s\nrerun the same command to resume\n",
+			len(have), journalPath)
+		os.Exit(130)
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+
+	prog := r.Progress()
+	sums, err := c.Summaries(have)
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"progress": prog, "summaries": sums}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("done: %d/%d experiments (%d run now, %d from journal, %d failed, %d timed out)\n\n",
+		prog.Done, prog.Total, prog.Executed, prog.Skipped, prog.Failed, prog.TimedOut)
+	expt.WriteSummaries(os.Stdout, sums)
+}
+
 func buildMatrix(gen, file string, n int) (*sparse.CSR, string) {
 	if file != "" {
-		m, err := sparse.ReadMatrixMarketFile(file)
+		m, name, err := gallery.FromMatrixMarketFile(file)
 		if err != nil {
 			fatal(err)
 		}
-		return m, file
+		return m, name
 	}
 	switch gen {
 	case "poisson":

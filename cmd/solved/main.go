@@ -8,6 +8,7 @@
 //
 //	solved [-addr :8080] [-workers N] [-queue 64] [-budget 30s]
 //	       [-max-budget 5m] [-retain 1024] [-drain-timeout 30s] [-pprof]
+//	       [-campaign-dir DIR]
 //
 // Submit a job:
 //
@@ -19,6 +20,18 @@
 //
 // then poll GET /v1/jobs/<id> for the result and GET /metrics for the
 // service counters.
+//
+// Durable fault-injection campaigns (journaled under -campaign-dir; a
+// canceled or crashed campaign resumes when its manifest is resubmitted):
+//
+//	curl -s -X POST localhost:8080/v1/campaigns -d '{
+//	  "name": "poisson-sweep",
+//	  "problems": [{"kind": "poisson", "n": 32, "inner_iters": 10, "target_outer": 8}],
+//	  "models": ["large", "slight"], "steps": ["first", "last"]
+//	}'
+//
+// then poll GET /v1/campaigns/<id> for progress (done/total, ETA,
+// per-problem failures).
 package main
 
 import (
@@ -45,6 +58,7 @@ type cliConfig struct {
 	retain       int
 	drainTimeout time.Duration
 	pprof        bool
+	campaignDir  string
 }
 
 func parseFlags(args []string) (cliConfig, error) {
@@ -58,13 +72,16 @@ func parseFlags(args []string) (cliConfig, error) {
 	fs.IntVar(&cfg.retain, "retain", 1024, "finished jobs kept queryable")
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown drain budget")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	fs.StringVar(&cfg.campaignDir, "campaign-dir", ".", "directory for campaign journals")
 	err := fs.Parse(args)
 	return cfg, err
 }
 
-// setup wires the engine and HTTP handler from a cliConfig; split from main
-// so tests can drive the exact production wiring in-process.
-func setup(cfg cliConfig) (*service.Engine, http.Handler) {
+// setup wires the engine, campaign manager and HTTP handler from a
+// cliConfig; split from main so tests can drive the exact production wiring
+// in-process. The campaign manager shares the engine's metrics registry so
+// GET /metrics covers both.
+func setup(cfg cliConfig) (*service.Engine, *service.CampaignManager, http.Handler) {
 	engine := service.NewEngine(service.Config{
 		Workers:       cfg.workers,
 		QueueDepth:    cfg.queueDepth,
@@ -72,8 +89,16 @@ func setup(cfg cliConfig) (*service.Engine, http.Handler) {
 		MaxBudget:     cfg.maxBudget,
 		Retain:        cfg.retain,
 	})
-	handler := service.NewServer(engine, service.ServerOptions{EnablePprof: cfg.pprof})
-	return engine, handler
+	campaigns := service.NewCampaignManager(service.CampaignManagerConfig{
+		Dir:     cfg.campaignDir,
+		Workers: cfg.workers,
+		Metrics: engine.Metrics(),
+	})
+	handler := service.NewServer(engine, service.ServerOptions{
+		EnablePprof: cfg.pprof,
+		Campaigns:   campaigns,
+	})
+	return engine, campaigns, handler
 }
 
 func main() {
@@ -81,7 +106,7 @@ func main() {
 	if err != nil {
 		os.Exit(2)
 	}
-	engine, handler := setup(cfg)
+	engine, campaigns, handler := setup(cfg)
 	engine.Start()
 
 	srv := &http.Server{
@@ -108,6 +133,9 @@ func main() {
 	log.Printf("solved: draining (%v budget, %d queued)...", cfg.drainTimeout, engine.QueueLen())
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
+	if err := campaigns.Shutdown(drainCtx); err != nil {
+		log.Printf("solved: campaign drain incomplete (journals retain finished units): %v", err)
+	}
 	if err := engine.Shutdown(drainCtx); err != nil {
 		log.Printf("solved: drain incomplete, running jobs aborted: %v", err)
 	} else {

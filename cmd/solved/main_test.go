@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -21,7 +22,7 @@ func TestParseFlagsDefaults(t *testing.T) {
 	}
 	if cfg.addr != ":8080" || cfg.queueDepth != 64 || cfg.budget != 30*time.Second ||
 		cfg.maxBudget != 5*time.Minute || cfg.retain != 1024 ||
-		cfg.drainTimeout != 30*time.Second || cfg.pprof {
+		cfg.drainTimeout != 30*time.Second || cfg.pprof || cfg.campaignDir != "." {
 		t.Fatalf("defaults: %+v", cfg)
 	}
 }
@@ -53,10 +54,11 @@ func TestDaemonWiring(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine, handler := setup(cfg)
+	engine, campaigns, handler := setup(cfg)
 	engine.Start()
 	ts := httptest.NewServer(handler)
 	defer ts.Close()
+	defer campaigns.Shutdown(context.Background())
 
 	spec := service.PoissonJob(12)
 	body, _ := json.Marshal(spec)
@@ -113,9 +115,86 @@ func TestDaemonWiring(t *testing.T) {
 	}
 }
 
+// TestDaemonCampaignWiring submits a tiny campaign through the production
+// wiring and polls it to completion, checking the journal lands under
+// -campaign-dir and the campaign counters reach /metrics.
+func TestDaemonCampaignWiring(t *testing.T) {
+	dir := t.TempDir()
+	cfg, err := parseFlags([]string{"-workers", "2", "-campaign-dir", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, campaigns, handler := setup(cfg)
+	engine.Start()
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	defer engine.Shutdown(context.Background())
+	defer campaigns.Shutdown(context.Background())
+
+	manifest := `{
+	  "name": "wiring-test",
+	  "problems": [{"kind": "poisson", "n": 8, "inner_iters": 6, "target_outer": 5}],
+	  "models": ["slight"], "steps": ["first"], "stride": 7
+	}`
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(manifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view service.CampaignView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if !strings.HasPrefix(view.Journal, dir) {
+		t.Fatalf("journal %q not under -campaign-dir %q", view.Journal, dir)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/campaigns/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if view.State == service.CampaignDone || view.State == service.CampaignFailed ||
+			view.State == service.CampaignCanceled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign stuck: %+v", view)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if view.State != service.CampaignDone || view.Progress.Done != view.Progress.Total {
+		t.Fatalf("campaign: %+v", view)
+	}
+	if _, err := os.Stat(view.Journal); err != nil {
+		t.Fatalf("journal missing: %v", err)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := io.ReadAll(mr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr.Body.Close()
+	if !strings.Contains(string(expo), "solved_campaigns_completed_total 1") {
+		t.Fatalf("metrics:\n%s", expo)
+	}
+}
+
 func TestPprofGating(t *testing.T) {
 	for _, on := range []bool{false, true} {
-		engine, handler := setup(cliConfig{workers: 1, queueDepth: 1, pprof: on})
+		engine, _, handler := setup(cliConfig{workers: 1, queueDepth: 1, pprof: on})
 		engine.Start()
 		ts := httptest.NewServer(handler)
 		resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")

@@ -1,0 +1,115 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+
+	"sdcgmres/internal/expt"
+)
+
+// Series is one aggregated sweep curve: the campaign equivalent of a
+// completed expt.Sweep call. Points are ordered by site; units missing from
+// the journal yield zero-valued points, exactly as a cancelled expt.Sweep
+// leaves its not-yet-run sites — so partial aggregates are distinguishable
+// from complete ones.
+type Series struct {
+	// Key identifies the curve.
+	Key SeriesKey
+	// Problem is the calibrated problem instance.
+	Problem *expt.Problem
+	// Config is the sweep configuration shared by the series' units.
+	Config expt.SweepConfig
+	// Points holds one point per site, in site order.
+	Points []expt.SweepPoint
+	// Missing counts sites with no journal record yet.
+	Missing int
+	// Failed counts sites journaled as failed or timed-out.
+	Failed int
+}
+
+// Complete reports whether every site of the series has a record.
+func (s *Series) Complete() bool { return s.Missing == 0 }
+
+// Summary condenses the series the way Section VII-E does.
+func (s *Series) Summary() expt.Summary {
+	return expt.Summarize(s.Problem, s.Config, s.Points)
+}
+
+// WriteCSV renders the series through the exact writer the one-shot expt
+// path uses, so an aggregated campaign CSV is byte-identical to the CSV of
+// an uninterrupted in-memory sweep over the same sites.
+func (s *Series) WriteCSV(w io.Writer) error {
+	return expt.WriteSweepCSV(w, s.Problem.Name, s.Config, s.Points)
+}
+
+// Aggregate folds journal records into the campaign's series, in the same
+// deterministic order as the unit list (problems × detectors × steps ×
+// models). Records for unit IDs outside the campaign are ignored.
+func (c *Compiled) Aggregate(recs map[string]Record) ([]*Series, error) {
+	var order []SeriesKey
+	byKey := map[SeriesKey]*Series{}
+	for _, u := range c.Units {
+		key := u.SeriesKey()
+		s, ok := byKey[key]
+		if !ok {
+			cfg, err := c.SweepConfig(u)
+			if err != nil {
+				return nil, err
+			}
+			s = &Series{Key: key, Problem: c.Problems[u.Problem], Config: cfg}
+			byKey[key] = s
+			order = append(order, key)
+		}
+		var pt expt.SweepPoint
+		rec, ok := recs[u.ID]
+		switch {
+		case !ok:
+			s.Missing++
+		case rec.Outcome != OutcomeOK:
+			s.Failed++
+			pt = rec.Point
+		default:
+			pt = rec.Point
+		}
+		s.Points = append(s.Points, pt)
+	}
+	out := make([]*Series, len(order))
+	for i, key := range order {
+		out[i] = byKey[key]
+	}
+	return out, nil
+}
+
+// Summaries aggregates and summarizes every complete series (incomplete
+// ones are skipped: their statistics would be meaningless).
+func (c *Compiled) Summaries(recs map[string]Record) ([]expt.Summary, error) {
+	series, err := c.Aggregate(recs)
+	if err != nil {
+		return nil, err
+	}
+	var sums []expt.Summary
+	for _, s := range series {
+		if s.Complete() {
+			sums = append(sums, s.Summary())
+		}
+	}
+	return sums, nil
+}
+
+// Remaining reports how many of the campaign's units have no record yet.
+func (c *Compiled) Remaining(recs map[string]Record) int {
+	n := 0
+	for _, u := range c.Units {
+		if _, ok := recs[u.ID]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Describe renders a one-line shape summary for logs.
+func (c *Compiled) Describe() string {
+	return fmt.Sprintf("%d units (%d problems × %d detectors × %d steps × %d models, stride %d)",
+		len(c.Units), len(c.Manifest.Problems), len(c.Manifest.Detectors),
+		len(c.Manifest.Steps), len(c.Manifest.Models), c.Manifest.Stride)
+}

@@ -1,0 +1,294 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdcgmres/internal/expt"
+	"sdcgmres/internal/sandbox"
+)
+
+// Options parameterizes a campaign run.
+type Options struct {
+	// Workers bounds concurrent units (default GOMAXPROCS).
+	Workers int
+	// UnitBudget is the per-unit wall-clock deadline (default 2 minutes,
+	// overridden by the manifest's unit_budget_ms when set).
+	UnitBudget time.Duration
+	// OnRecord, when non-nil, observes every record as it is journaled
+	// (metrics, progress logging). Called from worker goroutines.
+	OnRecord func(Record)
+	// OnSkip, when non-nil, observes every unit skipped because the journal
+	// already holds it.
+	OnSkip func(Unit)
+}
+
+// Progress is a point-in-time snapshot of a run.
+type Progress struct {
+	// Total is the campaign's unit count.
+	Total int `json:"total"`
+	// Done counts units with a journal record (skipped + executed).
+	Done int `json:"done"`
+	// Skipped counts units satisfied by the journal at startup — the
+	// resume path's savings.
+	Skipped int `json:"skipped"`
+	// Executed counts units this run actually ran.
+	Executed int `json:"executed"`
+	// Failed counts executed units whose experiment errored or panicked.
+	Failed int `json:"failed"`
+	// TimedOut counts executed units killed by the per-unit deadline.
+	TimedOut int `json:"timed_out"`
+	// ElapsedMS is wall-clock time since Run started.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// ETAMS estimates the remaining wall clock from the executed-unit rate
+	// (0 until at least one unit finished, or when nothing remains).
+	ETAMS float64 `json:"eta_ms,omitempty"`
+	// FailuresByProblem breaks failures down per problem shard.
+	FailuresByProblem map[string]int `json:"failures_by_problem,omitempty"`
+}
+
+// Runner executes a compiled campaign against a journal: journaled units
+// are skipped, the rest run on a worker pool, each inside the sandbox with
+// a per-unit deadline, and every completed unit is journaled before it
+// counts as done. Cancelling the context stops the run between units;
+// in-flight experiments finish (or hit their deadline) and nothing already
+// journaled is lost.
+type Runner struct {
+	compiled *Compiled
+	journal  *Journal
+	have     map[string]Record
+	opts     Options
+
+	started  atomic.Int64 // unix nanos; 0 until Run begins
+	done     atomic.Int64
+	skipped  atomic.Int64
+	executed atomic.Int64
+	failed   atomic.Int64
+	timedOut atomic.Int64
+
+	mu         sync.Mutex
+	byProblem  map[string]int
+	newRecords map[string]Record
+}
+
+// NewRunner builds a runner. have is the journal's record set at open time
+// (from OpenJournal); records for unknown unit IDs are ignored, so journals
+// may be shared across manifests.
+func NewRunner(c *Compiled, j *Journal, have map[string]Record, opts Options) *Runner {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.UnitBudget <= 0 {
+		opts.UnitBudget = 2 * time.Minute
+		if ms := c.Manifest.UnitBudgetMS; ms > 0 {
+			opts.UnitBudget = time.Duration(ms) * time.Millisecond
+		}
+	}
+	if have == nil {
+		have = map[string]Record{}
+	}
+	return &Runner{
+		compiled:   c,
+		journal:    j,
+		have:       have,
+		opts:       opts,
+		byProblem:  map[string]int{},
+		newRecords: map[string]Record{},
+	}
+}
+
+// Records returns the records this run produced (not the resumed ones).
+func (r *Runner) Records() map[string]Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]Record, len(r.newRecords))
+	for k, v := range r.newRecords {
+		out[k] = v
+	}
+	return out
+}
+
+// Progress snapshots the run.
+func (r *Runner) Progress() Progress {
+	p := Progress{
+		Total:    len(r.compiled.Units),
+		Done:     int(r.done.Load()),
+		Skipped:  int(r.skipped.Load()),
+		Executed: int(r.executed.Load()),
+		Failed:   int(r.failed.Load()),
+		TimedOut: int(r.timedOut.Load()),
+	}
+	if s := r.started.Load(); s > 0 {
+		elapsed := time.Since(time.Unix(0, s))
+		p.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+		if exec := p.Executed; exec > 0 {
+			remaining := p.Total - p.Done
+			if remaining > 0 {
+				perUnit := elapsed / time.Duration(exec)
+				workers := r.opts.Workers
+				eta := perUnit * time.Duration(remaining) / time.Duration(workers)
+				p.ETAMS = float64(eta) / float64(time.Millisecond)
+			}
+		}
+	}
+	r.mu.Lock()
+	if len(r.byProblem) > 0 {
+		p.FailuresByProblem = make(map[string]int, len(r.byProblem))
+		for k, v := range r.byProblem {
+			p.FailuresByProblem[k] = v
+		}
+	}
+	r.mu.Unlock()
+	return p
+}
+
+// Run executes the campaign. It returns ctx.Err() when interrupted (with
+// the journal holding everything finished so far), the first journal write
+// error if persistence fails — running on without durability would break
+// the resume contract — and nil when every unit is journaled.
+func (r *Runner) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r.started.Store(time.Now().UnixNano())
+
+	units := r.compiled.Units
+	workers := r.opts.Workers
+	if workers > len(units) {
+		workers = len(units)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var journalErr atomic.Value // error; first append failure aborts the run
+	abort, cancelAbort := context.WithCancel(ctx)
+	defer cancelAbort()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for abort.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= len(units) {
+					return
+				}
+				u := units[i]
+				if _, ok := r.have[u.ID]; ok {
+					r.skipped.Add(1)
+					r.done.Add(1)
+					if r.opts.OnSkip != nil {
+						r.opts.OnSkip(u)
+					}
+					continue
+				}
+				rec, ran := r.runUnit(abort, u)
+				if !ran {
+					continue // canceled mid-unit: not journaled, rerun on resume
+				}
+				if err := r.journal.Append(rec); err != nil {
+					journalErr.Store(err)
+					cancelAbort()
+					return
+				}
+				r.record(rec)
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := journalErr.Load().(error); err != nil {
+		return err
+	}
+	if err := r.journal.Sync(); err != nil {
+		return fmt.Errorf("campaign: sync journal: %w", err)
+	}
+	return ctx.Err()
+}
+
+// record books a freshly journaled record into the counters.
+func (r *Runner) record(rec Record) {
+	r.executed.Add(1)
+	r.done.Add(1)
+	switch rec.Outcome {
+	case OutcomeFailed:
+		r.failed.Add(1)
+		r.bumpFailure(rec.Unit.Problem)
+	case OutcomeTimedOut:
+		r.timedOut.Add(1)
+		r.bumpFailure(rec.Unit.Problem)
+	}
+	r.mu.Lock()
+	r.newRecords[rec.ID] = rec
+	r.mu.Unlock()
+	if r.opts.OnRecord != nil {
+		r.opts.OnRecord(rec)
+	}
+}
+
+func (r *Runner) bumpFailure(problem string) {
+	r.mu.Lock()
+	r.byProblem[problem]++
+	r.mu.Unlock()
+}
+
+// runUnit executes one unit under the sandbox with its deadline. ran is
+// false only when the campaign context ended before the unit produced a
+// journalable outcome.
+func (r *Runner) runUnit(ctx context.Context, u Unit) (rec Record, ran bool) {
+	p := r.compiled.Problems[u.Problem]
+	cfg, err := r.compiled.SweepConfig(u)
+	if err != nil {
+		// Compile guarantees parseable units; treat the impossible as a
+		// failed unit rather than wedging the campaign.
+		return Record{ID: u.ID, Unit: u, Outcome: OutcomeFailed, Err: err.Error(),
+			Point: capPoint(p, u)}, true
+	}
+
+	start := time.Now()
+	uctx, cancel := context.WithTimeout(ctx, r.opts.UnitBudget)
+	defer cancel()
+	var pt expt.SweepPoint
+	rep := sandbox.RunCtx(uctx, 0, func() error {
+		pt = expt.RunPoint(uctx, p, cfg, u.Site)
+		return nil
+	})
+	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+
+	if ctx.Err() != nil {
+		// Campaign-level cancellation: the unit is not finished, leave it
+		// for the resumed run.
+		return Record{}, false
+	}
+	switch {
+	case rep.Outcome == sandbox.OK && pt.AggregateInner == u.Site:
+		return Record{ID: u.ID, Unit: u, Point: pt, Outcome: OutcomeOK, ElapsedMS: elapsed}, true
+	case errors.Is(uctx.Err(), context.DeadlineExceeded):
+		// The per-unit deadline fired — whether the sandbox reported the
+		// cancellation or the solver noticed it first and returned a zero
+		// point. The abandoned guest may still be running; do not touch pt
+		// (the sandbox may have returned without waiting for the
+		// goroutine). Journal the cap, like a loud non-convergence.
+		return Record{ID: u.ID, Unit: u, Point: capPoint(p, u), Outcome: OutcomeTimedOut,
+			Err: fmt.Sprintf("unit exceeded %v budget", r.opts.UnitBudget), ElapsedMS: elapsed}, true
+	default:
+		errMsg := "experiment returned no point"
+		if rep.Err != nil {
+			errMsg = rep.Err.Error()
+		}
+		return Record{ID: u.ID, Unit: u, Point: capPoint(p, u), Outcome: OutcomeFailed,
+			Err: errMsg, ElapsedMS: elapsed}, true
+	}
+}
+
+// capPoint is the journaled point for a unit that produced no measurement:
+// not converged at the outer cap, mirroring how expt records loud failures.
+func capPoint(p *expt.Problem, u Unit) expt.SweepPoint {
+	pt := expt.SweepPoint{AggregateInner: u.Site}
+	if p != nil {
+		pt.OuterIters = p.MaxOuter
+	}
+	return pt
+}

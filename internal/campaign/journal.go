@@ -1,0 +1,151 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"sdcgmres/internal/expt"
+)
+
+// Outcome classifies a journaled unit.
+const (
+	// OutcomeOK: the experiment ran to completion (the solve may still have
+	// hit its outer cap — see the point).
+	OutcomeOK = "ok"
+	// OutcomeTimedOut: the unit exceeded its wall-clock deadline and was
+	// abandoned; the point records the outer cap, the campaign's loud
+	// equivalent of "did not converge".
+	OutcomeTimedOut = "timed-out"
+	// OutcomeFailed: the experiment panicked or errored; the sandbox
+	// absorbed it and the point records the outer cap.
+	OutcomeFailed = "failed"
+)
+
+// Record is one journal line: a finished unit and its measured point.
+// Records are append-only and keyed by the unit's content-derived ID, so a
+// journal can be safely shared by successive runs — and even by different
+// manifests whose cross products overlap.
+type Record struct {
+	ID        string          `json:"id"`
+	Unit      Unit            `json:"unit"`
+	Point     expt.SweepPoint `json:"point"`
+	Outcome   string          `json:"outcome"`
+	Err       string          `json:"err,omitempty"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+// Journal is an append-only JSONL file of completed units. Appends are
+// serialized and written with a single write syscall per record, so a crash
+// can corrupt at most the final line — which the loader tolerates.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (creating if needed) a journal for appending and
+// returns the records it already holds. A truncated final line — the
+// footprint of a crash mid-append — is dropped with no error; corruption
+// anywhere else is reported, since it means the file is not our journal.
+func OpenJournal(path string) (*Journal, map[string]Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: open journal: %w", err)
+	}
+	have, err := loadRecords(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("campaign: seek journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, have, nil
+}
+
+// LoadJournal reads a journal's records without opening it for append.
+func LoadJournal(path string) (map[string]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open journal: %w", err)
+	}
+	defer f.Close()
+	return loadRecords(f)
+}
+
+// loadRecords parses the journal stream, tolerating a truncated last line.
+func loadRecords(r io.Reader) (map[string]Record, error) {
+	have := make(map[string]Record)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	var pendingErr error
+	var pendingLine int
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// A bad line followed by more content is real corruption, not a
+			// crash-truncated tail.
+			return nil, fmt.Errorf("campaign: journal line %d corrupt: %w", pendingLine, pendingErr)
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			pendingErr, pendingLine = err, lineNo
+			continue
+		}
+		if rec.ID == "" {
+			pendingErr, pendingLine = fmt.Errorf("missing unit id"), lineNo
+			continue
+		}
+		have[rec.ID] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: read journal: %w", err)
+	}
+	return have, nil
+}
+
+// Append journals one record. Safe for concurrent use by the worker pool.
+func (j *Journal) Append(rec Record) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: marshal record: %w", err)
+	}
+	raw = append(raw, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(raw); err != nil {
+		return fmt.Errorf("campaign: append journal: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the journal to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Sync()
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close syncs and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

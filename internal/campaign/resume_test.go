@@ -1,0 +1,234 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"sdcgmres/internal/expt"
+)
+
+// runToCSV aggregates a record set into the campaign's single series and
+// renders it through the shared CSV writer.
+func runToCSV(t *testing.T, c *Compiled, recs map[string]Record) []byte {
+	t.Helper()
+	series, err := c.Aggregate(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("series = %d, want 1", len(series))
+	}
+	var buf bytes.Buffer
+	if err := series[0].WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestUninterruptedMatchesExptSweep pins the aggregation contract: a campaign
+// run over the same sites as an in-memory expt.Sweep must render a
+// byte-identical CSV.
+func TestUninterruptedMatchesExptSweep(t *testing.T) {
+	c := compileTest(t)
+	path := filepath.Join(t.TempDir(), "full.jsonl")
+	j, have, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	r := NewRunner(c, j, have, Options{Workers: 2})
+	if err := r.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	prog := r.Progress()
+	if prog.Executed != len(c.Units) || prog.Done != len(c.Units) || prog.Failed != 0 || prog.TimedOut != 0 {
+		t.Fatalf("progress: %+v", prog)
+	}
+	campaignCSV := runToCSV(t, c, r.Records())
+
+	// The one-shot path over the same series.
+	u := c.Units[0]
+	cfg, err := c.SweepConfig(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Problems[u.Problem]
+	points := expt.Sweep(context.Background(), p, cfg)
+	var direct bytes.Buffer
+	if err := expt.WriteSweepCSV(&direct, p.Name, cfg, points); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(campaignCSV, direct.Bytes()) {
+		t.Fatalf("campaign CSV diverges from expt.Sweep CSV:\n--- campaign ---\n%s\n--- expt ---\n%s",
+			campaignCSV, direct.Bytes())
+	}
+}
+
+// TestKillAndResume is the acceptance criterion: interrupt a campaign at
+// roughly half completion, resume it against the same journal, and require
+// (a) the resumed run executes only the units the journal is missing and
+// (b) the aggregated CSV is byte-identical to an uninterrupted run's.
+func TestKillAndResume(t *testing.T) {
+	c := compileTest(t)
+	total := len(c.Units)
+
+	// Reference: uninterrupted run.
+	refPath := filepath.Join(t.TempDir(), "ref.jsonl")
+	jr, haveRef, err := OpenJournal(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := NewRunner(c, jr, haveRef, Options{Workers: 2})
+	if err := rr.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	jr.Close()
+	refRecs, err := LoadJournal(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCSV := runToCSV(t, c, refRecs)
+
+	// First run: cancel once roughly half the units are journaled.
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	j1, have1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var journaled atomic.Int64
+	r1 := NewRunner(c, j1, have1, Options{
+		Workers: 2,
+		OnRecord: func(Record) {
+			if journaled.Add(1) >= int64(total/2) {
+				cancel()
+			}
+		},
+	})
+	if err := r1.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run err = %v, want context.Canceled", err)
+	}
+	j1.Close()
+
+	partial, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial) == 0 || len(partial) >= total {
+		t.Fatalf("interruption journaled %d of %d units; want a strict subset", len(partial), total)
+	}
+
+	// Resume: same manifest, same journal. Journaled units must be skipped.
+	j2, have2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(have2) != len(partial) {
+		t.Fatalf("reopen found %d records, want %d", len(have2), len(partial))
+	}
+	r2 := NewRunner(c, j2, have2, Options{Workers: 2})
+	if err := r2.Run(context.Background()); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	j2.Close()
+
+	prog := r2.Progress()
+	if prog.Skipped != len(partial) {
+		t.Fatalf("resume skipped %d units, want %d (journal must satisfy them)", prog.Skipped, len(partial))
+	}
+	if prog.Executed != total-len(partial) {
+		t.Fatalf("resume executed %d units, want %d (must not re-run journaled units)",
+			prog.Executed, total-len(partial))
+	}
+	if prog.Done != total {
+		t.Fatalf("resume done = %d, want %d", prog.Done, total)
+	}
+
+	// Aggregate of interrupted+resumed must be byte-identical to the
+	// uninterrupted reference.
+	finalRecs, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Remaining(finalRecs); n != 0 {
+		t.Fatalf("%d units still missing after resume", n)
+	}
+	gotCSV := runToCSV(t, c, finalRecs)
+	if !bytes.Equal(gotCSV, refCSV) {
+		t.Fatalf("resumed CSV diverges from uninterrupted run:\n--- resumed ---\n%s\n--- reference ---\n%s",
+			gotCSV, refCSV)
+	}
+}
+
+// TestAggregateMarksMissing pins the partial-aggregate semantics: units
+// without records yield zero points and a Missing count, exactly like a
+// cancelled expt.Sweep.
+func TestAggregateMarksMissing(t *testing.T) {
+	c := compileTest(t)
+	recs := map[string]Record{}
+	u := c.Units[0]
+	recs[u.ID] = Record{ID: u.ID, Unit: u,
+		Point: expt.SweepPoint{AggregateInner: u.Site, OuterIters: 7, Converged: true}, Outcome: OutcomeOK}
+	series, err := c.Aggregate(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := series[0]
+	if s.Complete() {
+		t.Fatal("series with missing units reported complete")
+	}
+	if s.Missing != len(c.Units)-1 {
+		t.Fatalf("missing = %d, want %d", s.Missing, len(c.Units)-1)
+	}
+	if s.Points[0].OuterIters != 7 {
+		t.Fatalf("recorded point not folded: %+v", s.Points[0])
+	}
+	for _, pt := range s.Points[1:] {
+		if pt.AggregateInner != 0 {
+			t.Fatalf("missing unit produced non-zero point: %+v", pt)
+		}
+	}
+	if c.Remaining(recs) != len(c.Units)-1 {
+		t.Fatalf("remaining = %d", c.Remaining(recs))
+	}
+}
+
+// TestUnitDeadline pins the per-unit budget path: an absurdly small budget
+// journals timed-out cap points instead of wedging the run.
+func TestUnitDeadline(t *testing.T) {
+	c := compileTest(t)
+	path := filepath.Join(t.TempDir(), "deadline.jsonl")
+	j, have, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	r := NewRunner(c, j, have, Options{Workers: 2, UnitBudget: 1})
+	if err := r.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	prog := r.Progress()
+	if prog.Done != len(c.Units) {
+		t.Fatalf("done = %d, want %d", prog.Done, len(c.Units))
+	}
+	if prog.TimedOut == 0 {
+		t.Fatalf("1ns budget produced no timeouts: %+v", prog)
+	}
+	p := c.Problems[c.Units[0].Problem]
+	for _, rec := range r.Records() {
+		if rec.Outcome != OutcomeTimedOut {
+			continue
+		}
+		if rec.Point.AggregateInner != rec.Unit.Site || rec.Point.OuterIters != p.MaxOuter {
+			t.Fatalf("timed-out record must hold the cap point: %+v", rec)
+		}
+	}
+	if prog.FailuresByProblem[c.Units[0].Problem] == 0 {
+		t.Fatalf("failures_by_problem not populated: %+v", prog)
+	}
+}

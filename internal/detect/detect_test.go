@@ -201,6 +201,53 @@ func TestDetectorMissesSmallFaultInGMRES(t *testing.T) {
 	}
 }
 
+func TestDetectorCatchesNonFiniteHessenbergInGMRES(t *testing.T) {
+	// End to end: a NaN or ±Inf Hessenberg entry — the footprint of a
+	// corrupted reduction or overflowed accumulation — must trip the
+	// detector even though NaN defeats plain magnitude comparisons.
+	for _, tc := range []struct {
+		name  string
+		value float64
+	}{
+		{"nan", math.NaN()},
+		{"+inf", math.Inf(1)},
+		{"-inf", math.Inf(-1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := gallery.Poisson2D(6)
+			b := make([]float64, a.Rows())
+			a.MatVec(b, ones(a.Cols()))
+			inj := fault.NewInjector(fault.SetValue{Value: tc.value}, fault.Site{AggregateInner: 2, Step: fault.FirstMGS})
+			d := NewDetector(a, FrobeniusBound)
+			_, err := krylov.GMRES(a, b, nil, krylov.Options{
+				MaxIter: 10, Tol: 0,
+				Hooks:     []krylov.CoeffHook{inj, d},
+				OnHookErr: krylov.DetectRecord,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !inj.Fired() {
+				t.Fatal("injector did not fire")
+			}
+			viol := d.Violations()
+			if len(viol) == 0 {
+				t.Fatalf("detector missed the %s Hessenberg entry", tc.name)
+			}
+			first := viol[0]
+			if first.Ctx.AggregateInner != 2 || first.Ctx.Step != 1 {
+				t.Fatalf("first violation at wrong site: %+v", first.Ctx)
+			}
+			if !math.IsNaN(first.Value) && !math.IsInf(first.Value, 0) {
+				t.Fatalf("violation value %g, want the injected %g", first.Value, tc.value)
+			}
+			if d.Stats().NonFinite == 0 {
+				t.Fatalf("NonFinite not counted: %+v", d.Stats())
+			}
+		})
+	}
+}
+
 func ones(n int) []float64 {
 	x := make([]float64, n)
 	for i := range x {

@@ -140,20 +140,20 @@ func CircuitProblem(n, innerIters, targetOuter int) (*Problem, error) {
 type SweepPoint struct {
 	// AggregateInner is the faulted aggregate inner iteration (x-axis of
 	// Figures 3 and 4).
-	AggregateInner int
+	AggregateInner int `json:"aggregate_inner"`
 	// OuterIters is the outer iteration count to convergence; equals the
 	// sweep's MaxOuter cap when Converged is false.
-	OuterIters int
+	OuterIters int `json:"outer_iters"`
 	// Converged reports whether the solve reached the tolerance.
-	Converged bool
+	Converged bool `json:"converged"`
 	// Detections is the number of detector violations (0 when disabled).
-	Detections int
+	Detections int `json:"detections,omitempty"`
 	// FaultFired confirms the injector actually struck.
-	FaultFired bool
+	FaultFired bool `json:"fault_fired"`
 	// WrongAnswer reports a silent failure: converged by residual but the
 	// solution is far from the true one (never observed; tracked to prove
 	// it).
-	WrongAnswer bool
+	WrongAnswer bool `json:"wrong_answer,omitempty"`
 }
 
 // SweepConfig parameterizes a fault sweep.
@@ -209,7 +209,7 @@ func Sweep(ctx context.Context, p *Problem, cfg SweepConfig) []SweepPoint {
 				if i >= len(sites) {
 					return
 				}
-				points[i] = runOne(ctx, p, cfg, sites[i])
+				points[i] = RunPoint(ctx, p, cfg, sites[i])
 			}
 		}()
 	}
@@ -217,8 +217,11 @@ func Sweep(ctx context.Context, p *Problem, cfg SweepConfig) []SweepPoint {
 	return points
 }
 
-// runOne executes a single faulted experiment.
-func runOne(ctx context.Context, p *Problem, cfg SweepConfig, aggregate int) SweepPoint {
+// RunPoint executes a single faulted experiment: one SDC at the given
+// aggregate inner iteration under cfg's fault model and detector. It is the
+// unit of work both Sweep and the campaign engine execute, so one-shot and
+// journaled campaigns produce identical records for identical sites.
+func RunPoint(ctx context.Context, p *Problem, cfg SweepConfig, aggregate int) SweepPoint {
 	inj := fault.NewInjector(cfg.Model, fault.Site{AggregateInner: aggregate, Step: cfg.Step})
 	s := core.New(p.A, p.Config(cfg.Detector, []krylov.CoeffHook{inj}))
 	res, err := s.SolveCtx(ctx, p.B, nil)

@@ -1,0 +1,58 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseModel parses a fault class spec: the paper's three classes by name
+// ("large", "slight", "tiny") or an explicit model ("bitflip:<bit>",
+// "set:<value>", "scale:<factor>"). Every consumer of string-form fault
+// specs — cmd/sdcrun, the solver service, campaign manifests — parses
+// through here, so all surfaces accept identical spellings.
+func ParseModel(spec string) (Model, error) {
+	switch spec {
+	case "large":
+		return ClassLarge, nil
+	case "slight":
+		return ClassSlight, nil
+	case "tiny":
+		return ClassTiny, nil
+	}
+	switch {
+	case strings.HasPrefix(spec, "bitflip:"):
+		bit, err := strconv.Atoi(spec[len("bitflip:"):])
+		if err != nil || bit < 0 || bit > 63 {
+			return nil, fmt.Errorf("bad bitflip spec %q", spec)
+		}
+		return BitFlip{Bit: uint(bit)}, nil
+	case strings.HasPrefix(spec, "set:"):
+		v, err := strconv.ParseFloat(spec[len("set:"):], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad set spec %q", spec)
+		}
+		return SetValue{Value: v}, nil
+	case strings.HasPrefix(spec, "scale:"):
+		v, err := strconv.ParseFloat(spec[len("scale:"):], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad scale spec %q", spec)
+		}
+		return Scale{Factor: v}, nil
+	}
+	return nil, fmt.Errorf("unknown fault class %q", spec)
+}
+
+// ParseStepSelector parses a Gram-Schmidt step selector name ("first",
+// "last", "norm").
+func ParseStepSelector(s string) (StepSelector, error) {
+	switch s {
+	case "first":
+		return FirstMGS, nil
+	case "last":
+		return LastMGS, nil
+	case "norm":
+		return NormStep, nil
+	}
+	return 0, fmt.Errorf("unknown fault step %q", s)
+}

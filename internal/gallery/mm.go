@@ -1,0 +1,47 @@
+package gallery
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sdcgmres/internal/sparse"
+)
+
+// FromMatrixMarket loads an external problem matrix from a Matrix Market
+// coordinate stream, completing the gallery: generated matrices come from
+// Poisson2D and friends, collection matrices (e.g. the UF mult_dcop_03 the
+// paper used) come through here. Solvers expect square operators, so
+// rectangular files are rejected up front rather than failing later inside
+// GMRES.
+func FromMatrixMarket(r io.Reader) (*sparse.CSR, error) {
+	m, err := sparse.ReadMatrixMarket(r)
+	if err != nil {
+		return nil, fmt.Errorf("gallery: %w", err)
+	}
+	if m.Rows() != m.Cols() {
+		return nil, fmt.Errorf("gallery: matrix is %dx%d, solvers need a square operator", m.Rows(), m.Cols())
+	}
+	return m, nil
+}
+
+// FromMatrixMarketFile loads a square Matrix Market matrix from disk and
+// names it after the file (the convention problem tables and CSV artifacts
+// use).
+func FromMatrixMarketFile(path string) (*sparse.CSR, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("gallery: %w", err)
+	}
+	defer f.Close()
+	m, err := FromMatrixMarket(f)
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	name := filepath.Base(path)
+	if ext := filepath.Ext(name); ext != "" {
+		name = name[:len(name)-len(ext)]
+	}
+	return m, name, nil
+}

@@ -1,0 +1,164 @@
+package gallery
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A well-formed 3x3 coordinate file: tridiagonal, symmetric storage.
+const goodMM = `%%MatrixMarket matrix coordinate real symmetric
+% a comment line
+3 3 5
+1 1 4.0
+2 2 4.0
+3 3 4.0
+2 1 -1.0
+3 2 -1.0
+`
+
+func TestFromMatrixMarketGood(t *testing.T) {
+	m, err := FromMatrixMarket(strings.NewReader(goodMM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Cols() != 3 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	// Symmetric expansion: 3 diagonal + 2 stored + 2 mirrored.
+	if m.NNZ() != 7 {
+		t.Fatalf("nnz %d, want 7", m.NNZ())
+	}
+	if v := m.At(0, 1); v != -1 {
+		t.Fatalf("mirrored entry (1,2) = %g, want -1", v)
+	}
+}
+
+func TestFromMatrixMarketErrorPaths(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  string // substring the error must carry
+	}{
+		{
+			name:  "empty input",
+			input: "",
+			want:  "empty input",
+		},
+		{
+			name:  "truncated header",
+			input: "%%MatrixMarket matrix coordinate\n",
+			want:  "bad header",
+		},
+		{
+			name:  "not a matrix market file",
+			input: "3 3 1\n1 1 4.0\n",
+			want:  "bad header",
+		},
+		{
+			name:  "header only, no size line",
+			input: "%%MatrixMarket matrix coordinate real general\n% comment\n",
+			want:  "missing size line",
+		},
+		{
+			name:  "non-numeric size line",
+			input: "%%MatrixMarket matrix coordinate real general\n3 three 1\n",
+			want:  "bad size line",
+		},
+		{
+			name:  "truncated entries",
+			input: "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 4.0\n",
+			want:  "expected 5 entries, got 1",
+		},
+		{
+			name:  "non-numeric row index",
+			input: "%%MatrixMarket matrix coordinate real general\n3 3 1\nx 1 4.0\n",
+			want:  "bad row index",
+		},
+		{
+			name:  "non-numeric col index",
+			input: "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 x 4.0\n",
+			want:  "bad col index",
+		},
+		{
+			name:  "non-numeric value",
+			input: "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 1 fourish\n",
+			want:  "bad value",
+		},
+		{
+			name:  "row index out of range",
+			input: "%%MatrixMarket matrix coordinate real general\n3 3 1\n4 1 4.0\n",
+			want:  "out of 3x3",
+		},
+		{
+			name:  "col index out of range",
+			input: "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 9 4.0\n",
+			want:  "out of 3x3",
+		},
+		{
+			name:  "zero index (one-based format)",
+			input: "%%MatrixMarket matrix coordinate real general\n3 3 1\n0 1 4.0\n",
+			want:  "out of 3x3",
+		},
+		{
+			name:  "dense array format",
+			input: "%%MatrixMarket matrix array real general\n3 3\n4.0\n",
+			want:  "only coordinate format supported",
+		},
+		{
+			name:  "complex field",
+			input: "%%MatrixMarket matrix coordinate complex general\n3 3 1\n1 1 4.0 0.0\n",
+			want:  "unsupported field",
+		},
+		{
+			name:  "rectangular matrix",
+			input: "%%MatrixMarket matrix coordinate real general\n3 2 1\n1 1 4.0\n",
+			want:  "square operator",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FromMatrixMarket(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("input accepted:\n%s", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFromMatrixMarketFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tri3.mtx")
+	if err := os.WriteFile(path, []byte(goodMM), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, name, err := FromMatrixMarketFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "tri3" {
+		t.Fatalf("name %q, want tri3 (basename without extension)", name)
+	}
+	if m.Rows() != 3 {
+		t.Fatalf("rows %d", m.Rows())
+	}
+
+	if _, _, err := FromMatrixMarketFile(filepath.Join(dir, "missing.mtx")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.mtx")
+	if err := os.WriteFile(bad, []byte("%%MatrixMarket matrix coordinate real general\n3 3 1\n4 1 1.0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = FromMatrixMarketFile(bad)
+	if err == nil {
+		t.Fatal("out-of-range file accepted")
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Fatalf("file error %q does not name the path", err)
+	}
+}

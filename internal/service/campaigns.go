@@ -1,0 +1,335 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdcgmres/internal/campaign"
+)
+
+// Campaign manager API errors.
+var (
+	// ErrUnknownCampaign: no campaign with that ID.
+	ErrUnknownCampaign = errors.New("service: unknown campaign")
+	// ErrCampaignTerminal: the campaign already reached a terminal state.
+	ErrCampaignTerminal = errors.New("service: campaign already terminal")
+)
+
+// Campaign lifecycle states.
+const (
+	// CampaignCompiling: manifest accepted, problems calibrating.
+	CampaignCompiling = "compiling"
+	// CampaignRunning: units executing against the journal.
+	CampaignRunning = "running"
+	// CampaignDone: every unit journaled.
+	CampaignDone = "done"
+	// CampaignFailed: compilation or the journal failed.
+	CampaignFailed = "failed"
+	// CampaignCanceled: stopped by the caller or by shutdown; the journal
+	// keeps everything finished, so resubmitting the manifest resumes.
+	CampaignCanceled = "canceled"
+)
+
+// CampaignView is the API snapshot of one campaign.
+type CampaignView struct {
+	ID       string            `json:"id"`
+	Name     string            `json:"name"`
+	Hash     string            `json:"manifest_hash"`
+	State    string            `json:"state"`
+	Journal  string            `json:"journal,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Progress campaign.Progress `json:"progress"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// managedCampaign is the manager's mutable record of one campaign.
+type managedCampaign struct {
+	mu       sync.Mutex
+	id       string
+	manifest campaign.Manifest
+	hash     string
+	state    string
+	journal  string
+	errMsg   string
+	runner   *campaign.Runner
+	final    campaign.Progress
+	cancel   context.CancelFunc
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+func (c *managedCampaign) view() CampaignView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := CampaignView{
+		ID:          c.id,
+		Name:        c.manifest.Name,
+		Hash:        c.hash,
+		State:       c.state,
+		Journal:     c.journal,
+		Error:       c.errMsg,
+		SubmittedAt: c.submitted,
+	}
+	if !c.started.IsZero() {
+		t := c.started
+		v.StartedAt = &t
+	}
+	if !c.finished.IsZero() {
+		t := c.finished
+		v.FinishedAt = &t
+	}
+	switch {
+	case c.runner != nil && c.state == CampaignRunning:
+		v.Progress = c.runner.Progress()
+	default:
+		v.Progress = c.final
+	}
+	return v
+}
+
+// CampaignManagerConfig parameterizes a CampaignManager.
+type CampaignManagerConfig struct {
+	// Dir is where journals live (default "."). Journal files are keyed by
+	// campaign name and manifest hash, so resubmitting a manifest resumes
+	// its journal.
+	Dir string
+	// Workers bounds each campaign's concurrent units (default GOMAXPROCS).
+	Workers int
+	// Metrics receives campaign observations (default: a fresh registry).
+	Metrics *Metrics
+}
+
+// CampaignManager runs durable fault-injection campaigns inside the daemon:
+// it compiles submitted manifests, executes them through the campaign engine
+// against on-disk journals, and exposes their progress. It is the batch
+// counterpart of the per-job Engine.
+type CampaignManager struct {
+	cfg    CampaignManagerConfig
+	nextID atomic.Int64
+	drain  atomic.Bool
+	wg     sync.WaitGroup
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	mu        sync.Mutex
+	campaigns map[string]*managedCampaign
+	order     []string
+}
+
+// NewCampaignManager builds a manager.
+func NewCampaignManager(cfg CampaignManagerConfig) *CampaignManager {
+	if cfg.Dir == "" {
+		cfg.Dir = "."
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &CampaignManager{
+		cfg:       cfg,
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		campaigns: make(map[string]*managedCampaign),
+	}
+}
+
+// Metrics returns the manager's registry.
+func (m *CampaignManager) Metrics() *Metrics { return m.cfg.Metrics }
+
+// JournalPath returns where a manifest's journal lives: name slug plus
+// content hash, so distinct manifests never share a journal by accident and
+// identical ones always do.
+func (m *CampaignManager) JournalPath(man campaign.Manifest) string {
+	return filepath.Join(m.cfg.Dir, fmt.Sprintf("%s-%s.jsonl", man.Slug(), man.Hash()))
+}
+
+// Submit validates and launches a campaign. Compilation (problem
+// calibration) runs asynchronously: the returned view is in state
+// "compiling" and progresses from there.
+func (m *CampaignManager) Submit(man campaign.Manifest) (CampaignView, error) {
+	if m.drain.Load() {
+		return CampaignView{}, ErrDraining
+	}
+	if err := man.Validate(); err != nil {
+		return CampaignView{}, err
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	c := &managedCampaign{
+		id:        fmt.Sprintf("cmp-%06d", m.nextID.Add(1)),
+		manifest:  man,
+		hash:      man.Hash(),
+		state:     CampaignCompiling,
+		journal:   m.JournalPath(man),
+		cancel:    cancel,
+		submitted: time.Now(),
+	}
+	m.mu.Lock()
+	m.campaigns[c.id] = c
+	m.order = append(m.order, c.id)
+	m.mu.Unlock()
+	m.cfg.Metrics.CampaignsStarted.Inc()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer cancel()
+		m.execute(ctx, c)
+	}()
+	return c.view(), nil
+}
+
+// execute drives one campaign from compile to a terminal state.
+func (m *CampaignManager) execute(ctx context.Context, c *managedCampaign) {
+	met := m.cfg.Metrics
+	fail := func(err error) {
+		c.mu.Lock()
+		c.state = CampaignFailed
+		c.errMsg = err.Error()
+		c.finished = time.Now()
+		c.mu.Unlock()
+		met.CampaignsFailed.Inc()
+	}
+
+	compiled, err := campaign.Compile(c.manifest)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if ctx.Err() != nil {
+		m.finishCanceled(c, campaign.Progress{Total: len(compiled.Units)})
+		return
+	}
+	j, have, err := campaign.OpenJournal(c.journal)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer j.Close()
+
+	runner := campaign.NewRunner(compiled, j, have, campaign.Options{
+		Workers: m.cfg.Workers,
+		OnRecord: func(rec campaign.Record) {
+			met.CampaignUnitsExecuted.Inc()
+			if rec.Outcome != campaign.OutcomeOK {
+				met.CampaignUnitsFailed.Inc()
+			}
+		},
+		OnSkip: func(campaign.Unit) { met.CampaignUnitsSkipped.Inc() },
+	})
+	c.mu.Lock()
+	c.runner = runner
+	c.state = CampaignRunning
+	c.started = time.Now()
+	c.mu.Unlock()
+
+	err = runner.Run(ctx)
+	prog := runner.Progress()
+	switch {
+	case err == nil:
+		c.mu.Lock()
+		c.state = CampaignDone
+		c.final = prog
+		c.finished = time.Now()
+		c.mu.Unlock()
+		met.CampaignsCompleted.Inc()
+	case errors.Is(err, context.Canceled):
+		m.finishCanceled(c, prog)
+	default:
+		c.mu.Lock()
+		c.state = CampaignFailed
+		c.errMsg = err.Error()
+		c.final = prog
+		c.finished = time.Now()
+		c.mu.Unlock()
+		met.CampaignsFailed.Inc()
+	}
+}
+
+func (m *CampaignManager) finishCanceled(c *managedCampaign, prog campaign.Progress) {
+	c.mu.Lock()
+	c.state = CampaignCanceled
+	c.errMsg = "canceled; journal retains finished units, resubmit to resume"
+	c.final = prog
+	c.finished = time.Now()
+	c.mu.Unlock()
+	m.cfg.Metrics.CampaignsCanceled.Inc()
+}
+
+// Campaign returns a snapshot of one campaign.
+func (m *CampaignManager) Campaign(id string) (CampaignView, bool) {
+	m.mu.Lock()
+	c, ok := m.campaigns[id]
+	m.mu.Unlock()
+	if !ok {
+		return CampaignView{}, false
+	}
+	return c.view(), true
+}
+
+// Campaigns snapshots every campaign in submission order.
+func (m *CampaignManager) Campaigns() []CampaignView {
+	m.mu.Lock()
+	cs := make([]*managedCampaign, len(m.order))
+	for i, id := range m.order {
+		cs[i] = m.campaigns[id]
+	}
+	m.mu.Unlock()
+	views := make([]CampaignView, len(cs))
+	for i, c := range cs {
+		views[i] = c.view()
+	}
+	return views
+}
+
+// Cancel stops a compiling or running campaign. The journal keeps every
+// finished unit; resubmitting the same manifest resumes from it.
+func (m *CampaignManager) Cancel(id string) (CampaignView, error) {
+	m.mu.Lock()
+	c, ok := m.campaigns[id]
+	m.mu.Unlock()
+	if !ok {
+		return CampaignView{}, ErrUnknownCampaign
+	}
+	c.mu.Lock()
+	terminal := c.state == CampaignDone || c.state == CampaignFailed || c.state == CampaignCanceled
+	cancel := c.cancel
+	c.mu.Unlock()
+	if terminal {
+		return c.view(), ErrCampaignTerminal
+	}
+	cancel()
+	return c.view(), nil
+}
+
+// Shutdown stops admission, cancels running campaigns, and waits for them
+// to reach terminal states (or ctx to expire). Journals survive, so every
+// interrupted campaign resumes on resubmission.
+func (m *CampaignManager) Shutdown(ctx context.Context) error {
+	m.drain.Store(true)
+	m.cancelAll()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,217 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sdcgmres/internal/campaign"
+)
+
+// testCampaignManifest is a seconds-scale sweep: Poisson 8×8 calibrated to
+// 5 outers × 6 inners = 30 sites, strided to 5 units.
+func testCampaignManifest() campaign.Manifest {
+	return campaign.Manifest{
+		Name:     "svc-test",
+		Problems: []campaign.ProblemSpec{{Kind: "poisson", N: 8, InnerIters: 6, TargetOuter: 5}},
+		Models:   []string{"slight"},
+		Steps:    []string{"first"},
+		Stride:   7,
+	}
+}
+
+// waitTerminal polls until the campaign leaves its non-terminal states.
+func waitCampaignTerminal(t *testing.T, m *CampaignManager, id string) CampaignView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v, ok := m.Campaign(id)
+		if !ok {
+			t.Fatalf("campaign %s vanished", id)
+		}
+		switch v.State {
+		case CampaignDone, CampaignFailed, CampaignCanceled:
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s did not reach a terminal state", id)
+	return CampaignView{}
+}
+
+func TestCampaignManagerLifecycleAndResume(t *testing.T) {
+	met := NewMetrics()
+	m := NewCampaignManager(CampaignManagerConfig{Dir: t.TempDir(), Workers: 2, Metrics: met})
+
+	v, err := m.Submit(testCampaignManifest())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if v.State != CampaignCompiling {
+		t.Fatalf("fresh campaign state = %q, want compiling", v.State)
+	}
+	final := waitCampaignTerminal(t, m, v.ID)
+	if final.State != CampaignDone {
+		t.Fatalf("campaign finished %q (%s), want done", final.State, final.Error)
+	}
+	if final.Progress.Total == 0 || final.Progress.Done != final.Progress.Total {
+		t.Fatalf("progress: %+v", final.Progress)
+	}
+	if final.Progress.Executed != final.Progress.Total || final.Progress.Skipped != 0 {
+		t.Fatalf("first run must execute everything: %+v", final.Progress)
+	}
+	if _, err := m.Cancel(v.ID); !errors.Is(err, ErrCampaignTerminal) {
+		t.Fatalf("cancel terminal campaign: %v", err)
+	}
+
+	// Resubmitting the identical manifest resumes the same journal: every
+	// unit is skipped, none executed.
+	v2, err := m.Submit(testCampaignManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Journal != final.Journal {
+		t.Fatalf("same manifest must share a journal: %q vs %q", v2.Journal, final.Journal)
+	}
+	final2 := waitCampaignTerminal(t, m, v2.ID)
+	if final2.State != CampaignDone {
+		t.Fatalf("resumed campaign finished %q (%s)", final2.State, final2.Error)
+	}
+	if final2.Progress.Skipped != final.Progress.Total || final2.Progress.Executed != 0 {
+		t.Fatalf("resume must skip every journaled unit: %+v", final2.Progress)
+	}
+
+	snap := met.Snapshot()
+	if snap["campaigns_started"] != 2 || snap["campaigns_completed"] != 2 {
+		t.Fatalf("campaign counters: %+v", snap)
+	}
+	if snap["campaign_units_executed"] != int64(final.Progress.Total) ||
+		snap["campaign_units_skipped"] != int64(final.Progress.Total) {
+		t.Fatalf("unit counters: %+v", snap)
+	}
+}
+
+func TestCampaignHTTPEndpoints(t *testing.T) {
+	m := NewCampaignManager(CampaignManagerConfig{Dir: t.TempDir(), Workers: 2})
+	engine := NewEngine(Config{Workers: 1, Runner: func(ctx context.Context, spec *JobSpec) (*SolveRecord, error) {
+		return &SolveRecord{}, nil
+	}})
+	engine.Start()
+	defer engine.Shutdown(context.Background())
+	srv := NewServer(engine, ServerOptions{Campaigns: m})
+
+	post := func(body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", "/v1/campaigns", strings.NewReader(body))
+		rr := httptest.NewRecorder()
+		srv.ServeHTTP(rr, req)
+		return rr
+	}
+
+	// Malformed JSON and invalid manifests are 400s.
+	if rr := post("{"); rr.Code != http.StatusBadRequest {
+		t.Fatalf("truncated body: %d", rr.Code)
+	}
+	if rr := post(`{"name":"x"}`); rr.Code != http.StatusBadRequest {
+		t.Fatalf("invalid manifest: %d", rr.Code)
+	}
+	if rr := post(`{"name":"x","bogus":1}`); rr.Code != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d", rr.Code)
+	}
+
+	raw, err := json.Marshal(testCampaignManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := post(string(raw))
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", rr.Code, rr.Body)
+	}
+	var view CampaignView
+	if err := json.Unmarshal(rr.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.ID == "" || view.Hash == "" || view.Journal == "" {
+		t.Fatalf("view: %+v", view)
+	}
+	waitCampaignTerminal(t, m, view.ID)
+
+	// GET by ID.
+	req := httptest.NewRequest("GET", "/v1/campaigns/"+view.ID, nil)
+	rr = httptest.NewRecorder()
+	srv.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("get: %d", rr.Code)
+	}
+	var got CampaignView
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != CampaignDone {
+		t.Fatalf("state: %+v", got)
+	}
+
+	// GET list.
+	req = httptest.NewRequest("GET", "/v1/campaigns", nil)
+	rr = httptest.NewRecorder()
+	srv.ServeHTTP(rr, req)
+	var list struct {
+		Campaigns []CampaignView `json:"campaigns"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Campaigns) != 1 || list.Campaigns[0].ID != view.ID {
+		t.Fatalf("list: %+v", list)
+	}
+
+	// DELETE terminal → 409; unknown → 404.
+	req = httptest.NewRequest("DELETE", "/v1/campaigns/"+view.ID, nil)
+	rr = httptest.NewRecorder()
+	srv.ServeHTTP(rr, req)
+	if rr.Code != http.StatusConflict {
+		t.Fatalf("cancel terminal: %d", rr.Code)
+	}
+	req = httptest.NewRequest("GET", "/v1/campaigns/nope", nil)
+	rr = httptest.NewRecorder()
+	srv.ServeHTTP(rr, req)
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown: %d", rr.Code)
+	}
+
+	// Without a manager the routes are absent entirely.
+	bare := NewServer(engine, ServerOptions{})
+	req = httptest.NewRequest("GET", "/v1/campaigns", nil)
+	rr = httptest.NewRecorder()
+	bare.ServeHTTP(rr, req)
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("campaign routes mounted without a manager: %d", rr.Code)
+	}
+}
+
+func TestCampaignManagerShutdown(t *testing.T) {
+	m := NewCampaignManager(CampaignManagerConfig{Dir: t.TempDir(), Workers: 2})
+	v, err := m.Submit(testCampaignManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	final, ok := m.Campaign(v.ID)
+	if !ok {
+		t.Fatal("campaign lost")
+	}
+	if final.State != CampaignDone && final.State != CampaignCanceled {
+		t.Fatalf("post-shutdown state %q (%s)", final.State, final.Error)
+	}
+	if _, err := m.Submit(testCampaignManifest()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after shutdown: %v", err)
+	}
+}

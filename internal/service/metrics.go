@@ -81,6 +81,15 @@ type Metrics struct {
 	DetectorFirings Counter
 	FaultInjections Counter
 	SandboxFailures Counter
+	// Campaign lifecycle (the durable batch layer).
+	CampaignsStarted   Counter
+	CampaignsCompleted Counter
+	CampaignsFailed    Counter
+	CampaignsCanceled  Counter
+	// Campaign unit activity.
+	CampaignUnitsExecuted Counter
+	CampaignUnitsSkipped  Counter
+	CampaignUnitsFailed   Counter
 
 	mu    sync.Mutex
 	solve map[string]*Histogram // per solver kind
@@ -123,6 +132,14 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"detector_firings": m.DetectorFirings.Value(),
 		"fault_injections": m.FaultInjections.Value(),
 		"sandbox_failures": m.SandboxFailures.Value(),
+
+		"campaigns_started":       m.CampaignsStarted.Value(),
+		"campaigns_completed":     m.CampaignsCompleted.Value(),
+		"campaigns_failed":        m.CampaignsFailed.Value(),
+		"campaigns_canceled":      m.CampaignsCanceled.Value(),
+		"campaign_units_executed": m.CampaignUnitsExecuted.Value(),
+		"campaign_units_skipped":  m.CampaignUnitsSkipped.Value(),
+		"campaign_units_failed":   m.CampaignUnitsFailed.Value(),
 	}
 }
 
@@ -142,6 +159,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		{"solved_detector_firings_total", "SDC detector violations across all jobs.", &m.DetectorFirings},
 		{"solved_fault_injections_total", "Armed fault injectors that actually fired.", &m.FaultInjections},
 		{"solved_sandbox_failures_total", "Inner solves rejected at the sandbox boundary.", &m.SandboxFailures},
+		{"solved_campaigns_started_total", "Campaigns admitted by the manager.", &m.CampaignsStarted},
+		{"solved_campaigns_completed_total", "Campaigns whose every unit is journaled.", &m.CampaignsCompleted},
+		{"solved_campaigns_failed_total", "Campaigns stopped by compile or journal failure.", &m.CampaignsFailed},
+		{"solved_campaigns_canceled_total", "Campaigns canceled by the caller or by shutdown.", &m.CampaignsCanceled},
+		{"solved_campaign_units_executed_total", "Campaign units executed (not resumed from a journal).", &m.CampaignUnitsExecuted},
+		{"solved_campaign_units_skipped_total", "Campaign units satisfied by a journal on resume.", &m.CampaignUnitsSkipped},
+		{"solved_campaign_units_failed_total", "Campaign units journaled as failed or timed out.", &m.CampaignUnitsFailed},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.c.Value())

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"net/http"
 	"net/http/pprof"
+
+	"sdcgmres/internal/campaign"
 )
 
 // ServerOptions configures the HTTP layer.
@@ -14,6 +16,8 @@ type ServerOptions struct {
 	// MaxBodyBytes caps request bodies (default 16 MiB — an inline Matrix
 	// Market payload plus JSON overhead).
 	MaxBodyBytes int64
+	// Campaigns, when non-nil, mounts the /v1/campaigns API.
+	Campaigns *CampaignManager
 }
 
 // Server exposes an Engine over HTTP:
@@ -25,6 +29,13 @@ type ServerOptions struct {
 //	GET    /healthz      liveness/readiness  → 200 | 503 (draining)
 //	GET    /metrics      Prometheus text exposition
 //	/debug/pprof/*       (optional) runtime profiling
+//
+// and, when a CampaignManager is configured:
+//
+//	POST   /v1/campaigns      submit a campaign.Manifest → 202 CampaignView | 400 | 503
+//	GET    /v1/campaigns      list campaigns             → 200 {"campaigns": [CampaignView]}
+//	GET    /v1/campaigns/{id} campaign status/progress   → 200 CampaignView | 404
+//	DELETE /v1/campaigns/{id} cancel (journal survives)  → 200 CampaignView | 404 | 409
 type Server struct {
 	engine *Engine
 	opts   ServerOptions
@@ -43,6 +54,12 @@ func NewServer(engine *Engine, opts ServerOptions) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.Campaigns != nil {
+		s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
+		s.mux.HandleFunc("GET /v1/campaigns", s.handleCampaignList)
+		s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
+		s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
+	}
 	if opts.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -120,6 +137,53 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"workers": s.engine.Workers(),
 		"queued":  s.engine.QueueLen(),
 	})
+}
+
+func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	var man campaign.Manifest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&man); err != nil {
+		writeError(w, http.StatusBadRequest, "bad campaign manifest: "+err.Error())
+		return
+	}
+	view, err := s.opts.Campaigns.Submit(man)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, view)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleCampaignList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": s.opts.Campaigns.Campaigns()})
+}
+
+func (s *Server) handleCampaignGet(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.opts.Campaigns.Campaign(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrUnknownCampaign.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.opts.Campaigns.Cancel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, view)
+	case errors.Is(err, ErrUnknownCampaign):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, ErrCampaignTerminal):
+		writeJSON(w, http.StatusConflict, view)
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -14,8 +14,6 @@ package service
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 	"time"
 
 	"sdcgmres/internal/fault"
@@ -239,50 +237,15 @@ func MatrixMarketJob(mm string) JobSpec {
 
 // ParseFaultModel parses a fault class spec: the paper's three classes by
 // name ("large", "slight", "tiny") or an explicit model ("bitflip:<bit>",
-// "set:<value>", "scale:<factor>").
+// "set:<value>", "scale:<factor>"). It delegates to fault.ParseModel, the
+// canonical parser shared with cmd/sdcrun and campaign manifests.
 func ParseFaultModel(spec string) (fault.Model, error) {
-	switch spec {
-	case "large":
-		return fault.ClassLarge, nil
-	case "slight":
-		return fault.ClassSlight, nil
-	case "tiny":
-		return fault.ClassTiny, nil
-	}
-	switch {
-	case strings.HasPrefix(spec, "bitflip:"):
-		bit, err := strconv.Atoi(spec[len("bitflip:"):])
-		if err != nil || bit < 0 || bit > 63 {
-			return nil, fmt.Errorf("bad bitflip spec %q", spec)
-		}
-		return fault.BitFlip{Bit: uint(bit)}, nil
-	case strings.HasPrefix(spec, "set:"):
-		v, err := strconv.ParseFloat(spec[len("set:"):], 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad set spec %q", spec)
-		}
-		return fault.SetValue{Value: v}, nil
-	case strings.HasPrefix(spec, "scale:"):
-		v, err := strconv.ParseFloat(spec[len("scale:"):], 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad scale spec %q", spec)
-		}
-		return fault.Scale{Factor: v}, nil
-	}
-	return nil, fmt.Errorf("unknown fault class %q", spec)
+	return fault.ParseModel(spec)
 }
 
 // ParseStep parses a Gram-Schmidt step selector name.
 func ParseStep(s string) (fault.StepSelector, error) {
-	switch s {
-	case "first":
-		return fault.FirstMGS, nil
-	case "last":
-		return fault.LastMGS, nil
-	case "norm":
-		return fault.NormStep, nil
-	}
-	return 0, fmt.Errorf("unknown fault step %q", s)
+	return fault.ParseStepSelector(s)
 }
 
 func parseOrtho(s string) (krylov.OrthoMethod, error) {
