@@ -21,16 +21,27 @@
 // completes. Interrupting a run (Ctrl-C) keeps the journal; rerunning with
 // -resume skips every journaled experiment and produces CSVs byte-identical
 // to an uninterrupted run's.
+//
+// With -fleet N the sweeps instead run through the internal/dist
+// coordinator: paperfigs hosts the lease protocol on -fleet-addr, spawns N
+// in-process workers, and prints a join command so external `solved -worker`
+// processes can share the load. Workers may join or die at any time — an
+// expired lease's units are requeued — and the resulting CSVs stay
+// byte-identical to a single-process run's. -fleet 0 relies entirely on
+// external workers.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -38,6 +49,7 @@ import (
 	"sdcgmres/internal/core"
 	"sdcgmres/internal/dense"
 	"sdcgmres/internal/detect"
+	"sdcgmres/internal/dist"
 	"sdcgmres/internal/expt"
 	"sdcgmres/internal/gallery"
 	"sdcgmres/internal/krylov"
@@ -70,6 +82,10 @@ func main() {
 	stride := flag.Int("stride", 0, "override sweep stride (0 = profile default)")
 	workers := flag.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS)")
 	resume := flag.Bool("resume", false, "resume an interrupted run from its journal in -outdir")
+	fleet := flag.Int("fleet", -1, "distributed mode: spawn N in-process workers (-1 = off, 0 = external workers only)")
+	fleetAddr := flag.String("fleet-addr", "127.0.0.1:0", "coordinator listen address for -fleet")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "distributed lease time-to-live")
+	fleetBatch := flag.Int("fleet-batch", 4, "units per distributed lease")
 	flag.Parse()
 
 	prof, ok := profiles[*profName]
@@ -112,7 +128,11 @@ func main() {
 
 	var sw *sweeper
 	if needPoisson || needCircuit {
-		sw = openSweeper(*outdir, prof, *resume, *workers, resumeCommand(prof, *only, *outdir, *stride, *workers))
+		sw = openSweeper(*outdir, prof, *resume, *workers,
+			resumeCommand(prof, *only, *outdir, *stride, *workers, *fleet))
+		if *fleet >= 0 {
+			sw.startFleet(fleetOptions{workers: *fleet, addr: *fleetAddr, leaseTTL: *leaseTTL, batch: *fleetBatch})
+		}
 		defer sw.Close()
 	}
 	if needPoisson {
@@ -319,10 +339,11 @@ type sweeper struct {
 	stride    int
 	workers   int
 	resumeCmd string
+	fleet     *fleetRuntime
 }
 
 // resumeCommand reconstructs the exact invocation that continues this run.
-func resumeCommand(prof profile, only, outdir string, stride, workers int) string {
+func resumeCommand(prof profile, only, outdir string, stride, workers, fleet int) string {
 	cmd := fmt.Sprintf("paperfigs -profile %s -outdir %s", prof.name, outdir)
 	if only != "all" {
 		cmd += " -only " + only
@@ -332,6 +353,9 @@ func resumeCommand(prof profile, only, outdir string, stride, workers int) strin
 	}
 	if workers > 0 {
 		cmd += fmt.Sprintf(" -workers %d", workers)
+	}
+	if fleet >= 0 {
+		cmd += fmt.Sprintf(" -fleet %d", fleet)
 	}
 	return cmd + " -resume"
 }
@@ -364,13 +388,102 @@ func openSweeper(outdir string, prof profile, resume bool, workers int, resumeCm
 }
 
 // register hands the sweeper an already calibrated problem, so campaign
-// compilation reuses it instead of re-running the probe solve.
+// compilation reuses it instead of re-running the probe solve. In fleet
+// mode the in-process workers' calibration cache is seeded too.
 func (s *sweeper) register(spec campaign.ProblemSpec, p *expt.Problem) {
 	s.problems[spec.Key()] = p
+	if s.fleet != nil {
+		s.fleet.cache.Put(spec.Key(), p)
+	}
 }
 
-// Close releases the journal.
-func (s *sweeper) Close() { s.journal.Close() }
+// fleetOptions is the -fleet flag bundle.
+type fleetOptions struct {
+	workers  int
+	addr     string
+	leaseTTL time.Duration
+	batch    int
+}
+
+// fleetRuntime is the live distributed coordinator: the lease-protocol host
+// on a listener, plus any in-process workers sharing one calibration cache.
+type fleetRuntime struct {
+	host     *dist.Host
+	srv      *http.Server
+	url      string
+	cache    *dist.ProblemCache
+	leaseTTL time.Duration
+	batch    int
+	cancel   context.CancelFunc
+	workers  sync.WaitGroup
+}
+
+// startFleet switches the sweeper to distributed execution: it hosts the
+// lease protocol, prints the join command for external workers, and spawns
+// the requested in-process workers (which talk plain HTTP through the same
+// loopback listener, exercising the identical wire path).
+func (s *sweeper) startFleet(opts fleetOptions) {
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		fatal(fmt.Errorf("fleet: listen %s: %w", opts.addr, err))
+	}
+	f := &fleetRuntime{
+		host:     dist.NewHost(nil),
+		url:      "http://" + ln.Addr().String(),
+		cache:    dist.NewProblemCache(),
+		leaseTTL: opts.leaseTTL,
+		batch:    opts.batch,
+	}
+	f.srv = &http.Server{Handler: f.host, ReadHeaderTimeout: 10 * time.Second}
+	go f.srv.Serve(ln)
+	fmt.Printf("fleet: coordinator on %s (lease TTL %v, batch %d)\n", f.url, opts.leaseTTL, opts.batch)
+	fmt.Printf("fleet: join more workers with: solved -worker -coordinator=%s\n\n", f.url)
+
+	wctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	for i := 0; i < opts.workers; i++ {
+		w := dist.NewWorker(dist.WorkerConfig{
+			Coordinator: f.url,
+			Name:        fmt.Sprintf("local-%d", i),
+			Problems:    f.cache,
+			Poll:        100 * time.Millisecond,
+		})
+		f.workers.Add(1)
+		go func() {
+			defer f.workers.Done()
+			if err := w.Run(wctx); err != nil && wctx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "fleet: local worker exited: %v\n", err)
+			}
+		}()
+	}
+	s.fleet = f
+}
+
+// Close winds the fleet down (workers observe the closed state and exit,
+// external ones included), prints the lease statistics, and releases the
+// journal.
+func (s *sweeper) Close() {
+	if f := s.fleet; f != nil {
+		f.host.Close()
+		f.workers.Wait()
+		f.cancel()
+		// External workers learn of the shutdown by polling; keep the
+		// listener up long enough for one more poll cycle so they exit
+		// cleanly instead of hitting a dead socket.
+		for _, w := range f.host.Metrics().Workers() {
+			if !strings.HasPrefix(w, "local-") {
+				time.Sleep(1200 * time.Millisecond)
+				break
+			}
+		}
+		f.srv.Close()
+		m := f.host.Metrics().Snapshot()
+		fmt.Printf("fleet stats: %d leases granted, %d completed, %d expired; %d units completed, %d requeued; %d duplicate, %d rejected records\n",
+			m["leases_granted"], m["leases_completed"], m["leases_expired"],
+			m["units_completed"], m["units_requeued"], m["records_duplicate"], m["records_rejected"])
+	}
+	s.journal.Close()
+}
 
 // sweep runs one series (one curve of one figure) through the campaign
 // engine, skipping journaled experiments, and returns the aggregated points
@@ -388,16 +501,45 @@ func (s *sweeper) sweep(ctx context.Context, name string, spec campaign.ProblemS
 	if err != nil {
 		fatal(err)
 	}
-	r := campaign.NewRunner(c, s.journal, s.have, campaign.Options{Workers: s.workers, UnitBudget: time.Hour})
-	runErr := r.Run(ctx)
-	for id, rec := range r.Records() {
-		s.have[id] = rec
-	}
-	if runErr != nil {
-		if ctx.Err() != nil {
-			s.interrupted()
+	var prog campaign.Progress
+	if s.fleet != nil {
+		// Distributed path: the coordinator owns this journal; workers
+		// (in-process and external alike) execute the units and report
+		// records over the wire.
+		prog = campaign.Progress{Total: len(c.Units)}
+		for _, u := range c.Units {
+			if _, ok := s.have[u.ID]; ok {
+				prog.Skipped++
+			}
 		}
-		fatal(runErr)
+		fresh, runErr := s.fleet.host.RunCampaign(ctx, c, s.journal, s.have, dist.CoordinatorConfig{
+			LeaseTTL:  s.fleet.leaseTTL,
+			BatchSize: s.fleet.batch,
+		})
+		for id, rec := range fresh {
+			s.have[id] = rec
+		}
+		if runErr != nil {
+			if ctx.Err() != nil {
+				s.interrupted()
+			}
+			fatal(runErr)
+		}
+		prog.Executed = len(fresh)
+		prog.Done = prog.Skipped + prog.Executed
+	} else {
+		r := campaign.NewRunner(c, s.journal, s.have, campaign.Options{Workers: s.workers, UnitBudget: time.Hour})
+		runErr := r.Run(ctx)
+		for id, rec := range r.Records() {
+			s.have[id] = rec
+		}
+		if runErr != nil {
+			if ctx.Err() != nil {
+				s.interrupted()
+			}
+			fatal(runErr)
+		}
+		prog = r.Progress()
 	}
 	series, err := c.Aggregate(s.have)
 	if err != nil {
@@ -407,7 +549,7 @@ func (s *sweeper) sweep(ctx context.Context, name string, spec campaign.ProblemS
 	if !sr.Complete() {
 		fatal(fmt.Errorf("series %s incomplete after run (%d missing)", sr.Key, sr.Missing))
 	}
-	return sr.Points, sr.Config, r.Progress()
+	return sr.Points, sr.Config, prog
 }
 
 // interrupted reports where the journal lives and the exact command that

@@ -32,19 +32,43 @@
 //
 // then poll GET /v1/campaigns/<id> for progress (done/total, ETA,
 // per-problem failures).
+//
+// # Distributed campaigns
+//
+// A solved process can also take either side of a distributed campaign
+// (internal/dist). Worker mode joins a coordinator's fleet — any number of
+// workers, joined or killed at any time:
+//
+//	solved -worker -coordinator=http://host:8080 [-worker-name w1] [-workers N]
+//
+// Coordinator mode serves one manifest to a worker fleet, journals and
+// aggregates the results, writes the series CSVs, and exits:
+//
+//	solved -coordinate manifest.json [-addr :8080] [-lease-ttl 30s]
+//	       [-batch 8] [-dist-out DIR]
+//
+// The coordinator's /healthz reports mode and lease backlog; /metrics adds
+// the dist_* lease counters and per-worker unit latency histograms.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/dist"
 	"sdcgmres/internal/service"
 )
 
@@ -59,6 +83,15 @@ type cliConfig struct {
 	drainTimeout time.Duration
 	pprof        bool
 	campaignDir  string
+
+	// Distributed-campaign modes.
+	worker      bool
+	coordinator string
+	workerName  string
+	coordinate  string
+	leaseTTL    time.Duration
+	batch       int
+	distOut     string
 }
 
 func parseFlags(args []string) (cliConfig, error) {
@@ -73,6 +106,13 @@ func parseFlags(args []string) (cliConfig, error) {
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown drain budget")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	fs.StringVar(&cfg.campaignDir, "campaign-dir", ".", "directory for campaign journals")
+	fs.BoolVar(&cfg.worker, "worker", false, "join a distributed campaign fleet (requires -coordinator)")
+	fs.StringVar(&cfg.coordinator, "coordinator", "", "coordinator base URL for -worker mode")
+	fs.StringVar(&cfg.workerName, "worker-name", "", "worker identity (default hostname-pid)")
+	fs.StringVar(&cfg.coordinate, "coordinate", "", "serve this campaign manifest to a worker fleet, then exit")
+	fs.DurationVar(&cfg.leaseTTL, "lease-ttl", 30*time.Second, "distributed lease time-to-live")
+	fs.IntVar(&cfg.batch, "batch", 8, "units per distributed lease")
+	fs.StringVar(&cfg.distOut, "dist-out", "", "coordinator output directory (default -campaign-dir)")
 	err := fs.Parse(args)
 	return cfg, err
 }
@@ -82,6 +122,13 @@ func parseFlags(args []string) (cliConfig, error) {
 // in-process. The campaign manager shares the engine's metrics registry so
 // GET /metrics covers both.
 func setup(cfg cliConfig) (*service.Engine, *service.CampaignManager, http.Handler) {
+	return setupDist(cfg, nil)
+}
+
+// setupDist is setup plus an optional dist.Host: when present, the server
+// mounts the lease wire protocol, reports mode "coordinator" with the lease
+// backlog on /healthz, and appends the dist registry to /metrics.
+func setupDist(cfg cliConfig, host *dist.Host) (*service.Engine, *service.CampaignManager, http.Handler) {
 	engine := service.NewEngine(service.Config{
 		Workers:       cfg.workers,
 		QueueDepth:    cfg.queueDepth,
@@ -94,10 +141,17 @@ func setup(cfg cliConfig) (*service.Engine, *service.CampaignManager, http.Handl
 		Workers: cfg.workers,
 		Metrics: engine.Metrics(),
 	})
-	handler := service.NewServer(engine, service.ServerOptions{
+	opts := service.ServerOptions{
 		EnablePprof: cfg.pprof,
 		Campaigns:   campaigns,
-	})
+	}
+	if host != nil {
+		opts.Mode = "coordinator"
+		opts.Dist = host
+		opts.LeaseBacklog = host.Backlog
+		opts.ExtraMetrics = []func(io.Writer){host.Metrics().WritePrometheus}
+	}
+	handler := service.NewServer(engine, opts)
 	return engine, campaigns, handler
 }
 
@@ -106,6 +160,24 @@ func main() {
 	if err != nil {
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	switch {
+	case cfg.worker:
+		if err := runWorker(ctx, cfg); err != nil && ctx.Err() == nil {
+			log.Fatalf("solved: worker: %v", err)
+		}
+		return
+	case cfg.coordinate != "":
+		if err := runCoordinate(ctx, cfg); err != nil && ctx.Err() == nil {
+			log.Fatalf("solved: coordinate: %v", err)
+		}
+		return
+	}
+	runDaemon(ctx, stop, cfg)
+}
+
+func runDaemon(ctx context.Context, stop context.CancelFunc, cfg cliConfig) {
 	engine, campaigns, handler := setup(cfg)
 	engine.Start()
 
@@ -114,9 +186,6 @@ func main() {
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -147,4 +216,193 @@ func main() {
 		log.Printf("solved: http shutdown: %v", err)
 	}
 	fmt.Println("solved: bye")
+}
+
+// newFleetWorker builds the dist worker for -worker mode, returning the
+// resolved worker identity alongside it.
+func newFleetWorker(cfg cliConfig) (*dist.Worker, string, error) {
+	if cfg.coordinator == "" {
+		return nil, "", fmt.Errorf("-worker requires -coordinator=URL")
+	}
+	name := cfg.workerName
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	conc := cfg.workers
+	if conc <= 0 {
+		conc = runtime.GOMAXPROCS(0)
+	}
+	w := dist.NewWorker(dist.WorkerConfig{
+		Coordinator: strings.TrimRight(cfg.coordinator, "/"),
+		Name:        name,
+		Concurrency: conc,
+		Logf:        log.Printf,
+	})
+	return w, name, nil
+}
+
+// workerHandler is the worker-mode observability surface: /healthz reports
+// the mode and identity, /metrics the worker's lifetime counters.
+func workerHandler(w *dist.Worker, name, coordinator string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(map[string]any{
+			"status":      "ok",
+			"mode":        "worker",
+			"worker":      name,
+			"coordinator": coordinator,
+			"stats":       w.Stats(),
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s := w.Stats()
+		counters := []struct {
+			name string
+			v    int64
+		}{
+			{"dist_worker_leases_claimed_total", s.LeasesClaimed},
+			{"dist_worker_leases_lost_total", s.LeasesLost},
+			{"dist_worker_units_executed_total", s.UnitsExecuted},
+			{"dist_worker_records_posted_total", s.RecordsPosted},
+			{"dist_worker_retries_total", s.Retries},
+		}
+		for _, c := range counters {
+			fmt.Fprintf(rw, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.v)
+		}
+	})
+	return mux
+}
+
+// runWorker joins a coordinator's fleet until the coordinator closes or the
+// process is signaled; a signal drains gracefully (finished units of the
+// current lease are still reported).
+func runWorker(ctx context.Context, cfg cliConfig) error {
+	w, name, err := newFleetWorker(cfg)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: cfg.addr, Handler: workerHandler(w, name, cfg.coordinator), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("solved: worker http: %v", err)
+		}
+	}()
+	defer srv.Close()
+	log.Printf("solved: worker joining %s (observability on %s)", cfg.coordinator, cfg.addr)
+	err = w.Run(ctx)
+	s := w.Stats()
+	log.Printf("solved: worker done: %d leases, %d units executed, %d records posted, %d retries",
+		s.LeasesClaimed, s.UnitsExecuted, s.RecordsPosted, s.Retries)
+	if ctx.Err() != nil {
+		return nil // signaled: the drain already reported finished work
+	}
+	return err
+}
+
+// runCoordinate serves one campaign manifest to a worker fleet: it compiles
+// the manifest (calibrating problems locally), opens — and resumes, if
+// non-empty — the journal <dist-out>/<name>.jsonl, exposes the lease
+// protocol through the full service server, blocks until the fleet finishes
+// every unit, writes each series CSV, and exits.
+func runCoordinate(ctx context.Context, cfg cliConfig) error {
+	raw, err := os.ReadFile(cfg.coordinate)
+	if err != nil {
+		return err
+	}
+	var man campaign.Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return fmt.Errorf("parse manifest %s: %w", cfg.coordinate, err)
+	}
+	if man.Name == "" {
+		return fmt.Errorf("manifest %s has no name", cfg.coordinate)
+	}
+	log.Printf("solved: coordinating campaign %q (calibrating problems)...", man.Name)
+	compiled, err := dist.NewProblemCache().Compile(man)
+	if err != nil {
+		return err
+	}
+	outdir := cfg.distOut
+	if outdir == "" {
+		outdir = cfg.campaignDir
+	}
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
+	journal, have, err := campaign.OpenJournal(filepath.Join(outdir, man.Name+".jsonl"))
+	if err != nil {
+		return err
+	}
+	defer journal.Close()
+	if len(have) > 0 {
+		log.Printf("solved: resuming, journal holds %d of %d units", len(have), len(compiled.Units))
+	}
+
+	host := dist.NewHost(nil)
+	engine, campaigns, handler := setupDist(cfg, host)
+	engine.Start()
+	defer engine.Shutdown(context.Background())
+	defer campaigns.Shutdown(context.Background())
+	srv := &http.Server{Addr: cfg.addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("solved: coordinator http: %v", err)
+		}
+	}()
+	defer srv.Close()
+	join := cfg.addr
+	if strings.HasPrefix(join, ":") {
+		join = "<this-host>" + join
+	}
+	log.Printf("solved: coordinator on %s — join workers with: solved -worker -coordinator=http://%s", cfg.addr, join)
+
+	fresh, runErr := host.RunCampaign(ctx, compiled, journal, have, dist.CoordinatorConfig{
+		LeaseTTL:  cfg.leaseTTL,
+		BatchSize: cfg.batch,
+	})
+	host.Close()
+	for id, rec := range fresh {
+		have[id] = rec
+	}
+	snap := host.Metrics().Snapshot()
+	log.Printf("solved: fleet stats: %d leases granted, %d completed, %d expired, %d units requeued",
+		snap["leases_granted"], snap["leases_completed"], snap["leases_expired"], snap["units_requeued"])
+	if runErr != nil {
+		return fmt.Errorf("campaign %q: %w (journal %s resumes it)", man.Name, runErr, journal.Path())
+	}
+
+	series, err := compiled.Aggregate(have)
+	if err != nil {
+		return err
+	}
+	for _, sr := range series {
+		name := fmt.Sprintf("%s_%s_%s_%s.csv", man.Name, csvSlug(sr.Key.Model), sr.Key.Step, csvSlug(sr.Key.Detector))
+		f, err := os.Create(filepath.Join(outdir, name))
+		if err != nil {
+			return err
+		}
+		if err := sr.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		log.Printf("solved: wrote %s", filepath.Join(outdir, name))
+	}
+	return nil
+}
+
+// csvSlug keeps CSV filenames shell-friendly.
+func csvSlug(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+			return r
+		}
+		return '_'
+	}, s)
 }

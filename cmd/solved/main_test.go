@@ -12,6 +12,10 @@ import (
 	"testing"
 	"time"
 
+	"path/filepath"
+
+	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/dist"
 	"sdcgmres/internal/service"
 )
 
@@ -210,5 +214,165 @@ func TestPprofGating(t *testing.T) {
 		}
 		engine.Shutdown(context.Background())
 		ts.Close()
+	}
+}
+
+func TestParseFlagsDistDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.worker || cfg.coordinator != "" || cfg.workerName != "" || cfg.coordinate != "" ||
+		cfg.leaseTTL != 30*time.Second || cfg.batch != 8 || cfg.distOut != "" {
+		t.Fatalf("dist defaults: %+v", cfg)
+	}
+	cfg, err = parseFlags([]string{"-worker", "-coordinator", "http://c:1", "-worker-name", "w7", "-lease-ttl", "5s", "-batch", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.worker || cfg.coordinator != "http://c:1" || cfg.workerName != "w7" ||
+		cfg.leaseTTL != 5*time.Second || cfg.batch != 3 {
+		t.Fatalf("dist overrides: %+v", cfg)
+	}
+}
+
+func TestNewFleetWorkerValidation(t *testing.T) {
+	if _, _, err := newFleetWorker(cliConfig{worker: true}); err == nil {
+		t.Fatal("worker mode without -coordinator must fail")
+	}
+	w, name, err := newFleetWorker(cliConfig{worker: true, coordinator: "http://c:1/"})
+	if err != nil || w == nil {
+		t.Fatalf("newFleetWorker: %v", err)
+	}
+	if name == "" {
+		t.Fatal("default worker name empty")
+	}
+}
+
+// TestCoordinatorWiring drives the -coordinate server surface end to end: a
+// dist host mounted in the full service server, a real dist worker talking
+// to it over HTTP, healthz reporting coordinator mode with the lease
+// backlog, and the dist counters reaching /metrics.
+func TestCoordinatorWiring(t *testing.T) {
+	cfg, err := parseFlags([]string{"-workers", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := dist.NewHost(nil)
+	engine, campaigns, handler := setupDist(cfg, host)
+	engine.Start()
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	defer engine.Shutdown(context.Background())
+	defer campaigns.Shutdown(context.Background())
+
+	man := campaign.Manifest{
+		Name:     "wiring-dist",
+		Problems: []campaign.ProblemSpec{{Kind: "poisson", N: 8, InnerIters: 6, TargetOuter: 5}},
+		Models:   []string{"slight"},
+		Steps:    []string{"first"},
+		Stride:   3,
+	}
+	cache := dist.NewProblemCache()
+	compiled, err := cache.Compile(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, have, err := campaign.OpenJournal(filepath.Join(t.TempDir(), "dist.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer journal.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	w := dist.NewWorker(dist.WorkerConfig{
+		Coordinator: ts.URL, Name: "wired", Problems: cache, Poll: 10 * time.Millisecond,
+	})
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(wctx) }()
+
+	fresh, err := host.RunCampaign(ctx, compiled, journal, have, dist.CoordinatorConfig{BatchSize: 2, LeaseTTL: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != len(compiled.Units) {
+		t.Fatalf("fleet journaled %d of %d units", len(fresh), len(compiled.Units))
+	}
+
+	var hz map[string]any
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hz["mode"] != "coordinator" {
+		t.Fatalf("healthz mode: %+v", hz)
+	}
+	if _, ok := hz["lease_backlog"]; !ok {
+		t.Fatalf("healthz missing lease_backlog: %+v", hz)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := io.ReadAll(mr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr.Body.Close()
+	for _, want := range []string{"dist_leases_granted_total", "dist_unit_duration_seconds", `worker="wired"`} {
+		if !strings.Contains(string(expo), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, expo)
+		}
+	}
+
+	host.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("worker exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit after host close")
+	}
+}
+
+func TestWorkerHandler(t *testing.T) {
+	w, name, err := newFleetWorker(cliConfig{worker: true, coordinator: "http://c:1", workerName: "probe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(workerHandler(w, name, "http://c:1"))
+	defer ts.Close()
+	var hz map[string]any
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hz["mode"] != "worker" || hz["worker"] != "probe" {
+		t.Fatalf("worker healthz: %+v", hz)
+	}
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(expo), "dist_worker_units_executed_total 0") {
+		t.Fatalf("worker metrics:\n%s", expo)
 	}
 }

@@ -238,8 +238,25 @@ func (r *Runner) bumpFailure(problem string) {
 // false only when the campaign context ended before the unit produced a
 // journalable outcome.
 func (r *Runner) runUnit(ctx context.Context, u Unit) (rec Record, ran bool) {
-	p := r.compiled.Problems[u.Problem]
-	cfg, err := r.compiled.SweepConfig(u)
+	return ExecuteUnit(ctx, r.compiled, u, r.opts.UnitBudget)
+}
+
+// ExecuteUnit runs one unit of a compiled campaign under the sandbox with
+// the given wall-clock budget (<= 0 means the manifest's unit budget, or
+// the 2-minute default) and returns its journalable record. ran is false
+// only when ctx ended before the unit produced an outcome — the unit is
+// unfinished and must be rerun, or re-leased, later. ExecuteUnit is the
+// single-unit core shared by the local Runner and the distributed worker,
+// which is what keeps locally and remotely executed records identical.
+func ExecuteUnit(ctx context.Context, c *Compiled, u Unit, budget time.Duration) (rec Record, ran bool) {
+	if budget <= 0 {
+		budget = 2 * time.Minute
+		if ms := c.Manifest.UnitBudgetMS; ms > 0 {
+			budget = time.Duration(ms) * time.Millisecond
+		}
+	}
+	p := c.Problems[u.Problem]
+	cfg, err := c.SweepConfig(u)
 	if err != nil {
 		// Compile guarantees parseable units; treat the impossible as a
 		// failed unit rather than wedging the campaign.
@@ -248,7 +265,7 @@ func (r *Runner) runUnit(ctx context.Context, u Unit) (rec Record, ran bool) {
 	}
 
 	start := time.Now()
-	uctx, cancel := context.WithTimeout(ctx, r.opts.UnitBudget)
+	uctx, cancel := context.WithTimeout(ctx, budget)
 	defer cancel()
 	var pt expt.SweepPoint
 	rep := sandbox.RunCtx(uctx, 0, func() error {
@@ -272,7 +289,7 @@ func (r *Runner) runUnit(ctx context.Context, u Unit) (rec Record, ran bool) {
 		// (the sandbox may have returned without waiting for the
 		// goroutine). Journal the cap, like a loud non-convergence.
 		return Record{ID: u.ID, Unit: u, Point: capPoint(p, u), Outcome: OutcomeTimedOut,
-			Err: fmt.Sprintf("unit exceeded %v budget", r.opts.UnitBudget), ElapsedMS: elapsed}, true
+			Err: fmt.Sprintf("unit exceeded %v budget", budget), ElapsedMS: elapsed}, true
 	default:
 		errMsg := "experiment returned no point"
 		if rep.Err != nil {

@@ -45,6 +45,15 @@ func (u Unit) SeriesKey() SeriesKey {
 	return SeriesKey{Problem: u.Problem, Model: u.Model, Step: u.Step, Detector: u.Detector}
 }
 
+// VerifyID recomputes the unit's content hash and reports whether it
+// matches u.ID. This is the trust-boundary check a coordinator applies to
+// records arriving from remote workers: a record whose unit fields do not
+// hash to its claimed ID is corrupt (or fabricated) and must not enter the
+// journal.
+func (u Unit) VerifyID() bool {
+	return unitID(u.Problem, u.Model, u.Step, u.Detector, u.Site) == u.ID
+}
+
 // Compiled is a manifest turned executable: calibrated problems plus the
 // deterministic unit list. Units are ordered problems × detectors × steps ×
 // models × sites, following manifest order, so unit N of a campaign is the
@@ -127,6 +136,14 @@ func CompileWith(m Manifest, problems map[string]*expt.Problem) (*Compiled, erro
 		}
 	}
 	return c, nil
+}
+
+// CalibrateProblem builds and calibrates one problem spec: the expensive
+// compile step (one failure-free probe solve), exposed so distributed
+// workers can calibrate manifests fetched from a coordinator and cache the
+// results across campaigns.
+func CalibrateProblem(ps ProblemSpec) (*expt.Problem, error) {
+	return calibrate(ps)
 }
 
 // calibrate builds and calibrates one problem spec.

@@ -1,0 +1,359 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sdcgmres/internal/campaign"
+)
+
+// CoordinatorConfig parameterizes a Coordinator.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a granted or renewed lease stays valid without
+	// a heartbeat (default 30s).
+	LeaseTTL time.Duration
+	// BatchSize is the unit count per lease (default 8). Smaller batches
+	// lose less work to a dead worker; larger ones amortize round-trips.
+	BatchSize int
+	// Metrics receives coordinator observations (default: fresh registry).
+	Metrics *Metrics
+	// Now is the clock (default time.Now; tests substitute a fake).
+	Now func() time.Time
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 30 * time.Second
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics()
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// lease is the coordinator's record of one granted batch.
+type lease struct {
+	id          string
+	worker      string
+	units       []campaign.Unit // granted order, for deterministic requeue
+	outstanding map[string]bool // unit IDs not yet completed
+	expires     time.Time
+}
+
+// Coordinator shards one compiled campaign across workers via expiring
+// leases and owns the journal the records merge into. Expiry is swept
+// lazily on every call — the fleet's own claim polling drives dead-worker
+// detection, so no background goroutine is needed.
+//
+// The execution model is at-least-once: an expired lease's units are
+// requeued and may be executed again elsewhere, and a worker that outlived
+// its lease may still report them. Content-derived unit IDs make that
+// harmless — the first valid record of a unit is journaled, later ones are
+// acknowledged as duplicates and dropped.
+type Coordinator struct {
+	cfg      CoordinatorConfig
+	compiled *campaign.Compiled
+	journal  *campaign.Journal
+
+	mu         sync.Mutex
+	units      map[string]campaign.Unit // campaign membership by unit ID
+	have       map[string]campaign.Record
+	fresh      map[string]campaign.Record // journaled by this coordinator
+	pending    []campaign.Unit            // unleased incomplete units, FIFO
+	leases     map[string]*lease
+	nextLease  int64
+	remaining  int // campaign units without a record
+	draining   bool
+	journalErr error
+
+	done   chan struct{} // closed when remaining hits 0
+	failed chan struct{} // closed on the first journal write error
+	once   sync.Once
+}
+
+// NewCoordinator builds a coordinator for a compiled campaign against an
+// open journal. have is the journal's record set at open time: units it
+// already satisfies are never leased (the distributed resume path).
+func NewCoordinator(c *campaign.Compiled, j *campaign.Journal, have map[string]campaign.Record, cfg CoordinatorConfig) *Coordinator {
+	cfg = cfg.withDefaults()
+	co := &Coordinator{
+		cfg:      cfg,
+		compiled: c,
+		journal:  j,
+		units:    make(map[string]campaign.Unit, len(c.Units)),
+		have:     make(map[string]campaign.Record, len(have)),
+		fresh:    make(map[string]campaign.Record),
+		leases:   make(map[string]*lease),
+		done:     make(chan struct{}),
+		failed:   make(chan struct{}),
+	}
+	for _, u := range c.Units {
+		co.units[u.ID] = u
+		if rec, ok := have[u.ID]; ok {
+			co.have[u.ID] = rec
+			continue
+		}
+		co.pending = append(co.pending, u)
+	}
+	co.remaining = len(co.pending)
+	if co.remaining == 0 {
+		co.once.Do(func() { close(co.done) })
+	}
+	return co
+}
+
+// Metrics returns the coordinator's registry.
+func (co *Coordinator) Metrics() *Metrics { return co.cfg.Metrics }
+
+// Done is closed once every campaign unit is journaled.
+func (co *Coordinator) Done() <-chan struct{} { return co.done }
+
+// Failed is closed on the first journal write error: durability is broken,
+// so the coordinator stops granting and completing.
+func (co *Coordinator) Failed() <-chan struct{} { return co.failed }
+
+// Err returns the journal error that failed the coordinator, if any.
+func (co *Coordinator) Err() error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.journalErr
+}
+
+// NewRecords returns the records this coordinator journaled (not the ones
+// the journal already held).
+func (co *Coordinator) NewRecords() map[string]campaign.Record {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	out := make(map[string]campaign.Record, len(co.fresh))
+	for k, v := range co.fresh {
+		out[k] = v
+	}
+	return out
+}
+
+// Drain stops further lease grants; outstanding leases may still complete.
+func (co *Coordinator) Drain() {
+	co.mu.Lock()
+	co.draining = true
+	co.mu.Unlock()
+}
+
+// sweepLocked requeues every expired lease's outstanding units. Requeued
+// units go to the front of the queue in their granted order, so recovered
+// work is retried before new work is started.
+func (co *Coordinator) sweepLocked(now time.Time) {
+	for id, l := range co.leases {
+		if !now.After(l.expires) {
+			continue
+		}
+		var back []campaign.Unit
+		for _, u := range l.units {
+			if l.outstanding[u.ID] {
+				back = append(back, u)
+			}
+		}
+		co.pending = append(back, co.pending...)
+		delete(co.leases, id)
+		co.cfg.Metrics.LeasesExpired.Inc()
+		co.cfg.Metrics.UnitsRequeued.Add(int64(len(back)))
+	}
+}
+
+// Claim grants a lease of up to max units (0 = the configured batch size).
+// done reports that every unit is journaled — nothing will ever be granted
+// again. A nil lease with done false means "nothing available right now":
+// the backlog is fully leased out or the coordinator is draining; retry
+// after a backoff.
+func (co *Coordinator) Claim(worker string, max int) (_ *Lease, done bool, err error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.journalErr != nil {
+		return nil, false, co.journalErr
+	}
+	now := co.cfg.Now()
+	co.sweepLocked(now)
+	if co.remaining == 0 {
+		return nil, true, nil
+	}
+	if co.draining || len(co.pending) == 0 {
+		return nil, false, nil
+	}
+	n := co.cfg.BatchSize
+	if max > 0 && max < n {
+		n = max
+	}
+	if n > len(co.pending) {
+		n = len(co.pending)
+	}
+	units := make([]campaign.Unit, n)
+	copy(units, co.pending[:n])
+	co.pending = co.pending[n:]
+
+	co.nextLease++
+	l := &lease{
+		id:          fmt.Sprintf("lease-%06d", co.nextLease),
+		worker:      worker,
+		units:       units,
+		outstanding: make(map[string]bool, n),
+		expires:     now.Add(co.cfg.LeaseTTL),
+	}
+	for _, u := range units {
+		l.outstanding[u.ID] = true
+	}
+	co.leases[l.id] = l
+	co.cfg.Metrics.LeasesGranted.Inc()
+	return &Lease{
+		ID:        l.id,
+		Units:     units,
+		TTLMS:     co.cfg.LeaseTTL.Milliseconds(),
+		Remaining: len(co.pending),
+	}, false, nil
+}
+
+// Heartbeat renews a lease's TTL. ErrLeaseGone means the lease expired (its
+// units are requeued) or never existed.
+func (co *Coordinator) Heartbeat(leaseID string) (time.Duration, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	now := co.cfg.Now()
+	co.sweepLocked(now)
+	l, ok := co.leases[leaseID]
+	if !ok {
+		return 0, ErrLeaseGone
+	}
+	l.expires = now.Add(co.cfg.LeaseTTL)
+	co.cfg.Metrics.LeasesRenewed.Inc()
+	return co.cfg.LeaseTTL, nil
+}
+
+// validLocked applies the trust-boundary checks to one worker record.
+func (co *Coordinator) validLocked(rec campaign.Record) bool {
+	if rec.ID == "" || rec.Unit.ID != rec.ID || !rec.Unit.VerifyID() {
+		return false
+	}
+	u, ok := co.units[rec.ID]
+	if !ok || u != rec.Unit {
+		return false
+	}
+	switch rec.Outcome {
+	case campaign.OutcomeOK, campaign.OutcomeFailed, campaign.OutcomeTimedOut:
+	default:
+		return false
+	}
+	// Whatever the outcome, the engine always records the unit's own site.
+	return rec.Point.AggregateInner == u.Site
+}
+
+// Complete journals a worker's finished records. The lease may already be
+// gone — records are still accepted (at-least-once execution); duplicates
+// of already-journaled units are acknowledged without re-journaling. A
+// journal write error is terminal: it is returned, Failed() closes, and
+// every later call errors, because running on without durability would
+// break the resume contract.
+func (co *Coordinator) Complete(leaseID, worker string, recs []campaign.Record) (CompleteResponse, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.journalErr != nil {
+		return CompleteResponse{}, co.journalErr
+	}
+	now := co.cfg.Now()
+	co.sweepLocked(now)
+	l := co.leases[leaseID] // may be nil: expired or foreign
+	var resp CompleteResponse
+	for _, rec := range recs {
+		if !co.validLocked(rec) {
+			resp.Rejected++
+			co.cfg.Metrics.RecordsRejected.Inc()
+			continue
+		}
+		if _, dup := co.have[rec.ID]; dup {
+			resp.Accepted++
+			co.cfg.Metrics.RecordsDuplicate.Inc()
+			co.forgetLocked(l, rec.ID)
+			continue
+		}
+		if err := co.journal.Append(rec); err != nil {
+			co.journalErr = err
+			close(co.failed)
+			return resp, err
+		}
+		co.have[rec.ID] = rec
+		co.fresh[rec.ID] = rec
+		co.remaining--
+		resp.Accepted++
+		co.cfg.Metrics.UnitsCompleted.Inc()
+		co.cfg.Metrics.ObserveUnit(worker, rec.ElapsedMS/1000)
+		co.forgetLocked(l, rec.ID)
+	}
+	if l != nil && len(l.outstanding) == 0 {
+		delete(co.leases, l.id)
+		co.cfg.Metrics.LeasesCompleted.Inc()
+	}
+	if co.remaining == 0 {
+		resp.Done = true
+		if err := co.journal.Sync(); err != nil {
+			co.journalErr = fmt.Errorf("dist: sync journal: %w", err)
+			close(co.failed)
+			return resp, co.journalErr
+		}
+		co.once.Do(func() { close(co.done) })
+	}
+	return resp, nil
+}
+
+// forgetLocked erases a completed unit everywhere it might still be queued:
+// the reporting lease, any other lease holding it after an expiry-requeue
+// cycle, and the pending queue — so nobody re-executes finished work.
+func (co *Coordinator) forgetLocked(reporter *lease, unitID string) {
+	if reporter != nil && reporter.outstanding[unitID] {
+		delete(reporter.outstanding, unitID)
+		return
+	}
+	for id, l := range co.leases {
+		if l.outstanding[unitID] {
+			delete(l.outstanding, unitID)
+			if len(l.outstanding) == 0 {
+				delete(co.leases, id)
+				co.cfg.Metrics.LeasesCompleted.Inc()
+			}
+			return
+		}
+	}
+	for i, u := range co.pending {
+		if u.ID == unitID {
+			co.pending = append(co.pending[:i], co.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// Stats snapshots the coordinator (sweeping expired leases first).
+func (co *Coordinator) Stats() Stats {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	now := co.cfg.Now()
+	co.sweepLocked(now)
+	s := Stats{
+		Total:    len(co.compiled.Units),
+		Done:     len(co.compiled.Units) - co.remaining,
+		Pending:  len(co.pending),
+		Draining: co.draining,
+	}
+	for _, l := range co.leases {
+		s.Leased += len(l.outstanding)
+		s.Leases = append(s.Leases, LeaseInfo{
+			ID:          l.id,
+			Worker:      l.worker,
+			Units:       len(l.outstanding),
+			ExpiresInMS: l.expires.Sub(now).Milliseconds(),
+		})
+	}
+	return s
+}

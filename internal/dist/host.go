@@ -1,0 +1,268 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"sdcgmres/internal/campaign"
+)
+
+// maxDistBodyBytes bounds the wire-protocol request bodies the host decodes.
+// A completion report carries at most a lease's worth of records — far under
+// this — so the cap only exists to shed garbage.
+const maxDistBodyBytes = 8 << 20
+
+// Host serves the distributed-campaign wire protocol over HTTP. It runs one
+// Coordinator at a time and sequences successive campaigns to a connected
+// fleet through a generation counter: workers poll GET /v1/dist/campaign,
+// recompile when the generation moves, and drain for good when the host
+// closes. The Host is an http.Handler, so it mounts standalone (paperfigs
+// -fleet) or inside a service.Server (solved -coordinate) alike.
+type Host struct {
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	mu     sync.Mutex
+	gen    int
+	man    *campaign.Manifest
+	coord  *Coordinator
+	closed bool
+}
+
+// NewHost builds an idle host. A nil metrics registry gets a fresh one;
+// passing a shared registry accumulates lease counters across campaigns,
+// which is what a multi-figure paperfigs run wants.
+func NewHost(m *Metrics) *Host {
+	if m == nil {
+		m = NewMetrics()
+	}
+	h := &Host{metrics: m, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /v1/dist/campaign", h.handleCampaign)
+	h.mux.HandleFunc("GET /v1/dist/status", h.handleStatus)
+	h.mux.HandleFunc("POST /v1/leases", h.handleClaim)
+	h.mux.HandleFunc("POST /v1/leases/{id}/heartbeat", h.handleHeartbeat)
+	h.mux.HandleFunc("POST /v1/leases/{id}/records", h.handleComplete)
+	// Standalone-mount conveniences; a wrapping service.Server shadows both
+	// with its own richer handlers.
+	h.mux.HandleFunc("GET /metrics", h.handleMetrics)
+	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Host) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// Metrics returns the host's registry (for /metrics wiring and tests).
+func (h *Host) Metrics() *Metrics { return h.metrics }
+
+// Backlog reports the running campaign's incomplete-unit count (0 when
+// idle), matching service.ServerOptions.LeaseBacklog.
+func (h *Host) Backlog() int {
+	h.mu.Lock()
+	co := h.coord
+	h.mu.Unlock()
+	if co == nil {
+		return 0
+	}
+	return co.Stats().Backlog()
+}
+
+// Close permanently transitions the host to StateClosed: connected workers
+// observe it on their next poll and exit. A campaign still running keeps
+// its coordinator until RunCampaign returns.
+func (h *Host) Close() {
+	h.mu.Lock()
+	h.closed = true
+	h.mu.Unlock()
+}
+
+// RunCampaign exposes one compiled campaign to the fleet and blocks until
+// every unit is journaled, the journal fails, or ctx ends. On ctx
+// cancellation the coordinator drains (no further grants) and the error is
+// ctx.Err(); records journaled before the cut survive for a resume. On
+// success it returns the records journaled during this run (the caller
+// merges them over the resumed set).
+func (h *Host) RunCampaign(ctx context.Context, c *campaign.Compiled, j *campaign.Journal, have map[string]campaign.Record, cfg CoordinatorConfig) (map[string]campaign.Record, error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if h.coord != nil {
+		h.mu.Unlock()
+		return nil, ErrBusy
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = h.metrics
+	}
+	co := NewCoordinator(c, j, have, cfg)
+	h.gen++
+	h.man = &c.Manifest
+	h.coord = co
+	h.mu.Unlock()
+
+	defer func() {
+		h.mu.Lock()
+		h.coord = nil
+		h.man = nil
+		h.mu.Unlock()
+	}()
+
+	select {
+	case <-co.Done():
+		return co.NewRecords(), nil
+	case <-co.Failed():
+		return co.NewRecords(), co.Err()
+	case <-ctx.Done():
+		co.Drain()
+		return co.NewRecords(), ctx.Err()
+	}
+}
+
+// snapshot returns the current generation, coordinator and closed flag.
+func (h *Host) snapshot() (int, *Coordinator, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.gen, h.coord, h.closed
+}
+
+func (h *Host) handleCampaign(w http.ResponseWriter, _ *http.Request) {
+	h.mu.Lock()
+	info := CampaignInfo{Generation: h.gen, State: StateIdle}
+	switch {
+	case h.coord != nil:
+		info.State = StateRunning
+		info.Manifest = h.man
+		info.LeaseTTLMS = h.coord.cfg.LeaseTTL.Milliseconds()
+	case h.closed:
+		info.State = StateClosed
+	}
+	h.mu.Unlock()
+	distJSON(w, http.StatusOK, info)
+}
+
+func (h *Host) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	gen, co, closed := h.snapshot()
+	info := StatusInfo{Generation: gen, State: StateIdle}
+	if closed {
+		info.State = StateClosed
+	}
+	if co != nil {
+		info.State = StateRunning
+		info.Stats = co.Stats()
+	}
+	distJSON(w, http.StatusOK, info)
+}
+
+func (h *Host) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req ClaimRequest
+	if !distDecode(w, r, &req) {
+		return
+	}
+	gen, co, closed := h.snapshot()
+	resp := ClaimResponse{Generation: gen, Closed: closed}
+	// A stale or future generation gets no lease — the worker sees the
+	// mismatch and refetches the campaign. Idle (co == nil) likewise.
+	if co != nil && req.Generation == gen {
+		lease, done, err := co.Claim(req.Worker, req.Max)
+		if err != nil {
+			distError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		resp.Lease = lease
+		resp.Done = done
+	}
+	distJSON(w, http.StatusOK, resp)
+}
+
+func (h *Host) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !distDecode(w, r, &req) {
+		return
+	}
+	_, co, _ := h.snapshot()
+	if co == nil {
+		distError(w, http.StatusGone, ErrLeaseGone.Error())
+		return
+	}
+	ttl, err := co.Heartbeat(r.PathValue("id"))
+	if errors.Is(err, ErrLeaseGone) {
+		distError(w, http.StatusGone, err.Error())
+		return
+	}
+	distJSON(w, http.StatusOK, HeartbeatResponse{TTLMS: ttl.Milliseconds()})
+}
+
+func (h *Host) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !distDecode(w, r, &req) {
+		return
+	}
+	_, co, _ := h.snapshot()
+	if co == nil {
+		// The campaign ended (or never started); the records are late
+		// duplicates at best. Acknowledge so the worker moves on.
+		distJSON(w, http.StatusOK, CompleteResponse{Done: true})
+		return
+	}
+	resp, err := co.Complete(r.PathValue("id"), req.Worker, req.Records)
+	if err != nil {
+		distError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	distJSON(w, http.StatusOK, resp)
+}
+
+func (h *Host) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	h.metrics.WritePrometheus(w)
+}
+
+func (h *Host) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	gen, co, closed := h.snapshot()
+	body := map[string]any{"status": "ok", "mode": "coordinator", "generation": gen}
+	state := StateIdle
+	if closed {
+		state = StateClosed
+	}
+	if co != nil {
+		state = StateRunning
+		body["lease_backlog"] = co.Stats().Backlog()
+	}
+	body["state"] = state
+	distJSON(w, http.StatusOK, body)
+}
+
+func distDecode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxDistBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(v)
+	if err == nil {
+		return true
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		distError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request exceeds %d byte limit", mbe.Limit))
+		return false
+	}
+	distError(w, http.StatusBadRequest, "bad request: "+err.Error())
+	return false
+}
+
+func distJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func distError(w http.ResponseWriter, status int, msg string) {
+	distJSON(w, status, map[string]string{"error": msg})
+}

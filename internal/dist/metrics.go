@@ -1,0 +1,124 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"sdcgmres/internal/service"
+)
+
+// Metrics is the coordinator's observability registry: lease lifecycle
+// counters plus per-worker unit latency histograms, rendered in the
+// Prometheus text exposition format. All methods are safe for concurrent
+// use.
+type Metrics struct {
+	// Lease lifecycle.
+	LeasesGranted   service.Counter
+	LeasesCompleted service.Counter
+	LeasesExpired   service.Counter
+	LeasesRenewed   service.Counter
+	// Unit flow.
+	UnitsCompleted service.Counter
+	UnitsRequeued  service.Counter
+	// Trust boundary.
+	RecordsRejected  service.Counter
+	RecordsDuplicate service.Counter
+
+	mu          sync.Mutex
+	unitLatency map[string]*service.Histogram // per worker
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{unitLatency: make(map[string]*service.Histogram)}
+}
+
+// ObserveUnit records one completed unit's wall clock under its worker.
+func (m *Metrics) ObserveUnit(worker string, seconds float64) {
+	m.mu.Lock()
+	h := m.unitLatency[worker]
+	if h == nil {
+		h = service.NewHistogram()
+		m.unitLatency[worker] = h
+	}
+	m.mu.Unlock()
+	h.Observe(seconds)
+}
+
+// UnitLatency returns the latency histogram for a worker (nil if that
+// worker completed nothing yet).
+func (m *Metrics) UnitLatency(worker string) *service.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.unitLatency[worker]
+}
+
+// Workers lists every worker that completed at least one unit, sorted.
+func (m *Metrics) Workers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.unitLatency))
+	for k := range m.unitLatency {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns the counters by exported name, for tests and JSON use.
+func (m *Metrics) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"leases_granted":    m.LeasesGranted.Value(),
+		"leases_completed":  m.LeasesCompleted.Value(),
+		"leases_expired":    m.LeasesExpired.Value(),
+		"leases_renewed":    m.LeasesRenewed.Value(),
+		"units_completed":   m.UnitsCompleted.Value(),
+		"units_requeued":    m.UnitsRequeued.Value(),
+		"records_rejected":  m.RecordsRejected.Value(),
+		"records_duplicate": m.RecordsDuplicate.Value(),
+	}
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format. It is appended to GET /metrics on both the standalone host and a
+// coordinating solved daemon.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counters := []struct {
+		name, help string
+		c          *service.Counter
+	}{
+		{"dist_leases_granted_total", "Unit-batch leases granted to workers.", &m.LeasesGranted},
+		{"dist_leases_completed_total", "Leases whose every unit was completed.", &m.LeasesCompleted},
+		{"dist_leases_expired_total", "Leases expired by missed heartbeats (units requeued).", &m.LeasesExpired},
+		{"dist_leases_renewed_total", "Lease heartbeat renewals.", &m.LeasesRenewed},
+		{"dist_units_completed_total", "Units journaled from worker reports.", &m.UnitsCompleted},
+		{"dist_units_requeued_total", "Units requeued from expired leases.", &m.UnitsRequeued},
+		{"dist_records_rejected_total", "Worker records rejected at the trust boundary.", &m.RecordsRejected},
+		{"dist_records_duplicate_total", "Duplicate records acknowledged without re-journaling.", &m.RecordsDuplicate},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.c.Value())
+	}
+
+	m.mu.Lock()
+	workers := make([]string, 0, len(m.unitLatency))
+	for k := range m.unitLatency {
+		workers = append(workers, k)
+	}
+	sort.Strings(workers)
+	hists := make([]*service.Histogram, len(workers))
+	for i, k := range workers {
+		hists[i] = m.unitLatency[k]
+	}
+	m.mu.Unlock()
+
+	if len(workers) > 0 {
+		fmt.Fprintf(w, "# HELP dist_unit_duration_seconds Completed campaign-unit wall clock by worker.\n")
+		fmt.Fprintf(w, "# TYPE dist_unit_duration_seconds histogram\n")
+	}
+	for i, k := range workers {
+		hists[i].WritePrometheus(w, "dist_unit_duration_seconds", fmt.Sprintf("worker=%q", k))
+	}
+}

@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with jitter. Workers use
+// it for every coordinator round-trip, so a transient coordinator outage
+// (restart, network blip) turns into a spread-out retry storm instead of a
+// synchronized thundering herd. The zero value is usable: every field has a
+// production default.
+type Backoff struct {
+	// Base is the delay before the first retry (default 100ms).
+	Base time.Duration
+	// Max caps the grown delay (default 5s).
+	Max time.Duration
+	// Factor is the per-attempt growth (default 2).
+	Factor float64
+	// Jitter is the randomized fraction of each delay: attempt n sleeps a
+	// uniform value in [d·(1−Jitter), d] where d is the capped exponential
+	// delay (default 0.5).
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 0.5
+	}
+	return b
+}
+
+// Delay returns the pause before retry attempt (0-based): Base·Factor^n
+// capped at Max, then jittered.
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.withDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := float64(b.Base) * math.Pow(b.Factor, float64(attempt))
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 {
+		lo := d * (1 - b.Jitter)
+		d = lo + rand.Float64()*(d-lo)
+	}
+	return time.Duration(d)
+}
+
+// Sleep pauses for the attempt's delay, returning early with ctx.Err() when
+// the context ends first.
+func (b Backoff) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(b.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,63 @@
+package dist
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayGrowsAndCaps(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Jitter: 0.5}
+	prevCeil := time.Duration(0)
+	for attempt := 0; attempt < 10; attempt++ {
+		ceil := 100 * time.Millisecond << attempt
+		if ceil > 2*time.Second {
+			ceil = 2 * time.Second
+		}
+		floor := ceil / 2
+		for i := 0; i < 50; i++ {
+			d := b.Delay(attempt)
+			if d < floor || d > ceil {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, floor, ceil)
+			}
+		}
+		if ceil < prevCeil {
+			t.Fatalf("ceiling shrank: %v after %v", ceil, prevCeil)
+		}
+		prevCeil = ceil
+	}
+}
+
+func TestBackoffZeroValueUsesDefaults(t *testing.T) {
+	var b Backoff
+	d := b.Delay(0)
+	if d < 50*time.Millisecond || d > 100*time.Millisecond {
+		t.Fatalf("zero-value delay %v outside default range", d)
+	}
+	if d = b.Delay(1000); d > 5*time.Second {
+		t.Fatalf("zero-value delay uncapped: %v", d)
+	}
+}
+
+func TestBackoffNegativeAttemptClamped(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Jitter: 0}
+	if d := b.Delay(-3); d != 10*time.Millisecond {
+		t.Fatalf("negative attempt: %v", d)
+	}
+}
+
+func TestBackoffSleepHonorsContext(t *testing.T) {
+	b := Backoff{Base: time.Hour, Jitter: 0}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := b.Sleep(ctx, 0); err != context.Canceled {
+		t.Fatalf("Sleep returned %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Sleep ignored cancellation")
+	}
+}

@@ -66,6 +66,33 @@ func (h *Histogram) Count() int64 {
 	return h.total
 }
 
+// WritePrometheus renders the histogram under the given metric name and
+// label set (e.g. `worker="w1"`; empty for none) in the text exposition
+// format: cumulative buckets, sum and count. Callers emit the # HELP and
+// # TYPE header once per metric name.
+func (h *Histogram) WritePrometheus(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = labels + ","
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, sep, fmt.Sprintf("%g", bound), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, sep, cum)
+	if labels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.total)
+	} else {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.total)
+	}
+}
+
 // Metrics is the service's observability registry: counters for the job
 // lifecycle and the resilience machinery, plus per-solver-kind latency
 // histograms. All methods are safe for concurrent use.
@@ -188,17 +215,6 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "# TYPE solved_solve_duration_seconds histogram\n")
 	}
 	for i, k := range kinds {
-		h := hists[i]
-		h.mu.Lock()
-		cum := int64(0)
-		for bi, bound := range h.bounds {
-			cum += h.counts[bi]
-			fmt.Fprintf(w, "solved_solve_duration_seconds_bucket{solver=%q,le=%q} %d\n", k, fmt.Sprintf("%g", bound), cum)
-		}
-		cum += h.counts[len(h.bounds)]
-		fmt.Fprintf(w, "solved_solve_duration_seconds_bucket{solver=%q,le=\"+Inf\"} %d\n", k, cum)
-		fmt.Fprintf(w, "solved_solve_duration_seconds_sum{solver=%q} %g\n", k, h.sum)
-		fmt.Fprintf(w, "solved_solve_duration_seconds_count{solver=%q} %d\n", k, h.total)
-		h.mu.Unlock()
+		hists[i].WritePrometheus(w, "solved_solve_duration_seconds", fmt.Sprintf("solver=%q", k))
 	}
 }

@@ -3,6 +3,8 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 
@@ -14,10 +16,24 @@ type ServerOptions struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 	// MaxBodyBytes caps request bodies (default 16 MiB — an inline Matrix
-	// Market payload plus JSON overhead).
+	// Market payload plus JSON overhead). Oversized submissions are
+	// rejected with 413 before the decoder buffers them.
 	MaxBodyBytes int64
 	// Campaigns, when non-nil, mounts the /v1/campaigns API.
 	Campaigns *CampaignManager
+	// Mode is the role /healthz reports so fleet probes can tell a
+	// standalone daemon, a distributed-campaign coordinator and a worker
+	// apart (default "standalone").
+	Mode string
+	// LeaseBacklog, when non-nil, adds the coordinator's incomplete-unit
+	// count (pending + leased) to /healthz.
+	LeaseBacklog func() int
+	// Dist, when non-nil, handles the distributed-campaign wire protocol:
+	// it receives every request under /v1/dist/ and /v1/leases.
+	Dist http.Handler
+	// ExtraMetrics are appended to GET /metrics after the engine registry
+	// (e.g. the dist coordinator's lease counters).
+	ExtraMetrics []func(io.Writer)
 }
 
 // Server exposes an Engine over HTTP:
@@ -60,6 +76,11 @@ func NewServer(engine *Engine, opts ServerOptions) *Server {
 		s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
 		s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
 	}
+	if opts.Dist != nil {
+		s.mux.Handle("/v1/dist/", opts.Dist)
+		s.mux.Handle("/v1/leases", opts.Dist)
+		s.mux.Handle("/v1/leases/", opts.Dist)
+	}
 	if opts.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -75,13 +96,30 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// decodeBody decodes a bounded JSON request body into v, writing the error
+// response itself when decoding fails: 413 when the body exceeds the
+// configured cap, 400 otherwise. It reports whether decoding succeeded.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, what string, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+	err := dec.Decode(v)
+	if err == nil {
+		return true
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("%s exceeds %d byte limit", what, mbe.Limit))
+		return false
+	}
+	writeError(w, http.StatusBadRequest, "bad "+what+": "+err.Error())
+	return false
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if !s.decodeBody(w, r, "job spec", &spec) {
 		return
 	}
 	view, err := s.engine.Submit(spec)
@@ -132,20 +170,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		status = http.StatusServiceUnavailable
 		state = "draining"
 	}
-	writeJSON(w, status, map[string]any{
+	mode := s.opts.Mode
+	if mode == "" {
+		mode = "standalone"
+	}
+	body := map[string]any{
 		"status":  state,
+		"mode":    mode,
 		"workers": s.engine.Workers(),
 		"queued":  s.engine.QueueLen(),
-	})
+	}
+	if s.opts.LeaseBacklog != nil {
+		body["lease_backlog"] = s.opts.LeaseBacklog()
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	var man campaign.Manifest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&man); err != nil {
-		writeError(w, http.StatusBadRequest, "bad campaign manifest: "+err.Error())
+	if !s.decodeBody(w, r, "campaign manifest", &man) {
 		return
 	}
 	view, err := s.opts.Campaigns.Submit(man)
@@ -189,6 +232,9 @@ func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.engine.Metrics().WritePrometheus(w)
+	for _, extra := range s.opts.ExtraMetrics {
+		extra(w)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -301,3 +301,138 @@ func TestServerValidationAndRouting(t *testing.T) {
 		t.Fatalf("healthz: status %d", resp.StatusCode)
 	}
 }
+
+// TestServerOversizedBody413 pins the admission-side body cap: a payload
+// exceeding MaxBodyBytes must be rejected with 413 on both submit
+// endpoints, not decoded (400) or buffered unbounded.
+func TestServerOversizedBody413(t *testing.T) {
+	engine := NewEngine(Config{Workers: 1, Runner: stubRunner(-1, 0)})
+	engine.Start()
+	defer engine.Shutdown(context.Background())
+	campaigns := NewCampaignManager(CampaignManagerConfig{Dir: t.TempDir()})
+	defer campaigns.Shutdown(context.Background())
+	ts := httptest.NewServer(NewServer(engine, ServerOptions{
+		MaxBodyBytes: 256,
+		Campaigns:    campaigns,
+	}))
+	defer ts.Close()
+
+	huge := `{"padding": "` + strings.Repeat("x", 4096) + `"}`
+	for _, path := range []string{"/v1/jobs", "/v1/campaigns"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(huge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("POST %s oversized: status %d, want 413", path, resp.StatusCode)
+		}
+		if !strings.Contains(body.Error, "256 byte limit") {
+			t.Fatalf("POST %s oversized: error %q does not name the limit", path, body.Error)
+		}
+	}
+
+	// A small valid-sized (if semantically bad) body still gets 400, so the
+	// cap did not swallow normal validation.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"matriks":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("small bad body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHealthzModeAndBacklog checks the fleet-probe contract: /healthz
+// reports the daemon's role and, when wired, the coordinator's lease
+// backlog.
+func TestHealthzModeAndBacklog(t *testing.T) {
+	getHealth := func(t *testing.T, url string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	engine := NewEngine(Config{Workers: 1, Runner: stubRunner(-1, 0)})
+	engine.Start()
+	defer engine.Shutdown(context.Background())
+
+	ts := httptest.NewServer(NewServer(engine, ServerOptions{}))
+	if body := getHealth(t, ts.URL); body["mode"] != "standalone" {
+		t.Fatalf("default mode = %v, want standalone", body["mode"])
+	} else if _, ok := body["lease_backlog"]; ok {
+		t.Fatalf("standalone healthz must not report lease_backlog: %v", body)
+	}
+	ts.Close()
+
+	ts = httptest.NewServer(NewServer(engine, ServerOptions{
+		Mode:         "coordinator",
+		LeaseBacklog: func() int { return 17 },
+	}))
+	defer ts.Close()
+	body := getHealth(t, ts.URL)
+	if body["mode"] != "coordinator" {
+		t.Fatalf("mode = %v, want coordinator", body["mode"])
+	}
+	if got, ok := body["lease_backlog"].(float64); !ok || int(got) != 17 {
+		t.Fatalf("lease_backlog = %v, want 17", body["lease_backlog"])
+	}
+}
+
+// TestDistMountAndExtraMetrics checks that a configured dist handler
+// receives /v1/dist/* and /v1/leases* traffic and that extra metrics
+// writers reach GET /metrics.
+func TestDistMountAndExtraMetrics(t *testing.T) {
+	engine := NewEngine(Config{Workers: 1, Runner: stubRunner(-1, 0)})
+	engine.Start()
+	defer engine.Shutdown(context.Background())
+
+	dist := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "dist:%s", r.URL.Path)
+	})
+	ts := httptest.NewServer(NewServer(engine, ServerOptions{
+		Dist: dist,
+		ExtraMetrics: []func(io.Writer){
+			func(w io.Writer) { fmt.Fprintln(w, "dist_leases_granted_total 3") },
+		},
+	}))
+	defer ts.Close()
+
+	for _, path := range []string{"/v1/dist/campaign", "/v1/leases", "/v1/leases/lease-000001/records"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(raw) != "dist:"+path {
+			t.Fatalf("GET %s routed to %q, want dist handler", path, raw)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "dist_leases_granted_total 3") {
+		t.Fatalf("extra metrics missing from exposition:\n%s", raw)
+	}
+}
