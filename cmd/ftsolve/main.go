@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 
 	"sdcgmres/internal/core"
 	"sdcgmres/internal/detect"
+	"sdcgmres/internal/krylov"
 	"sdcgmres/internal/sparse"
 	"sdcgmres/internal/vec"
 )
@@ -83,7 +85,14 @@ func main() {
 			fatal(err)
 		}
 	}
-	if !res.Converged {
+	// Exit codes via the sentinel errors: 3 when the detector fired and
+	// the solve still failed (known-corrupt run), 1 for plain
+	// non-convergence.
+	if err := res.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftsolve:", err)
+		if errors.Is(err, krylov.ErrDetected) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }

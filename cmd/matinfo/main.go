@@ -7,6 +7,7 @@
 //	matinfo -gen poisson -n 100
 //	matinfo -gen circuit -n 25187
 //	matinfo -file matrix.mtx [-cond]
+//	matinfo -check-trace solve.jsonl
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"sdcgmres/internal/expt"
 	"sdcgmres/internal/gallery"
 	"sdcgmres/internal/sparse"
+	"sdcgmres/internal/trace"
 )
 
 func main() {
@@ -24,9 +26,17 @@ func main() {
 	gen := flag.String("gen", "", "generator: poisson | circuit | convdiff")
 	n := flag.Int("n", 100, "generator size (grid side for poisson/convdiff, dimension for circuit)")
 	cond := flag.Bool("cond", false, "also estimate the condition number (file matrices: needs diagonal dominance)")
+	checkTrace := flag.String("check-trace", "", "validate a JSONL flight-recorder trace file and print its event count")
 	flag.Parse()
 
 	switch {
+	case *checkTrace != "":
+		count, err := trace.CheckJSONLFile(*checkTrace)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %s\n  events: %d\n  status: ok (parseable, known kinds, non-decreasing timestamps)\n", *checkTrace, count)
+		return
 	case *gen == "poisson":
 		expt.WriteTable1(os.Stdout, []expt.Table1Row{expt.Table1Poisson(*n)})
 		return

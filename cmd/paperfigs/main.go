@@ -51,10 +51,12 @@ import (
 	"sdcgmres/internal/detect"
 	"sdcgmres/internal/dist"
 	"sdcgmres/internal/expt"
+	"sdcgmres/internal/fault"
 	"sdcgmres/internal/gallery"
 	"sdcgmres/internal/krylov"
 	"sdcgmres/internal/sparse"
 	"sdcgmres/internal/textplot"
+	"sdcgmres/internal/trace"
 	"sdcgmres/internal/vec"
 )
 
@@ -86,6 +88,7 @@ func main() {
 	fleetAddr := flag.String("fleet-addr", "127.0.0.1:0", "coordinator listen address for -fleet")
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "distributed lease time-to-live")
 	fleetBatch := flag.Int("fleet-batch", 4, "units per distributed lease")
+	traceDir := flag.String("trace-dir", "", "also record one representative traced FT-GMRES solve and write its timeline (JSONL + Chrome trace) here")
 	flag.Parse()
 
 	prof, ok := profiles[*profName]
@@ -112,6 +115,10 @@ func main() {
 
 	fmt.Printf("== paperfigs: profile %s (poisson %dx%d / circuit n=%d, %d inner iters, stride %d) ==\n\n",
 		prof.name, prof.poissonN, prof.poissonN, prof.circuitN, prof.innerIters, prof.stride)
+
+	if *traceDir != "" {
+		runTraceTimeline(prof, *traceDir)
+	}
 
 	if sel("table1") {
 		runTable1(prof, *outdir)
@@ -559,6 +566,56 @@ func (s *sweeper) interrupted() {
 	fmt.Fprintf(os.Stderr, "\npaperfigs: interrupted — %d finished experiments are journaled at:\n  %s\nresume with:\n  %s\n",
 		len(s.have), s.journal.Path(), s.resumeCmd)
 	os.Exit(130)
+}
+
+// runTraceTimeline records one representative faulty FT-GMRES solve on the
+// profile's Poisson problem — detector on, one class-1 fault in the second
+// inner solve — and writes its full flight-recorder timeline twice:
+// trace-<profile>.jsonl (the canonical event stream) and
+// trace-<profile>.chrome.json (loadable in about://tracing / Perfetto).
+func runTraceTimeline(prof profile, dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	a := gallery.Poisson2D(prof.poissonN)
+	b := make([]float64, a.Rows())
+	a.MatVec(b, vec.Ones(a.Cols()))
+	rec := trace.NewRecorder(trace.DefaultCapacity)
+	inj := fault.NewInjector(fault.ClassLarge, fault.Site{AggregateInner: prof.innerIters + 2, Step: fault.FirstMGS})
+	inj.SetRecorder(rec)
+	cfg := core.Config{
+		MaxOuter: prof.poissonOuter + 6,
+		OuterTol: 1e-8,
+		Inner:    core.InnerConfig{Iterations: prof.innerIters, Hooks: []krylov.CoeffHook{inj}},
+		Detector: core.DetectorConfig{Enabled: true, Kind: detect.FrobeniusBound, Response: core.ResponseWarn},
+		Recorder: rec,
+	}
+	if _, err := core.New(a, cfg).Solve(b, nil); err != nil {
+		fatal(err)
+	}
+	events := rec.Events()
+	jsonlPath := filepath.Join(dir, fmt.Sprintf("trace-%s.jsonl", prof.name))
+	chromePath := filepath.Join(dir, fmt.Sprintf("trace-%s.chrome.json", prof.name))
+	for _, out := range []struct {
+		path  string
+		write func(w *os.File) error
+	}{
+		{jsonlPath, func(w *os.File) error { return trace.WriteJSONL(w, events) }},
+		{chromePath, func(w *os.File) error { return trace.WriteChromeTrace(w, events) }},
+	} {
+		f, err := os.Create(out.path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := out.write(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("traced solve: %d events (%d dropped) -> %s, %s\n\n", len(events), rec.Dropped(), jsonlPath, chromePath)
 }
 
 func calibrate(label string, a *sparse.CSR, inner, target int) *expt.Problem {

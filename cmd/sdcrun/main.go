@@ -19,6 +19,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -124,9 +125,7 @@ func main() {
 		if err := enc.Encode(rec); err != nil {
 			fatal(err)
 		}
-		if !res.Converged {
-			os.Exit(1)
-		}
+		exitForSolve(res)
 		return
 	}
 
@@ -164,7 +163,19 @@ func main() {
 			fmt.Printf("  outer %3d: %.6e\n", i+1, r)
 		}
 	}
-	if !res.Converged {
+	exitForSolve(res)
+}
+
+// exitForSolve maps the solve outcome onto the exit code via the sentinel
+// errors: 0 converged, 3 not converged with the detector having fired
+// (the run was known-corrupt), 1 plain non-convergence.
+func exitForSolve(res *core.Result) {
+	err := res.Err()
+	switch {
+	case err == nil:
+	case errors.Is(err, krylov.ErrDetected):
+		os.Exit(3)
+	default:
 		os.Exit(1)
 	}
 }

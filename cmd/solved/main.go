@@ -83,6 +83,7 @@ type cliConfig struct {
 	drainTimeout time.Duration
 	pprof        bool
 	campaignDir  string
+	traceCap     int
 
 	// Distributed-campaign modes.
 	worker      bool
@@ -106,6 +107,7 @@ func parseFlags(args []string) (cliConfig, error) {
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown drain budget")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	fs.StringVar(&cfg.campaignDir, "campaign-dir", ".", "directory for campaign journals")
+	fs.IntVar(&cfg.traceCap, "trace-cap", 0, "per-job/per-campaign flight-recorder capacity in events (0 = tracing off)")
 	fs.BoolVar(&cfg.worker, "worker", false, "join a distributed campaign fleet (requires -coordinator)")
 	fs.StringVar(&cfg.coordinator, "coordinator", "", "coordinator base URL for -worker mode")
 	fs.StringVar(&cfg.workerName, "worker-name", "", "worker identity (default hostname-pid)")
@@ -135,11 +137,13 @@ func setupDist(cfg cliConfig, host *dist.Host) (*service.Engine, *service.Campai
 		DefaultBudget: cfg.budget,
 		MaxBudget:     cfg.maxBudget,
 		Retain:        cfg.retain,
+		TraceCapacity: cfg.traceCap,
 	})
 	campaigns := service.NewCampaignManager(service.CampaignManagerConfig{
-		Dir:     cfg.campaignDir,
-		Workers: cfg.workers,
-		Metrics: engine.Metrics(),
+		Dir:           cfg.campaignDir,
+		Workers:       cfg.workers,
+		Metrics:       engine.Metrics(),
+		TraceCapacity: cfg.traceCap,
 	})
 	opts := service.ServerOptions{
 		EnablePprof: cfg.pprof,

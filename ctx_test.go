@@ -1,0 +1,74 @@
+package sdcgmres_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sdcgmres"
+)
+
+// TestCtxCancellationSentinels pins the context-first API contract: a
+// pre-canceled context stops each solver, and the returned error matches
+// BOTH sdcgmres.ErrCanceled and the context's own error under errors.Is.
+func TestCtxCancellationSentinels(t *testing.T) {
+	a := sdcgmres.Poisson2D(8)
+	b := sdcgmres.OnesRHS(a)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	checkErr := func(name string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s: canceled context returned nil error", name)
+		}
+		if !errors.Is(err, sdcgmres.ErrCanceled) {
+			t.Fatalf("%s: %v does not match ErrCanceled", name, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: %v does not match context.Canceled", name, err)
+		}
+	}
+
+	_, err := sdcgmres.GMRESCtx(ctx, a, b, nil, sdcgmres.SolveOptions{MaxIter: 64})
+	checkErr("GMRESCtx", err)
+	_, err = sdcgmres.CGCtx(ctx, a, b, nil, sdcgmres.CGOptions{})
+	checkErr("CGCtx", err)
+	_, err = sdcgmres.FGMRESCtx(ctx, a, b, nil, nil, sdcgmres.FGMRESOptions{})
+	checkErr("FGMRESCtx", err)
+	_, err = sdcgmres.FCGCtx(ctx, a, b, nil, nil, sdcgmres.FCGOptions{})
+	checkErr("FCGCtx", err)
+
+	ft := sdcgmres.NewFTGMRES(a, sdcgmres.FTConfig{
+		MaxOuter: 30, OuterTol: 1e-8,
+		Inner: sdcgmres.InnerConfig{Iterations: 8},
+	})
+	_, err = ft.SolveCtx(ctx, b, nil)
+	checkErr("FTGMRES.SolveCtx", err)
+}
+
+// TestSentinelErrorsFromResults pins the Err() mapping: a solve stopped by
+// its iteration budget reports ErrNotConverged, and when the detector
+// fired during the failed run the error additionally matches ErrDetected.
+func TestSentinelErrorsFromResults(t *testing.T) {
+	a := sdcgmres.Poisson2D(10)
+	b := sdcgmres.OnesRHS(a)
+	ft := sdcgmres.NewFTGMRES(a, sdcgmres.FTConfig{
+		MaxOuter: 2, OuterTol: 1e-12,
+		Inner: sdcgmres.InnerConfig{Iterations: 3},
+	})
+	res, err := ft.Solve(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("fixture problem: tiny budget converged")
+	}
+	serr := res.Err()
+	if !errors.Is(serr, sdcgmres.ErrNotConverged) {
+		t.Fatalf("%v does not match ErrNotConverged", serr)
+	}
+	if errors.Is(serr, sdcgmres.ErrDetected) {
+		t.Fatalf("%v matches ErrDetected without a detector", serr)
+	}
+}

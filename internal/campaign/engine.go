@@ -11,6 +11,7 @@ import (
 
 	"sdcgmres/internal/expt"
 	"sdcgmres/internal/sandbox"
+	"sdcgmres/internal/trace"
 )
 
 // Options parameterizes a campaign run.
@@ -26,6 +27,11 @@ type Options struct {
 	// OnSkip, when non-nil, observes every unit skipped because the journal
 	// already holds it.
 	OnSkip func(Unit)
+	// Recorder, when non-nil, receives unit-lifecycle trace events
+	// (UnitStart/UnitEnd and each unit's sandbox outcome). Tracing is
+	// observation only: the records a campaign journals — and therefore
+	// its aggregate CSVs — are byte-identical with or without it.
+	Recorder *trace.Recorder
 }
 
 // Progress is a point-in-time snapshot of a run.
@@ -238,7 +244,7 @@ func (r *Runner) bumpFailure(problem string) {
 // false only when the campaign context ended before the unit produced a
 // journalable outcome.
 func (r *Runner) runUnit(ctx context.Context, u Unit) (rec Record, ran bool) {
-	return ExecuteUnit(ctx, r.compiled, u, r.opts.UnitBudget)
+	return ExecuteUnitTraced(ctx, r.compiled, u, r.opts.UnitBudget, r.opts.Recorder)
 }
 
 // ExecuteUnit runs one unit of a compiled campaign under the sandbox with
@@ -249,12 +255,28 @@ func (r *Runner) runUnit(ctx context.Context, u Unit) (rec Record, ran bool) {
 // single-unit core shared by the local Runner and the distributed worker,
 // which is what keeps locally and remotely executed records identical.
 func ExecuteUnit(ctx context.Context, c *Compiled, u Unit, budget time.Duration) (rec Record, ran bool) {
+	return ExecuteUnitTraced(ctx, c, u, budget, nil)
+}
+
+// ExecuteUnitTraced is ExecuteUnit with a flight recorder: the unit's
+// lifecycle (UnitStart/UnitEnd) and its sandbox outcome are emitted as
+// trace events. The record returned is identical to ExecuteUnit's — the
+// recorder observes, it never participates.
+func ExecuteUnitTraced(ctx context.Context, c *Compiled, u Unit, budget time.Duration, rtrace *trace.Recorder) (rec Record, ran bool) {
 	if budget <= 0 {
 		budget = 2 * time.Minute
 		if ms := c.Manifest.UnitBudgetMS; ms > 0 {
 			budget = time.Duration(ms) * time.Millisecond
 		}
 	}
+	rtrace.UnitStart(u.ID)
+	defer func() {
+		if !ran {
+			rtrace.UnitEnd(u.ID, "canceled", 0)
+			return
+		}
+		rtrace.UnitEnd(u.ID, rec.Outcome, rec.ElapsedMS)
+	}()
 	p := c.Problems[u.Problem]
 	cfg, err := c.SweepConfig(u)
 	if err != nil {
@@ -273,6 +295,7 @@ func ExecuteUnit(ctx context.Context, c *Compiled, u Unit, budget time.Duration)
 		return nil
 	})
 	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+	rtrace.SandboxOutcome(0, rep.Outcome.String(), rep.Usable(), elapsed)
 
 	if ctx.Err() != nil {
 		// Campaign-level cancellation: the unit is not finished, leave it

@@ -1,0 +1,53 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+
+	"sdcgmres/internal/trace"
+)
+
+// TestTracingLeavesCSVByteIdentical is the acceptance check for the
+// campaign trace seam: the flight recorder observes unit execution but
+// must never perturb it, so the aggregate CSV of a traced run is
+// byte-for-byte the CSV of an untraced one.
+func TestTracingLeavesCSVByteIdentical(t *testing.T) {
+	c := compileTest(t)
+	runCampaign := func(name string, rec *trace.Recorder) []byte {
+		j, have, err := OpenJournal(filepath.Join(t.TempDir(), name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j.Close()
+		r := NewRunner(c, j, have, Options{Workers: 2, Recorder: rec})
+		if err := r.Run(context.Background()); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return runToCSV(t, c, r.Records())
+	}
+	plain := runCampaign("plain.jsonl", nil)
+	rec := trace.NewRecorder(1 << 14)
+	traced := runCampaign("traced.jsonl", rec)
+	if !bytes.Equal(plain, traced) {
+		t.Fatalf("tracing changed the aggregate CSV:\n--- off ---\n%s\n--- on ---\n%s", plain, traced)
+	}
+
+	// The recorder must have seen the full unit lifecycle.
+	starts, ends := 0, 0
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case trace.KindUnitStart:
+			starts++
+		case trace.KindUnitEnd:
+			ends++
+			if ev.Label == "" || ev.Note == "" {
+				t.Fatalf("unit-end missing unit ID or outcome: %+v", ev)
+			}
+		}
+	}
+	if starts != len(c.Units) || ends != len(c.Units) {
+		t.Fatalf("unit spans %d/%d, want %d each", starts, ends, len(c.Units))
+	}
+}

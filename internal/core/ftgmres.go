@@ -12,6 +12,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"sdcgmres/internal/precond"
 	"sdcgmres/internal/sandbox"
 	"sdcgmres/internal/sparse"
+	"sdcgmres/internal/trace"
 	"sdcgmres/internal/vec"
 )
 
@@ -162,6 +164,13 @@ type Config struct {
 	// OnOuter, when non-nil, observes (outerIteration, relativeResidual)
 	// after every outer iteration.
 	OnOuter func(iter int, rel float64)
+	// Recorder, when non-nil, receives the full flight-recorder stream of
+	// the solve: a solve span, reliable outer residuals (Inner == 0),
+	// inner-solve spans with per-iteration residuals and Arnoldi
+	// coefficients, every detector verdict, and the sandbox outcome of
+	// each inner solve. A nil Recorder costs one pointer check per event
+	// site and allocates nothing.
+	Recorder *trace.Recorder
 }
 
 // Stats aggregates what happened during a nested solve.
@@ -202,6 +211,23 @@ type Result struct {
 	ResidualHistory []float64
 	// Stats aggregates solver activity.
 	Stats Stats
+}
+
+// Err maps the solve outcome onto the krylov sentinel errors so callers
+// can branch with errors.Is instead of inspecting fields: nil when the
+// solve converged, an error matching krylov.ErrNotConverged otherwise —
+// additionally matching krylov.ErrDetected when the detector fired during
+// the run.
+func (r *Result) Err() error {
+	if r == nil || r.Converged {
+		return nil
+	}
+	if r.Stats.Detections > 0 {
+		return fmt.Errorf("core: solve stopped at relative residual %.3g after %d outer iterations with %d detector violations: %w",
+			r.FinalResidual, r.Stats.OuterIterations, r.Stats.Detections, errors.Join(krylov.ErrNotConverged, krylov.ErrDetected))
+	}
+	return fmt.Errorf("core: solve stopped at relative residual %.3g after %d outer iterations: %w",
+		r.FinalResidual, r.Stats.OuterIterations, krylov.ErrNotConverged)
 }
 
 // Solver is a reusable FT-GMRES instance for one operator.
@@ -274,6 +300,25 @@ func (s *Solver) SolveCtx(ctx context.Context, b, x0 []float64) (*Result, error)
 	if s.det != nil {
 		s.det.Reset()
 	}
+	out := &Result{}
+	rec := s.cfg.Recorder
+	label := "ft-" + s.cfg.Outer.String()
+	rec.SolveStart(label)
+	defer func() {
+		rec.SolveEnd(label, out.Converged, out.FinalResidual, stats.OuterIterations)
+	}()
+	onOuter := s.cfg.OnOuter
+	if rec != nil {
+		inner := onOuter
+		onOuter = func(iter int, rel float64) {
+			// Outer (reliable) residuals carry Inner == 0, distinguishing
+			// them from the inner solves' per-iteration residuals.
+			rec.IterResidual(iter, 0, 0, rel)
+			if inner != nil {
+				inner(iter, rel)
+			}
+		}
+	}
 
 	provider := func(j int) krylov.Preconditioner {
 		return krylov.PrecondFunc(func(z, q []float64) error {
@@ -288,7 +333,6 @@ func (s *Solver) SolveCtx(ctx context.Context, b, x0 []float64) (*Result, error)
 		})
 	}
 
-	out := &Result{}
 	x := x0
 	for cycle := 0; ; cycle++ {
 		var res *krylov.Result
@@ -296,9 +340,11 @@ func (s *Solver) SolveCtx(ctx context.Context, b, x0 []float64) (*Result, error)
 		switch s.cfg.Outer {
 		case OuterFCG:
 			res, err = krylov.FCG(s.a, b, x, provider, krylov.FCGOptions{
-				MaxIter:     s.cfg.MaxOuter,
-				Tol:         s.cfg.OuterTol,
-				OnIteration: s.cfg.OnOuter,
+				Options: krylov.Options{
+					MaxIter: s.cfg.MaxOuter,
+					Tol:     s.cfg.OuterTol,
+				},
+				OnIteration: onOuter,
 			})
 		default:
 			res, err = krylov.FGMRES(s.a, b, x, provider, krylov.FGMRESOptions{
@@ -309,12 +355,12 @@ func (s *Solver) SolveCtx(ctx context.Context, b, x0 []float64) (*Result, error)
 					RankCheckTol: s.cfg.RankCheckTol,
 				},
 				ExplicitResidual: true,
-				OnIteration:      s.cfg.OnOuter,
+				OnIteration:      onOuter,
 			})
 		}
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
-				return nil, fmt.Errorf("core: solve canceled: %w", cerr)
+				return nil, fmt.Errorf("core: solve canceled: %w", errors.Join(krylov.ErrCanceled, cerr))
 			}
 			return nil, fmt.Errorf("core: outer solve failed: %w", err)
 		}
@@ -327,7 +373,7 @@ func (s *Solver) SolveCtx(ctx context.Context, b, x0 []float64) (*Result, error)
 			break
 		}
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: solve canceled: %w", err)
+			return nil, fmt.Errorf("core: solve canceled: %w", errors.Join(krylov.ErrCanceled, err))
 		}
 		x = res.X // restart the reliable outer iteration from here
 	}
@@ -350,10 +396,14 @@ func (s *Solver) innerSolve(ctx context.Context, j int, z, q []float64, stats *S
 	if s.cfg.Detector.Enabled && s.cfg.Detector.Response != ResponseWarn {
 		onErr = krylov.DetectHalt
 	}
+	rec := s.cfg.Recorder
+	rec.InnerStart(j)
+	innerIters := 0
+	defer func() { rec.InnerEnd(j, innerIters) }()
 	hooks := make([]krylov.CoeffHook, 0, len(s.cfg.Inner.Hooks)+1)
 	hooks = append(hooks, s.cfg.Inner.Hooks...)
 	if s.det != nil {
-		hooks = append(hooks, s.det)
+		hooks = append(hooks, detect.Traced(s.det, rec))
 	}
 	opts := krylov.Options{
 		MaxIter:        s.cfg.Inner.Iterations,
@@ -366,6 +416,7 @@ func (s *Solver) innerSolve(ctx context.Context, j int, z, q []float64, stats *S
 		OuterIteration: j,
 		AggregateBase:  (j - 1) * s.cfg.Inner.Iterations,
 		Precond:        s.cfg.Inner.Precond,
+		Recorder:       rec,
 	}
 	if s.cfg.Inner.RobustFirstSolve && j == 1 {
 		// Selective robustness (Sec. VII-E): the first inner solve is the
@@ -392,12 +443,14 @@ func (s *Solver) innerSolve(ctx context.Context, j int, z, q []float64, stats *S
 			inner = r
 			return nil
 		})
+		rec.SandboxOutcome(j, rep.Outcome.String(), rep.Usable(), float64(rep.Elapsed)/float64(time.Millisecond))
 		if !rep.Usable() || inner == nil {
 			stats.SandboxFailures++
 			copy(z, q) // reliable fallback: identity preconditioning
 			return
 		}
 		stats.InnerIterations += inner.Iterations
+		innerIters += inner.Iterations
 		stats.InnerWork.Add(inner.Work)
 		if inner.Halted {
 			stats.InnerHalts++

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"sdcgmres/internal/detect"
+	"sdcgmres/internal/fault"
+	"sdcgmres/internal/krylov"
+	"sdcgmres/internal/trace"
+)
+
+// TestTraceReconstructsSolve is the acceptance test for the flight
+// recorder: a faulty FT-GMRES solve with the detector on is exported to
+// JSONL, read back, and the event stream must reconstruct the complete
+// reliable residual history and every detector verdict — without touching
+// the in-memory Result at all.
+func TestTraceReconstructsSolve(t *testing.T) {
+	rec := trace.NewRecorder(1 << 16)
+	inj := fault.NewInjector(fault.ClassLarge, fault.Site{AggregateInner: 3, Step: fault.FirstMGS})
+	inj.SetRecorder(rec)
+	s, b := poissonSolver(10, Config{
+		MaxOuter: 40, OuterTol: 1e-8,
+		Inner:    InnerConfig{Iterations: 10, Hooks: []krylov.CoeffHook{inj}},
+		Detector: DetectorConfig{Enabled: true, Kind: detect.FrobeniusBound, Response: ResponseWarn},
+		Recorder: rec,
+	})
+	res, err := s.Solve(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	if res.Stats.Detections == 0 {
+		t.Fatal("fixture problem: detector never fired, test proves nothing")
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("dropped %d events; raise test capacity", rec.Dropped())
+	}
+
+	// Round-trip through the JSONL wire form: the reconstruction below
+	// reads only what a file on disk would hold.
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var outerResiduals []float64
+	verdicts, violations, strikes := 0, 0, 0
+	solveStarts, solveEnds, innerStarts, innerEnds := 0, 0, 0, 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.KindIterResidual:
+			if ev.Inner == 0 { // outer (reliable) residual convention
+				if ev.Outer != len(outerResiduals)+1 {
+					t.Fatalf("outer residual out of order: %+v", ev)
+				}
+				outerResiduals = append(outerResiduals, ev.Value)
+			}
+		case trace.KindDetectorVerdict:
+			verdicts++
+			if ev.Flag {
+				violations++
+			}
+		case trace.KindFaultInjected:
+			strikes++
+		case trace.KindSolveStart:
+			solveStarts++
+		case trace.KindSolveEnd:
+			solveEnds++
+			if ev.Flag != res.Converged || ev.Value != res.FinalResidual {
+				t.Fatalf("solve-end disagrees with Result: %+v vs %+v", ev, res)
+			}
+		case trace.KindInnerStart:
+			innerStarts++
+		case trace.KindInnerEnd:
+			innerEnds++
+		}
+	}
+	if len(outerResiduals) != len(res.ResidualHistory) {
+		t.Fatalf("trace reconstructs %d outer residuals, solve recorded %d",
+			len(outerResiduals), len(res.ResidualHistory))
+	}
+	for i, r := range outerResiduals {
+		if r != res.ResidualHistory[i] {
+			t.Fatalf("outer residual %d: trace %g, history %g", i, r, res.ResidualHistory[i])
+		}
+	}
+	if verdicts != res.Stats.DetectorChecked {
+		t.Fatalf("trace has %d verdicts, detector checked %d", verdicts, res.Stats.DetectorChecked)
+	}
+	if violations != res.Stats.Detections {
+		t.Fatalf("trace flags %d violations, Stats.Detections = %d", violations, res.Stats.Detections)
+	}
+	if strikes != 1 {
+		t.Fatalf("fault-injected events = %d, want 1", strikes)
+	}
+	if solveStarts != 1 || solveEnds != 1 {
+		t.Fatalf("solve span events = %d/%d, want 1/1", solveStarts, solveEnds)
+	}
+	if innerStarts != res.Stats.OuterIterations || innerEnds != innerStarts {
+		t.Fatalf("inner spans %d/%d, want %d each", innerStarts, innerEnds, res.Stats.OuterIterations)
+	}
+}
+
+// TestTraceObservationOnly pins that tracing never perturbs the solve: the
+// same faulty configuration with and without a recorder must produce
+// identical iterates and statistics.
+func TestTraceObservationOnly(t *testing.T) {
+	run := func(rec *trace.Recorder) *Result {
+		inj := fault.NewInjector(fault.ClassLarge, fault.Site{AggregateInner: 3, Step: fault.FirstMGS})
+		inj.SetRecorder(rec)
+		s, b := poissonSolver(10, Config{
+			MaxOuter: 40, OuterTol: 1e-8,
+			Inner:    InnerConfig{Iterations: 10, Hooks: []krylov.CoeffHook{inj}},
+			Detector: DetectorConfig{Enabled: true, Kind: detect.FrobeniusBound, Response: ResponseWarn},
+			Recorder: rec,
+		})
+		res, err := s.Solve(b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	traced := run(trace.NewRecorder(1 << 16))
+	if plain.Stats != traced.Stats {
+		t.Fatalf("tracing changed solver statistics:\n  off: %+v\n  on:  %+v", plain.Stats, traced.Stats)
+	}
+	for i := range plain.X {
+		if plain.X[i] != traced.X[i] {
+			t.Fatalf("tracing changed the iterate at %d: %g vs %g", i, plain.X[i], traced.X[i])
+		}
+	}
+}

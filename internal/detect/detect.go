@@ -18,6 +18,7 @@ import (
 
 	"sdcgmres/internal/krylov"
 	"sdcgmres/internal/sparse"
+	"sdcgmres/internal/trace"
 )
 
 // BoundKind selects which norm backs the detector bound.
@@ -163,3 +164,26 @@ func (d *Detector) WouldDetect(h float64) bool {
 }
 
 var _ krylov.CoeffHook = (*Detector)(nil)
+
+// Traced adapts the detector so every check it performs — pass or fail —
+// is also emitted as a DetectorVerdict trace event, without changing the
+// detector's position in a hook chain or its pass-through semantics. With
+// a nil recorder the detector itself is returned unchanged.
+func Traced(d *Detector, rec *trace.Recorder) krylov.CoeffHook {
+	if rec == nil {
+		return d
+	}
+	return tracedDetector{d: d, rec: rec}
+}
+
+type tracedDetector struct {
+	d   *Detector
+	rec *trace.Recorder
+}
+
+// Observe implements krylov.CoeffHook.
+func (t tracedDetector) Observe(ctx krylov.CoeffContext, h float64) (float64, error) {
+	nh, err := t.d.Observe(ctx, h)
+	t.rec.DetectorVerdict(ctx.OuterIteration, ctx.InnerIteration, ctx.AggregateInner, ctx.Step, h, t.d.Bound(), err != nil)
+	return nh, err
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/trace"
 )
 
 // CoordinatorConfig parameterizes a Coordinator.
@@ -18,6 +19,10 @@ type CoordinatorConfig struct {
 	BatchSize int
 	// Metrics receives coordinator observations (default: fresh registry).
 	Metrics *Metrics
+	// Recorder, when non-nil, receives lease lifecycle trace events
+	// (LeaseGranted on Claim, LeaseExpired on sweep). Purely
+	// observational; lease behaviour is unchanged.
+	Recorder *trace.Recorder
 	// Now is the clock (default time.Now; tests substitute a fake).
 	Now func() time.Time
 }
@@ -163,6 +168,7 @@ func (co *Coordinator) sweepLocked(now time.Time) {
 		delete(co.leases, id)
 		co.cfg.Metrics.LeasesExpired.Inc()
 		co.cfg.Metrics.UnitsRequeued.Add(int64(len(back)))
+		co.cfg.Recorder.LeaseExpired(id, l.worker, len(back))
 	}
 }
 
@@ -209,6 +215,7 @@ func (co *Coordinator) Claim(worker string, max int) (_ *Lease, done bool, err e
 	}
 	co.leases[l.id] = l
 	co.cfg.Metrics.LeasesGranted.Inc()
+	co.cfg.Recorder.LeaseGranted(l.id, worker, len(units))
 	return &Lease{
 		ID:        l.id,
 		Units:     units,

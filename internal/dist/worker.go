@@ -14,6 +14,7 @@ import (
 	"sdcgmres/internal/campaign"
 	"sdcgmres/internal/expt"
 	"sdcgmres/internal/service"
+	"sdcgmres/internal/trace"
 )
 
 // ProblemCache memoizes calibrated problems by ProblemSpec key, so a worker
@@ -87,6 +88,9 @@ type WorkerConfig struct {
 	MaxRetries int
 	// Problems is the calibration cache (default: a fresh one).
 	Problems *ProblemCache
+	// Recorder, when non-nil, receives unit-lifecycle trace events for
+	// every unit this worker executes (via campaign.ExecuteUnitTraced).
+	Recorder *trace.Recorder
 	// Logf receives progress lines (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -275,7 +279,7 @@ func (w *Worker) executeLease(ctx context.Context, info CampaignInfo, l *Lease) 
 		go func() {
 			defer wg.Done()
 			for u := range next {
-				rec, ran := campaign.ExecuteUnit(hbCtx, w.compiled, u, w.cfg.UnitBudget)
+				rec, ran := campaign.ExecuteUnitTraced(hbCtx, w.compiled, u, w.cfg.UnitBudget, w.cfg.Recorder)
 				if !ran {
 					continue
 				}

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"sdcgmres/internal/krylov"
+	"sdcgmres/internal/trace"
 )
 
 // Model produces the corrupted value from the correct one.
@@ -152,6 +153,7 @@ type Injector struct {
 	mu     sync.Mutex
 	fired  bool
 	events []Event
+	rec    *trace.Recorder
 }
 
 // NewInjector arms a single-shot injector for the given site and model.
@@ -174,7 +176,16 @@ func (in *Injector) Observe(ctx krylov.CoeffContext, h float64) (float64, error)
 	in.fired = true
 	bad := in.model.Corrupt(h)
 	in.events = append(in.events, Event{Ctx: ctx, Correct: h, Corrupted: bad, Model: in.model.String()})
+	in.rec.FaultInjected(ctx.OuterIteration, ctx.InnerIteration, ctx.AggregateInner, ctx.Step, h, bad, in.model.String())
 	return bad, nil
+}
+
+// SetRecorder attaches a flight recorder: each strike is then also emitted
+// as a FaultInjected trace event. A nil recorder detaches.
+func (in *Injector) SetRecorder(rec *trace.Recorder) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rec = rec
 }
 
 // Fired reports whether the injector has struck.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/trace"
 )
 
 func benchSolve(b *testing.B, f func() (*Result, error)) {
@@ -66,7 +67,7 @@ func BenchmarkCGPoisson(b *testing.B) {
 	a := gallery.Poisson2D(48)
 	rhs := onesRHS(a)
 	benchSolve(b, func() (*Result, error) {
-		return CG(a, rhs, nil, CGOptions{Tol: 1e-8})
+		return CG(a, rhs, nil, CGOptions{Options: Options{Tol: 1e-8}})
 	})
 }
 
@@ -95,6 +96,28 @@ func BenchmarkHookOverhead(b *testing.B) {
 	b.Run("noop_hook", func(b *testing.B) {
 		benchSolve(b, func() (*Result, error) {
 			return GMRES(a, rhs, nil, Options{MaxIter: 200, Tol: 1e-8, Hooks: []CoeffHook{noop}})
+		})
+	})
+}
+
+func BenchmarkTraceOverhead(b *testing.B) {
+	// Cost of the flight-recorder seam: a disabled (nil) recorder must be
+	// indistinguishable from the plain solve — one pointer check per
+	// emission site, zero allocations — while an enabled recorder pays
+	// only the ring-buffer append.
+	a := gallery.Poisson2D(32)
+	rhs := onesRHS(a)
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		benchSolve(b, func() (*Result, error) {
+			return GMRES(a, rhs, nil, Options{MaxIter: 200, Tol: 1e-8, Recorder: nil})
+		})
+	})
+	b.Run("enabled", func(b *testing.B) {
+		rec := trace.NewRecorder(1 << 16)
+		b.ReportAllocs()
+		benchSolve(b, func() (*Result, error) {
+			return GMRES(a, rhs, nil, Options{MaxIter: 200, Tol: 1e-8, Recorder: rec})
 		})
 	})
 }

@@ -1,26 +1,40 @@
 package krylov
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"sdcgmres/internal/vec"
 )
 
-// CGOptions configures the Conjugate Gradient solver.
+// CGOptions configures the Conjugate Gradient solver. It embeds the
+// shared Options core so every solver in the package is configured the
+// same way; CG honours MaxIter (default 10·n when zero), Tol (default
+// 1e-10 when zero — unlike GMRES, zero never means "no convergence
+// check") and Recorder. CG has no Arnoldi process, so the
+// orthogonalization, hook, and least-squares fields are ignored.
 type CGOptions struct {
-	// MaxIter bounds the iteration count (default 10·n when zero).
-	MaxIter int
-	// Tol is the relative residual convergence threshold (default 1e-10
-	// when zero).
-	Tol float64
+	Options
 }
 
 // CG solves A x = b for symmetric positive definite A. The paper uses CG
 // only as a framing device — Table I notes the Poisson problem "could be
 // solved using the Conjugate Gradient method" — and this implementation
 // serves as the SPD baseline for the examples and ablations.
+//
+// CG is shorthand for CGCtx with context.Background().
 func CG(a Operator, b, x0 []float64, opts CGOptions) (*Result, error) {
+	return CGCtx(context.Background(), a, b, x0, opts)
+}
+
+// CGCtx is CG with cancellation: ctx is checked every iteration, and a
+// solve cut short returns an error matching both ErrCanceled and
+// ctx.Err() under errors.Is.
+func CGCtx(ctx context.Context, a Operator, b, x0 []float64, opts CGOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := checkSystem(a, b, x0); err != nil {
 		return nil, err
 	}
@@ -51,8 +65,12 @@ func CG(a Operator, b, x0 []float64, opts CGOptions) (*Result, error) {
 	rr := vec.Dot(r, r)
 
 	for it := 0; it < opts.MaxIter; it++ {
+		if err := ctxOK(ctx); err != nil {
+			return nil, err
+		}
 		rel := sqrtNonneg(rr) / normB
 		res.ResidualHistory = append(res.ResidualHistory, rel)
+		opts.Recorder.IterResidual(0, it+1, it+1, rel)
 		if rel <= opts.Tol {
 			res.Converged = true
 			break

@@ -1,18 +1,19 @@
 package krylov
 
 import (
+	"context"
 	"fmt"
 
 	"sdcgmres/internal/vec"
 )
 
-// FCGOptions configures the flexible Conjugate Gradient solver.
+// FCGOptions configures the flexible Conjugate Gradient solver. It embeds
+// the shared Options core (MaxIter — default 100 when zero — Tol on the
+// explicitly computed residual, Recorder); like CG, FCG has no Arnoldi
+// process, so the orthogonalization, hook, and least-squares fields are
+// ignored.
 type FCGOptions struct {
-	// MaxIter bounds the outer iterations.
-	MaxIter int
-	// Tol is the relative residual convergence threshold on the
-	// explicitly computed residual.
-	Tol float64
+	Options
 	// Truncate is the direction-orthogonalization depth: each new search
 	// direction is A-orthogonalized against the last Truncate directions
 	// (1 reproduces Notay's FCG(1), the usual flexible CG; larger values
@@ -35,7 +36,19 @@ type FCGOptions struct {
 // curvature (possible only if the preconditioner result was corrupted,
 // since A is SPD) is discarded in favour of the steepest-descent direction
 // — a run-through response rather than a failure.
+//
+// FCG is shorthand for FCGCtx with context.Background().
 func FCG(a Operator, b, x0 []float64, provider PrecondProvider, opts FCGOptions) (*Result, error) {
+	return FCGCtx(context.Background(), a, b, x0, provider, opts)
+}
+
+// FCGCtx is FCG with cancellation: ctx is checked every outer iteration,
+// and a solve cut short returns an error matching both ErrCanceled and
+// ctx.Err() under errors.Is.
+func FCGCtx(ctx context.Context, a Operator, b, x0 []float64, provider PrecondProvider, opts FCGOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := checkSystem(a, b, x0); err != nil {
 		return nil, err
 	}
@@ -73,8 +86,12 @@ func FCG(a Operator, b, x0 []float64, provider PrecondProvider, opts FCGOptions)
 	z := make([]float64, n)
 
 	for k := 0; k < opts.MaxIter; k++ {
+		if err := ctxOK(ctx); err != nil {
+			return nil, err
+		}
 		rel := vec.Norm2(r) / normB
 		res.ResidualHistory = append(res.ResidualHistory, rel)
+		opts.Recorder.IterResidual(0, k+1, k+1, rel)
 		if opts.OnIteration != nil {
 			opts.OnIteration(k, rel)
 		}

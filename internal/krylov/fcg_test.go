@@ -11,7 +11,7 @@ import (
 func TestFCGIdentityPreconditionerSolvesPoisson(t *testing.T) {
 	a := gallery.Poisson2D(10)
 	b := onesRHS(a)
-	res, err := FCG(a, b, nil, nil, FCGOptions{MaxIter: 400, Tol: 1e-9})
+	res, err := FCG(a, b, nil, nil, FCGOptions{Options: Options{MaxIter: 400, Tol: 1e-9}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +28,7 @@ func TestFCGIdentityPreconditionerSolvesPoisson(t *testing.T) {
 func TestFCGNestedInnerGMRES(t *testing.T) {
 	a := gallery.Poisson2D(10)
 	b := onesRHS(a)
-	res, err := FCG(a, b, nil, FixedPreconditioner(innerGMRES(a, 15)), FCGOptions{MaxIter: 40, Tol: 1e-9})
+	res, err := FCG(a, b, nil, FixedPreconditioner(innerGMRES(a, 15)), FCGOptions{Options: Options{MaxIter: 40, Tol: 1e-9}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestFCGNestedInnerGMRES(t *testing.T) {
 	}
 	// Preconditioning with 15 GMRES iterations must drastically beat
 	// unpreconditioned FCG.
-	plain, _ := FCG(a, b, nil, nil, FCGOptions{MaxIter: 400, Tol: 1e-9})
+	plain, _ := FCG(a, b, nil, nil, FCGOptions{Options: Options{MaxIter: 400, Tol: 1e-9}})
 	if res.Iterations*5 > plain.Iterations {
 		t.Fatalf("nested FCG not accelerating: %d vs %d iterations", res.Iterations, plain.Iterations)
 	}
@@ -47,7 +47,7 @@ func TestFCGChangingPreconditioner(t *testing.T) {
 	a := gallery.Poisson2D(8)
 	b := onesRHS(a)
 	provider := func(k int) Preconditioner { return innerGMRES(a, 2+k%5) }
-	res, err := FCG(a, b, nil, provider, FCGOptions{MaxIter: 80, Tol: 1e-9})
+	res, err := FCG(a, b, nil, provider, FCGOptions{Options: Options{MaxIter: 80, Tol: 1e-9}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestFCGRunsThroughCorruptedPreconditioner(t *testing.T) {
 		}
 		return nil
 	})
-	res, err := FCG(a, b, nil, FixedPreconditioner(evil), FCGOptions{MaxIter: 500, Tol: 1e-9})
+	res, err := FCG(a, b, nil, FixedPreconditioner(evil), FCGOptions{Options: Options{MaxIter: 500, Tol: 1e-9}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestFCGIndefiniteMatrixNoSilentFailure(t *testing.T) {
 	// wrong answer: if it reports convergence the solution must be right.
 	a := gallery.Diagonal([]float64{1, -2, 3})
 	b := []float64{1, 1, 1}
-	res, err := FCG(a, b, nil, nil, FCGOptions{MaxIter: 20, Tol: 1e-10})
+	res, err := FCG(a, b, nil, nil, FCGOptions{Options: Options{MaxIter: 20, Tol: 1e-10}})
 	if err != nil {
 		return // loud failure: acceptable
 	}
@@ -113,14 +113,14 @@ func TestFCGIndefiniteMatrixNoSilentFailure(t *testing.T) {
 
 func TestFCGZeroRHSAndCallbacks(t *testing.T) {
 	a := gallery.Tridiag(6, -1, 2, -1)
-	res, err := FCG(a, make([]float64, 6), nil, nil, FCGOptions{MaxIter: 5, Tol: 1e-10})
+	res, err := FCG(a, make([]float64, 6), nil, nil, FCGOptions{Options: Options{MaxIter: 5, Tol: 1e-10}})
 	if err != nil || !res.Converged {
 		t.Fatalf("zero rhs: %+v %v", res, err)
 	}
 	var seen int
 	b := onesRHS(a)
 	res2, err := FCG(a, b, nil, nil, FCGOptions{
-		MaxIter: 20, Tol: 1e-12,
+		Options:     Options{MaxIter: 20, Tol: 1e-12},
 		OnIteration: func(it int, rel float64) { seen++ },
 	})
 	if err != nil || !res2.Converged {
@@ -135,11 +135,11 @@ func TestFCGTruncationDepth(t *testing.T) {
 	// Deeper truncation can only help (or tie) on a fixed problem.
 	a := gallery.Poisson2D(9)
 	b := onesRHS(a)
-	t1, err := FCG(a, b, nil, nil, FCGOptions{MaxIter: 500, Tol: 1e-9, Truncate: 1})
+	t1, err := FCG(a, b, nil, nil, FCGOptions{Options: Options{MaxIter: 500, Tol: 1e-9}, Truncate: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t4, err := FCG(a, b, nil, nil, FCGOptions{MaxIter: 500, Tol: 1e-9, Truncate: 4})
+	t4, err := FCG(a, b, nil, nil, FCGOptions{Options: Options{MaxIter: 500, Tol: 1e-9}, Truncate: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +157,11 @@ func TestFCGMatchesCGWhenUnpreconditioned(t *testing.T) {
 	// arithmetic; iteration counts must be close.
 	a := gallery.Poisson2D(8)
 	b := onesRHS(a)
-	cg, err := CG(a, b, nil, CGOptions{Tol: 1e-9})
+	cg, err := CG(a, b, nil, CGOptions{Options: Options{Tol: 1e-9}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fcg, err := FCG(a, b, nil, nil, FCGOptions{MaxIter: 1000, Tol: 1e-9})
+	fcg, err := FCG(a, b, nil, nil, FCGOptions{Options: Options{MaxIter: 1000, Tol: 1e-9}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package krylov
 
 import (
+	"context"
 	"fmt"
 
 	"sdcgmres/internal/dense"
@@ -45,7 +46,20 @@ func FixedPreconditioner(m Preconditioner) PrecondProvider {
 // converges, (2) detects a genuine invariant subspace (happy breakdown with
 // a full-rank projected matrix), or (3) returns ErrRankDeficient when the
 // projected matrix is numerically singular at breakdown.
+//
+// FGMRES is shorthand for FGMRESCtx with context.Background().
 func FGMRES(a Operator, b, x0 []float64, provider PrecondProvider, opts FGMRESOptions) (*Result, error) {
+	return FGMRESCtx(context.Background(), a, b, x0, provider, opts)
+}
+
+// FGMRESCtx is FGMRES with cancellation: ctx is checked before every outer
+// iteration (the preconditioner application — an inner solve in FT-GMRES —
+// carries its own cancellation seam), and a solve cut short returns an
+// error matching both ErrCanceled and ctx.Err() under errors.Is.
+func FGMRESCtx(ctx context.Context, a Operator, b, x0 []float64, provider PrecondProvider, opts FGMRESOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := opts.Options.withDefaults()
 	if err := checkSystem(a, b, x0); err != nil {
 		return nil, err
@@ -89,6 +103,9 @@ func FGMRES(a Operator, b, x0 []float64, provider PrecondProvider, opts FGMRESOp
 
 	w := make([]float64, n)
 	for j := 0; j < o.MaxIter; j++ {
+		if err := ctxOK(ctx); err != nil {
+			return nil, err
+		}
 		// Apply the (possibly different, possibly faulty) preconditioner.
 		zj := make([]float64, n)
 		m := provider(j + 1)
@@ -141,6 +158,7 @@ func FGMRES(a Operator, b, x0 []float64, provider PrecondProvider, opts FGMRESOp
 			res.Work.SpMVs++
 		}
 		res.ResidualHistory = append(res.ResidualHistory, rel)
+		o.Recorder.IterResidual(o.OuterIteration, j+1, o.AggregateBase+j+1, rel)
 		if opts.OnIteration != nil {
 			opts.OnIteration(j+1, rel)
 		}

@@ -177,7 +177,7 @@ func TestFGMRESPreconditionerErrorPropagates(t *testing.T) {
 func TestCGSolvesPoisson(t *testing.T) {
 	a := gallery.Poisson2D(12)
 	b := onesRHS(a)
-	res, err := CG(a, b, nil, CGOptions{Tol: 1e-10})
+	res, err := CG(a, b, nil, CGOptions{Options: Options{Tol: 1e-10}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestCGRejectsIndefinite(t *testing.T) {
 	// Indefinite diagonal: CG must detect non-positive curvature.
 	a := gallery.Diagonal([]float64{1, -1, 2, 3})
 	b := []float64{1, 1, 1, 1}
-	_, err := CG(a, b, nil, CGOptions{Tol: 1e-10, MaxIter: 10})
+	_, err := CG(a, b, nil, CGOptions{Options: Options{Tol: 1e-10, MaxIter: 10}})
 	if err == nil {
 		t.Fatal("expected curvature error on indefinite matrix")
 	}
@@ -208,7 +208,7 @@ func TestCGZeroRHSAndWarmStart(t *testing.T) {
 		t.Fatalf("zero rhs: %v %v", res, err)
 	}
 	b := onesRHS(a)
-	res2, err := CG(a, b, vec.Ones(16), CGOptions{Tol: 1e-12})
+	res2, err := CG(a, b, vec.Ones(16), CGOptions{Options: Options{Tol: 1e-12}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestCGZeroRHSAndWarmStart(t *testing.T) {
 func TestCGMatchesGMRESOnSPD(t *testing.T) {
 	a := gallery.Poisson2D(7)
 	b := onesRHS(a)
-	cg, err := CG(a, b, nil, CGOptions{Tol: 1e-11})
+	cg, err := CG(a, b, nil, CGOptions{Options: Options{Tol: 1e-11}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package krylov
 
 import (
+	"context"
 	"fmt"
 
 	"sdcgmres/internal/dense"
@@ -16,7 +17,19 @@ import (
 // With opts.Tol == 0 the solver runs a fixed number of iterations and
 // returns its best iterate — the mode the paper uses for inner solves
 // ("return something in finite time").
+//
+// GMRES is shorthand for GMRESCtx with context.Background().
 func GMRES(a Operator, b, x0 []float64, opts Options) (*Result, error) {
+	return GMRESCtx(context.Background(), a, b, x0, opts)
+}
+
+// GMRESCtx is GMRES with cancellation: ctx is checked before every Arnoldi
+// iteration, and a solve cut short returns an error matching both
+// ErrCanceled and ctx.Err() under errors.Is.
+func GMRESCtx(ctx context.Context, a Operator, b, x0 []float64, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if err := checkSystem(a, b, x0); err != nil {
 		return nil, err
@@ -34,7 +47,7 @@ func GMRES(a Operator, b, x0 []float64, opts Options) (*Result, error) {
 
 	res := &Result{}
 	for cycle := 0; ; cycle++ {
-		cy := gmresCycle(a, b, x, normB, &opts, res)
+		cy := gmresCycle(ctx, a, b, x, normB, &opts, res)
 		if cy.err != nil {
 			return nil, cy.err
 		}
@@ -77,7 +90,7 @@ type cycleOutcome struct {
 }
 
 // gmresCycle runs one restart cycle, updating x in place.
-func gmresCycle(a Operator, b []float64, x []float64, normB float64, opts *Options, res *Result) cycleOutcome {
+func gmresCycle(ctx context.Context, a Operator, b []float64, x []float64, normB float64, opts *Options, res *Result) cycleOutcome {
 	n := a.Rows()
 	r0 := make([]float64, n)
 	a.MatVec(r0, x)
@@ -103,6 +116,10 @@ func gmresCycle(a Operator, b []float64, x []float64, normB float64, opts *Optio
 		z = make([]float64, n)
 	}
 	for j := 0; j < opts.MaxIter; j++ {
+		if err := ctxOK(ctx); err != nil {
+			out.err = err
+			return out
+		}
 		// Right preconditioning: the Krylov operator is A·M⁻¹.
 		if opts.Precond != nil {
 			if err := opts.Precond.Apply(z, q[j]); err != nil {
@@ -122,6 +139,7 @@ func gmresCycle(a Operator, b []float64, x []float64, normB float64, opts *Optio
 		}
 		rel := lsq.AppendColumn(or.h) / normB
 		res.ResidualHistory = append(res.ResidualHistory, rel)
+		opts.Recorder.IterResidual(opts.OuterIteration, j+1, opts.AggregateBase+j+1, rel)
 		out.iters++
 		hj1 := or.h[j+1]
 		if abs(hj1) <= opts.HappyTol*beta {

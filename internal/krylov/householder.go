@@ -194,6 +194,7 @@ func hhCycle(a Operator, b []float64, x []float64, normB float64, opts *Options,
 
 		rel := lsq.AppendColumn(h) / normB
 		res.ResidualHistory = append(res.ResidualHistory, rel)
+		opts.Recorder.IterResidual(opts.OuterIteration, j+1, opts.AggregateBase+j+1, rel)
 		out.iters++
 		if math.Abs(h[j+1]) <= opts.HappyTol*math.Abs(lsq.Beta()) {
 			out.breakdown = true

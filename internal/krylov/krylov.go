@@ -11,8 +11,12 @@
 package krylov
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+
+	"sdcgmres/internal/trace"
 )
 
 // Operator is a linear operator y = A x. sparse.CSR satisfies it.
@@ -206,6 +210,13 @@ type Options struct {
 	// Note for detection: the Hessenberg bound then involves the norm of
 	// the *preconditioned* matrix (see detect.NewPreconditionedDetector).
 	Precond Preconditioner
+	// Recorder, when non-nil, receives flight-recorder events: the
+	// relative residual after every iteration, and every Hessenberg
+	// coefficient as the iteration used it (observed by a tap appended
+	// after the caller's Hooks, so the configured injector/detector order
+	// is untouched and the recorded value is the post-hook one). A nil
+	// Recorder costs one pointer check per emission site and nothing else.
+	Recorder *trace.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -218,7 +229,26 @@ func (o Options) withDefaults() Options {
 	if o.HappyTol == 0 {
 		o.HappyTol = 1e-14
 	}
+	if o.Recorder != nil {
+		// Append the recorder's coefficient tap to a copy of the chain: the
+		// caller's hook order (injectors before detectors) is preserved, and
+		// the tap sees the value the iteration actually used.
+		hooks := make([]CoeffHook, len(o.Hooks), len(o.Hooks)+1)
+		copy(hooks, o.Hooks)
+		o.Hooks = append(hooks, coeffTap{o.Recorder})
+	}
 	return o
+}
+
+// coeffTap forwards post-hook coefficients to the flight recorder. It
+// never alters the value and never errors.
+type coeffTap struct{ rec *trace.Recorder }
+
+// Observe implements CoeffHook.
+func (t coeffTap) Observe(ctx CoeffContext, h float64) (float64, error) {
+	t.rec.Coeff(ctx.OuterIteration, ctx.InnerIteration, ctx.AggregateInner, ctx.Step,
+		ctx.Kind == Normalization, h)
+	return h, nil
 }
 
 // HookEvent records a hook error: which coefficient, its value, and why.
@@ -279,6 +309,49 @@ type Result struct {
 // numerically rank deficient — the "clear indication of failure" branch of
 // the trichotomy in Section VI-C.
 var ErrRankDeficient = fmt.Errorf("krylov: projected matrix numerically rank deficient")
+
+// Sentinel errors classifying solve outcomes. The root facade re-exports
+// them, and every internal wrapping preserves errors.Is matching, so
+// callers branch on outcomes without string inspection.
+var (
+	// ErrNotConverged: the solve finished without meeting its tolerance.
+	ErrNotConverged = errors.New("krylov: solve did not converge")
+	// ErrDetected: a detector (hook error under DetectHalt) stopped the
+	// solve — SDC was detected and the solver halted on it.
+	ErrDetected = errors.New("krylov: SDC detected")
+	// ErrCanceled: the caller's context ended the solve.
+	ErrCanceled = errors.New("krylov: solve canceled")
+)
+
+// Err classifies a finished solve as an error: nil when converged, a
+// wrapped ErrDetected when a hook error halted it, and a wrapped
+// ErrNotConverged otherwise. Use errors.Is to branch.
+func (r *Result) Err() error {
+	switch {
+	case r.Halted && !r.Converged:
+		return fmt.Errorf("%w: halted after %d iterations (residual %.3e)",
+			ErrDetected, r.Iterations, r.FinalResidual)
+	case !r.Converged:
+		return fmt.Errorf("%w: %d iterations, residual %.3e",
+			ErrNotConverged, r.Iterations, r.FinalResidual)
+	}
+	return nil
+}
+
+// canceledErr wraps a context error so both ErrCanceled and the original
+// context sentinel match via errors.Is.
+func canceledErr(ctxErr error) error {
+	return fmt.Errorf("krylov: solve canceled: %w", errors.Join(ErrCanceled, ctxErr))
+}
+
+// ctxOK returns nil for a live context and the wrapped cancellation error
+// otherwise; solvers call it at iteration boundaries.
+func ctxOK(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return canceledErr(err)
+	}
+	return nil
+}
 
 func checkSystem(a Operator, b []float64, x0 []float64) error {
 	if a.Rows() != a.Cols() {

@@ -1,0 +1,156 @@
+package krylov
+
+import (
+	"testing"
+
+	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/trace"
+)
+
+// TestRecorderCapturesGMRES pins the recorder contract for a standalone
+// GMRES solve: one IterResidual event per iteration whose residuals
+// reproduce Result.ResidualHistory exactly, plus the Hessenberg
+// coefficient stream from the appended tap.
+func TestRecorderCapturesGMRES(t *testing.T) {
+	a := gallery.Poisson2D(8)
+	b := onesRHS(a)
+	rec := trace.NewRecorder(1 << 12)
+	res, err := GMRES(a, b, nil, Options{MaxIter: 80, Tol: 1e-10, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("solve did not converge: %+v", res)
+	}
+	var residuals []float64
+	coeffs := 0
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case trace.KindIterResidual:
+			if ev.Inner != len(residuals)+1 || ev.Agg != ev.Inner || ev.Outer != 0 {
+				t.Fatalf("bad iteration coordinates: %+v", ev)
+			}
+			residuals = append(residuals, ev.Value)
+		case trace.KindCoeff:
+			coeffs++
+		}
+	}
+	if len(residuals) != len(res.ResidualHistory) {
+		t.Fatalf("trace has %d residuals, history has %d", len(residuals), len(res.ResidualHistory))
+	}
+	for i, r := range residuals {
+		if r != res.ResidualHistory[i] {
+			t.Fatalf("residual %d: trace %g, history %g", i, r, res.ResidualHistory[i])
+		}
+	}
+	// Iteration j contributes j+1 projection coefficients plus the
+	// subdiagonal h(j+1,j): at least 2 per iteration, and the tap must
+	// have seen every one the hooks chain carried.
+	if coeffs < 2*res.Iterations {
+		t.Fatalf("coeff events = %d, want >= %d", coeffs, 2*res.Iterations)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("dropped %d events with ample capacity", rec.Dropped())
+	}
+}
+
+// TestRecorderTapPreservesHookOrder checks that the recorder's coefficient
+// tap is appended after the caller's hooks, so it records the post-hook
+// value and never perturbs an injector→detector chain.
+func TestRecorderTapPreservesHookOrder(t *testing.T) {
+	a := gallery.Poisson2D(4)
+	b := onesRHS(a)
+	const bump = 1.0
+	var firstSeen float64
+	first := true
+	hook := CoeffHookFunc(func(ctx CoeffContext, h float64) (float64, error) {
+		if first {
+			first = false
+			firstSeen = h
+			return h + bump, nil
+		}
+		return h, nil
+	})
+	rec := trace.NewRecorder(1 << 10)
+	if _, err := GMRES(a, b, nil, Options{MaxIter: 5, Hooks: []CoeffHook{hook}, Recorder: rec}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.KindCoeff {
+			if ev.Value != firstSeen+bump {
+				t.Fatalf("tap saw %g, want post-hook %g", ev.Value, firstSeen+bump)
+			}
+			return
+		}
+	}
+	t.Fatal("no coefficient event recorded")
+}
+
+// TestRecorderCapturesCGAndFCG pins the (0, it, it) coordinate convention
+// the non-Arnoldi solvers use for their residual stream.
+func TestRecorderCapturesCGAndFCG(t *testing.T) {
+	a := gallery.Poisson2D(8)
+	b := onesRHS(a)
+
+	rec := trace.NewRecorder(1 << 12)
+	res, err := CG(a, b, nil, CGOptions{Options: Options{Tol: 1e-10, Recorder: rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkScalarStream(t, rec, res)
+
+	rec = trace.NewRecorder(1 << 12)
+	res, err = FCG(a, b, nil, FixedPreconditioner(IdentityPreconditioner),
+		FCGOptions{Options: Options{MaxIter: 300, Tol: 1e-9, Recorder: rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkScalarStream(t, rec, res)
+}
+
+func checkScalarStream(t *testing.T, rec *trace.Recorder, res *Result) {
+	t.Helper()
+	if !res.Converged {
+		t.Fatalf("solve did not converge: %+v", res)
+	}
+	n := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind != trace.KindIterResidual {
+			continue
+		}
+		if ev.Outer != 0 || ev.Inner != n+1 || ev.Agg != n+1 {
+			t.Fatalf("bad coordinates at event %d: %+v", n, ev)
+		}
+		if ev.Value != res.ResidualHistory[n] {
+			t.Fatalf("residual %d: trace %g, history %g", n, ev.Value, res.ResidualHistory[n])
+		}
+		n++
+	}
+	if n != len(res.ResidualHistory) {
+		t.Fatalf("trace has %d residuals, history has %d", n, len(res.ResidualHistory))
+	}
+}
+
+// TestDisabledRecorderAddsNoAllocs is the zero-cost claim for the trace
+// seam at this layer: option defaulting with a nil Recorder must not copy
+// the hook chain or allocate at all.
+func TestDisabledRecorderAddsNoAllocs(t *testing.T) {
+	opts := Options{MaxIter: 25, Tol: 1e-8}
+	if n := testing.AllocsPerRun(200, func() { _ = opts.withDefaults() }); n != 0 {
+		t.Fatalf("withDefaults with nil Recorder allocates %v times", n)
+	}
+	// A solve with an explicit nil Recorder must allocate exactly as much
+	// as one that never mentions the field.
+	a := gallery.Poisson2D(6)
+	b := onesRHS(a)
+	solve := func(o Options) {
+		if _, err := GMRES(a, b, nil, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plain := testing.AllocsPerRun(10, func() { solve(Options{MaxIter: 40, Tol: 1e-8}) })
+	withNil := testing.AllocsPerRun(10, func() { solve(Options{MaxIter: 40, Tol: 1e-8, Recorder: nil}) })
+	if plain != withNil {
+		t.Fatalf("nil Recorder changed allocation: %v vs %v allocs/solve", plain, withNil)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/trace"
 )
 
 // Campaign manager API errors.
@@ -63,6 +64,7 @@ type managedCampaign struct {
 	runner   *campaign.Runner
 	final    campaign.Progress
 	cancel   context.CancelFunc
+	trace    *trace.Recorder
 
 	submitted time.Time
 	started   time.Time
@@ -108,6 +110,11 @@ type CampaignManagerConfig struct {
 	Workers int
 	// Metrics receives campaign observations (default: a fresh registry).
 	Metrics *Metrics
+	// TraceCapacity, when positive, gives every campaign a flight
+	// recorder ring of that many events capturing unit lifecycles and
+	// sandbox outcomes, queryable via Trace. Tracing never changes what a
+	// campaign journals. Zero disables it.
+	TraceCapacity int
 }
 
 // CampaignManager runs durable fault-injection campaigns inside the daemon:
@@ -178,6 +185,9 @@ func (m *CampaignManager) Submit(man campaign.Manifest) (CampaignView, error) {
 		cancel:    cancel,
 		submitted: time.Now(),
 	}
+	if m.cfg.TraceCapacity > 0 {
+		c.trace = trace.NewRecorder(m.cfg.TraceCapacity)
+	}
 	m.mu.Lock()
 	m.campaigns[c.id] = c
 	m.order = append(m.order, c.id)
@@ -228,7 +238,8 @@ func (m *CampaignManager) execute(ctx context.Context, c *managedCampaign) {
 				met.CampaignUnitsFailed.Inc()
 			}
 		},
-		OnSkip: func(campaign.Unit) { met.CampaignUnitsSkipped.Inc() },
+		OnSkip:   func(campaign.Unit) { met.CampaignUnitsSkipped.Inc() },
+		Recorder: c.trace,
 	})
 	c.mu.Lock()
 	c.runner = runner
@@ -267,6 +278,22 @@ func (m *CampaignManager) finishCanceled(c *managedCampaign, prog campaign.Progr
 	c.finished = time.Now()
 	c.mu.Unlock()
 	m.cfg.Metrics.CampaignsCanceled.Inc()
+}
+
+// Trace returns a campaign's recorded flight-recorder events,
+// oldest-first. It returns ErrUnknownCampaign for unknown IDs and
+// ErrNoTrace when the manager runs without a TraceCapacity.
+func (m *CampaignManager) Trace(id string) ([]trace.Event, error) {
+	m.mu.Lock()
+	c, ok := m.campaigns[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownCampaign
+	}
+	if c.trace == nil {
+		return nil, ErrNoTrace
+	}
+	return c.trace.Events(), nil
 }
 
 // Campaign returns a snapshot of one campaign.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/trace"
 )
 
 // testCampaignManifest is a seconds-scale sweep: Poisson 8×8 calibrated to
@@ -98,7 +99,7 @@ func TestCampaignManagerLifecycleAndResume(t *testing.T) {
 
 func TestCampaignHTTPEndpoints(t *testing.T) {
 	m := NewCampaignManager(CampaignManagerConfig{Dir: t.TempDir(), Workers: 2})
-	engine := NewEngine(Config{Workers: 1, Runner: func(ctx context.Context, spec *JobSpec) (*SolveRecord, error) {
+	engine := NewEngine(Config{Workers: 1, Runner: func(ctx context.Context, spec *JobSpec, _ *trace.Recorder) (*SolveRecord, error) {
 		return &SolveRecord{}, nil
 	}})
 	engine.Start()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sdcgmres/internal/sandbox"
+	"sdcgmres/internal/trace"
 )
 
 // Engine API errors.
@@ -20,12 +21,17 @@ var (
 	ErrUnknownJob = errors.New("service: unknown job")
 	// ErrNotCancelable: the job already reached a terminal state.
 	ErrNotCancelable = errors.New("service: job already terminal")
+	// ErrNoTrace: tracing is disabled, or the job has no recorder yet.
+	ErrNoTrace = errors.New("service: no trace for job")
 )
 
 // Runner executes one validated job spec. The engine calls it inside the
 // sandbox with a deadline-carrying context, so a Runner may hang or panic
-// without harming the process.
-type Runner func(ctx context.Context, spec *JobSpec) (*SolveRecord, error)
+// without harming the process. rec is the job's flight recorder — nil
+// unless the engine was configured with a TraceCapacity — and a Runner
+// must tolerate nil (every trace.Recorder method is nil-safe, so passing
+// it through unconditionally is fine).
+type Runner func(ctx context.Context, spec *JobSpec, rec *trace.Recorder) (*SolveRecord, error)
 
 // Config parameterizes an Engine. The zero value is usable: every field
 // has a production default.
@@ -47,6 +53,12 @@ type Config struct {
 	Metrics *Metrics
 	// Runner executes solves (default RunSpec). Tests substitute stubs.
 	Runner Runner
+	// TraceCapacity, when positive, gives every job a flight recorder
+	// ring of that many events, queryable via JobTrace while the job runs
+	// and after it finishes (until retention evicts it). Zero disables
+	// tracing: runners receive a nil recorder and pay one pointer check
+	// per event site.
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -176,6 +188,25 @@ func (e *Engine) Job(id string) (JobView, bool) {
 	return j.View(), true
 }
 
+// JobTrace returns the recorded flight-recorder events of a job,
+// oldest-first. It returns ErrUnknownJob for unknown (or evicted) IDs and
+// ErrNoTrace when tracing is disabled or the job has not started yet.
+func (e *Engine) JobTrace(id string) ([]trace.Event, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	j.mu.Lock()
+	tr := j.trace
+	j.mu.Unlock()
+	if tr == nil {
+		return nil, ErrNoTrace
+	}
+	return tr.Events(), nil
+}
+
 // Jobs snapshots every tracked job in submission order.
 func (e *Engine) Jobs() []JobView {
 	e.mu.Lock()
@@ -289,9 +320,17 @@ func (e *Engine) run(j *Job) {
 	j.mu.Unlock()
 	defer cancel()
 
+	var tr *trace.Recorder
+	if e.cfg.TraceCapacity > 0 {
+		tr = trace.NewRecorder(e.cfg.TraceCapacity)
+		j.mu.Lock()
+		j.trace = tr
+		j.mu.Unlock()
+	}
+
 	var rec *SolveRecord
 	rep := sandbox.RunCtx(ctx, 0, func() error {
-		r, err := e.cfg.Runner(ctx, &j.spec)
+		r, err := e.cfg.Runner(ctx, &j.spec, tr)
 		if err != nil {
 			return err
 		}

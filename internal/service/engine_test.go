@@ -5,13 +5,15 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"sdcgmres/internal/trace"
 )
 
 // stubRunner returns a Runner with behaviour keyed on the spec's matrix
 // size: N == hangN blocks until the job context ends; anything else sleeps
 // briefly and succeeds.
 func stubRunner(hangN int, delay time.Duration) Runner {
-	return func(ctx context.Context, spec *JobSpec) (*SolveRecord, error) {
+	return func(ctx context.Context, spec *JobSpec, _ *trace.Recorder) (*SolveRecord, error) {
 		if spec.Matrix.N == hangN {
 			<-ctx.Done()
 			return nil, ctx.Err()
@@ -105,7 +107,7 @@ func TestEngineTimeoutDoesNotKillNeighbors(t *testing.T) {
 }
 
 func TestEnginePanicIsolated(t *testing.T) {
-	e := NewEngine(Config{Workers: 1, Runner: func(ctx context.Context, spec *JobSpec) (*SolveRecord, error) {
+	e := NewEngine(Config{Workers: 1, Runner: func(ctx context.Context, spec *JobSpec, _ *trace.Recorder) (*SolveRecord, error) {
 		panic("solver exploded")
 	}})
 	e.Start()

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"sdcgmres/internal/trace"
 )
 
 // State is a job's lifecycle position.
@@ -53,6 +55,9 @@ type Job struct {
 	// cancel aborts the running solve's context; non-nil only while
 	// running.
 	cancel context.CancelFunc
+	// trace is the job's flight recorder; non-nil only when the engine
+	// runs with a TraceCapacity, set when the job starts.
+	trace *trace.Recorder
 }
 
 // ID returns the job's identifier.

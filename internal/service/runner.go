@@ -14,6 +14,7 @@ import (
 	"sdcgmres/internal/krylov"
 	"sdcgmres/internal/precond"
 	"sdcgmres/internal/sparse"
+	"sdcgmres/internal/trace"
 	"sdcgmres/internal/vec"
 )
 
@@ -119,8 +120,10 @@ func BuildMatrix(m MatrixSpec) (*sparse.CSR, string, error) {
 // RunSpec is the engine's default Runner: build the system, solve it under
 // the job's context, and report the canonical record. The caller (the
 // worker pool) provides panic isolation and the wall-clock budget via the
-// sandbox, so RunSpec itself stays straight-line.
-func RunSpec(ctx context.Context, spec *JobSpec) (*SolveRecord, error) {
+// sandbox, so RunSpec itself stays straight-line. A non-nil tr captures
+// the solve's full flight-recorder stream (residuals, coefficients,
+// detector verdicts, fault strikes, sandbox outcomes).
+func RunSpec(ctx context.Context, spec *JobSpec, tr *trace.Recorder) (*SolveRecord, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -141,6 +144,7 @@ func RunSpec(ctx context.Context, spec *JobSpec) (*SolveRecord, error) {
 		}
 		step, _ := ParseStep(stepName)
 		inj = fault.NewInjector(model, fault.Site{AggregateInner: spec.Fault.At, Step: step})
+		inj.SetRecorder(tr)
 		hooks = append(hooks, inj)
 	}
 
@@ -148,11 +152,11 @@ func RunSpec(ctx context.Context, spec *JobSpec) (*SolveRecord, error) {
 	var rec *SolveRecord
 	switch spec.SolverKind() {
 	case "ftgmres":
-		rec, err = runFTGMRES(ctx, spec, a, name, b, hooks)
+		rec, err = runFTGMRES(ctx, spec, a, name, b, hooks, tr)
 	case "gmres":
-		rec, err = runGMRES(spec, a, name, b, hooks)
+		rec, err = runGMRES(ctx, spec, a, name, b, hooks, tr)
 	case "cg":
-		rec, err = runCG(spec, a, name, b)
+		rec, err = runCG(ctx, spec, a, name, b, tr)
 	default:
 		return nil, fmt.Errorf("service: unknown solver kind %q", spec.Solver.Kind)
 	}
@@ -167,11 +171,12 @@ func RunSpec(ctx context.Context, spec *JobSpec) (*SolveRecord, error) {
 	return rec, nil
 }
 
-func runFTGMRES(ctx context.Context, spec *JobSpec, a *sparse.CSR, name string, b []float64, hooks []krylov.CoeffHook) (*SolveRecord, error) {
+func runFTGMRES(ctx context.Context, spec *JobSpec, a *sparse.CSR, name string, b []float64, hooks []krylov.CoeffHook, tr *trace.Recorder) (*SolveRecord, error) {
 	cfg, err := coreConfig(spec, a, hooks)
 	if err != nil {
 		return nil, err
 	}
+	cfg.Recorder = tr
 	start := time.Now()
 	res, err := core.New(a, cfg).SolveCtx(ctx, b, nil)
 	if err != nil {
@@ -227,7 +232,7 @@ func coreConfig(spec *JobSpec, a *sparse.CSR, hooks []krylov.CoeffHook) (core.Co
 	return cfg, nil
 }
 
-func runGMRES(spec *JobSpec, a *sparse.CSR, name string, b []float64, hooks []krylov.CoeffHook) (*SolveRecord, error) {
+func runGMRES(ctx context.Context, spec *JobSpec, a *sparse.CSR, name string, b []float64, hooks []krylov.CoeffHook, tr *trace.Recorder) (*SolveRecord, error) {
 	s := spec.Solver
 	ortho, _ := parseOrtho(s.Ortho)
 	policy, _ := parsePolicy(s.Policy)
@@ -238,16 +243,17 @@ func runGMRES(spec *JobSpec, a *sparse.CSR, name string, b []float64, hooks []kr
 			return nil, err
 		}
 		det = detect.NewDetector(a, kind)
-		hooks = append(hooks, det)
+		hooks = append(hooks, detect.Traced(det, tr))
 	}
 	opts := krylov.Options{
-		MaxIter: defaultInt(s.MaxOuter, 60),
-		Tol:     defaultFloat(s.Tol, 1e-8),
-		Ortho:   ortho,
-		Policy:  policy,
-		Hooks:   hooks,
+		MaxIter:  defaultInt(s.MaxOuter, 60),
+		Tol:      defaultFloat(s.Tol, 1e-8),
+		Ortho:    ortho,
+		Policy:   policy,
+		Hooks:    hooks,
+		Recorder: tr,
 	}
-	res, err := krylov.GMRES(a, b, nil, opts)
+	res, err := krylov.GMRESCtx(ctx, a, b, nil, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -271,12 +277,13 @@ func runGMRES(spec *JobSpec, a *sparse.CSR, name string, b []float64, hooks []kr
 	return rec, nil
 }
 
-func runCG(spec *JobSpec, a *sparse.CSR, name string, b []float64) (*SolveRecord, error) {
+func runCG(ctx context.Context, spec *JobSpec, a *sparse.CSR, name string, b []float64, tr *trace.Recorder) (*SolveRecord, error) {
 	s := spec.Solver
-	res, err := krylov.CG(a, b, nil, krylov.CGOptions{
-		MaxIter: defaultInt(s.MaxOuter, 60),
-		Tol:     defaultFloat(s.Tol, 1e-8),
-	})
+	res, err := krylov.CGCtx(ctx, a, b, nil, krylov.CGOptions{Options: krylov.Options{
+		MaxIter:  defaultInt(s.MaxOuter, 60),
+		Tol:      defaultFloat(s.Tol, 1e-8),
+		Recorder: tr,
+	}})
 	if err != nil {
 		return nil, err
 	}

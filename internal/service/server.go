@@ -9,6 +9,7 @@ import (
 	"net/http/pprof"
 
 	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/trace"
 )
 
 // ServerOptions configures the HTTP layer.
@@ -41,6 +42,7 @@ type ServerOptions struct {
 //	POST   /v1/jobs      submit a JobSpec    → 202 JobView | 400 | 429 | 503
 //	GET    /v1/jobs      list jobs           → 200 {"jobs": [JobView]}
 //	GET    /v1/jobs/{id} job status/result   → 200 JobView | 404
+//	GET    /v1/jobs/{id}/trace flight-recorder stream (?format=jsonl|chrome) → 200 | 400 | 404
 //	DELETE /v1/jobs/{id} cancel a job        → 200 JobView | 404 | 409
 //	GET    /healthz      liveness/readiness  → 200 | 503 (draining)
 //	GET    /metrics      Prometheus text exposition
@@ -51,6 +53,7 @@ type ServerOptions struct {
 //	POST   /v1/campaigns      submit a campaign.Manifest → 202 CampaignView | 400 | 503
 //	GET    /v1/campaigns      list campaigns             → 200 {"campaigns": [CampaignView]}
 //	GET    /v1/campaigns/{id} campaign status/progress   → 200 CampaignView | 404
+//	GET    /v1/campaigns/{id}/trace flight-recorder stream (?format=jsonl|chrome) → 200 | 400 | 404
 //	DELETE /v1/campaigns/{id} cancel (journal survives)  → 200 CampaignView | 404 | 409
 type Server struct {
 	engine *Engine
@@ -67,6 +70,7 @@ func NewServer(engine *Engine, opts ServerOptions) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -74,6 +78,7 @@ func NewServer(engine *Engine, opts ServerOptions) *Server {
 		s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
 		s.mux.HandleFunc("GET /v1/campaigns", s.handleCampaignList)
 		s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
+		s.mux.HandleFunc("GET /v1/campaigns/{id}/trace", s.handleCampaignTrace)
 		s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
 	}
 	if opts.Dist != nil {
@@ -226,6 +231,41 @@ func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, view)
 	default:
 		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	events, err := s.engine.JobTrace(r.PathValue("id"))
+	writeTrace(w, r, events, err)
+}
+
+func (s *Server) handleCampaignTrace(w http.ResponseWriter, r *http.Request) {
+	events, err := s.opts.Campaigns.Trace(r.PathValue("id"))
+	writeTrace(w, r, events, err)
+}
+
+// writeTrace serves a flight-recorder stream. ?format=jsonl (the default)
+// streams one event per line; ?format=chrome emits a Chrome trace_event
+// document loadable in about://tracing or Perfetto.
+func writeTrace(w http.ResponseWriter, r *http.Request, events []trace.Event, err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrNoTrace):
+		writeError(w, http.StatusNotFound, err.Error()+" (start the daemon with tracing enabled)")
+		return
+	default:
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = trace.WriteJSONL(w, events)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = trace.WriteChromeTrace(w, events)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown trace format %q (want jsonl or chrome)", format))
 	}
 }
 

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"sdcgmres/internal/trace"
 )
 
 func postJob(t *testing.T, url string, spec JobSpec) (*http.Response, JobView) {
@@ -434,5 +436,106 @@ func TestDistMountAndExtraMetrics(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(raw), "dist_leases_granted_total 3") {
 		t.Fatalf("extra metrics missing from exposition:\n%s", raw)
+	}
+}
+
+// TestServerJobTraceEndpoint covers the flight-recorder sub-resource: with
+// tracing enabled a finished job serves a parseable JSONL trace that
+// reconstructs the solve (residuals, verdicts, strike), honours the chrome
+// format, and rejects unknown formats; with tracing disabled the route
+// 404s with a hint.
+func TestServerJobTraceEndpoint(t *testing.T) {
+	engine := NewEngine(Config{Workers: 2, DefaultBudget: time.Minute, TraceCapacity: 1 << 14})
+	engine.Start()
+	defer engine.Shutdown(context.Background())
+	ts := httptest.NewServer(NewServer(engine, ServerOptions{}))
+	defer ts.Close()
+
+	spec := PoissonJob(12)
+	spec.Fault = &FaultSpec{Class: "large", At: 5}
+	resp, view := postJob(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	v := waitJobHTTP(t, ts.URL, view.ID, 30*time.Second)
+	if v.State != StateDone || v.Result == nil {
+		t.Fatalf("job: %+v", v)
+	}
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		return r, body
+	}
+
+	r, body := get("/v1/jobs/" + view.ID + "/trace")
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("trace: status %d: %s", r.StatusCode, body)
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("trace content type %q", ct)
+	}
+	events, err := trace.ReadJSONL(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("trace not parseable: %v", err)
+	}
+	residuals, verdicts, strikes := 0, 0, 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.KindIterResidual:
+			residuals++
+		case trace.KindDetectorVerdict:
+			verdicts++
+		case trace.KindFaultInjected:
+			strikes++
+		}
+	}
+	if residuals < len(v.Result.ResidualHistory) || verdicts == 0 || strikes == 0 {
+		t.Fatalf("trace incomplete: %d residuals (history %d), %d verdicts, %d strikes",
+			residuals, len(v.Result.ResidualHistory), verdicts, strikes)
+	}
+
+	r, body = get("/v1/jobs/" + view.ID + "/trace?format=chrome")
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("chrome trace: status %d", r.StatusCode)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &chrome); err != nil || len(chrome.TraceEvents) == 0 {
+		t.Fatalf("chrome trace invalid: %v (%d events)", err, len(chrome.TraceEvents))
+	}
+
+	if r, _ = get("/v1/jobs/" + view.ID + "/trace?format=nope"); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format: status %d", r.StatusCode)
+	}
+	if r, _ = get("/v1/jobs/does-not-exist/trace"); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", r.StatusCode)
+	}
+
+	// Tracing off → 404 with the enable hint.
+	off := NewEngine(Config{Workers: 1, DefaultBudget: time.Minute})
+	off.Start()
+	defer off.Shutdown(context.Background())
+	ts2 := httptest.NewServer(NewServer(off, ServerOptions{}))
+	defer ts2.Close()
+	resp, view = postJob(t, ts2.URL, PoissonJob(8))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	waitJobHTTP(t, ts2.URL, view.ID, 30*time.Second)
+	r2, err := http.Get(ts2.URL + "/v1/jobs/" + view.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hint, _ := io.ReadAll(r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound || !strings.Contains(string(hint), "tracing") {
+		t.Fatalf("untraced job: status %d body %q", r2.StatusCode, hint)
 	}
 }

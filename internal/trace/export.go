@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// wireEvent is the JSONL form of an Event. The kind travels by name so
+// trace files stay readable and diffable; numeric zero fields are elided
+// (zero is the decode default, so round-trips are exact).
+type wireEvent struct {
+	T     int64   `json:"t"`
+	Kind  string  `json:"kind"`
+	Outer int     `json:"outer,omitempty"`
+	Inner int     `json:"inner,omitempty"`
+	Agg   int     `json:"agg,omitempty"`
+	Step  int     `json:"step,omitempty"`
+	Value float64 `json:"value"`
+	Aux   float64 `json:"aux,omitempty"`
+	Flag  bool    `json:"flag,omitempty"`
+	Label string  `json:"label,omitempty"`
+	Note  string  `json:"note,omitempty"`
+}
+
+func toWire(ev Event) wireEvent {
+	return wireEvent{
+		T: ev.T, Kind: ev.Kind.String(),
+		Outer: ev.Outer, Inner: ev.Inner, Agg: ev.Agg, Step: ev.Step,
+		Value: ev.Value, Aux: ev.Aux, Flag: ev.Flag,
+		Label: ev.Label, Note: ev.Note,
+	}
+}
+
+func fromWire(w wireEvent) (Event, error) {
+	k, ok := ParseKind(w.Kind)
+	if !ok {
+		return Event{}, fmt.Errorf("trace: unknown event kind %q", w.Kind)
+	}
+	return Event{
+		T: w.T, Kind: k,
+		Outer: w.Outer, Inner: w.Inner, Agg: w.Agg, Step: w.Step,
+		Value: w.Value, Aux: w.Aux, Flag: w.Flag,
+		Label: w.Label, Note: w.Note,
+	}, nil
+}
+
+// WriteJSONL writes events one JSON object per line — the same append-only
+// discipline as the campaign journal, so the files concatenate and stream.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for _, ev := range events {
+		if err := enc.Encode(toWire(ev)); err != nil {
+			return fmt.Errorf("trace: encode event: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace stream. Blank lines are skipped; any
+// malformed line is an error (unlike the campaign journal, a trace file is
+// written in one pass and has no torn-tail tolerance to extend).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var w wireEvent
+		if err := json.Unmarshal(raw, &w); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		ev, err := fromWire(w)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return out, nil
+}
+
+// CheckJSONL validates a JSONL trace stream against the schema — every
+// line parses, every kind is known, timestamps are positive and
+// non-decreasing (the recorder stamps under its lock, so a sorted file is
+// part of the contract) — and returns the event count.
+func CheckJSONL(r io.Reader) (int, error) {
+	events, err := ReadJSONL(r)
+	if err != nil {
+		return 0, err
+	}
+	var last int64
+	for i, ev := range events {
+		if ev.T <= 0 {
+			return 0, fmt.Errorf("trace: event %d: non-positive timestamp %d", i+1, ev.T)
+		}
+		if ev.T < last {
+			return 0, fmt.Errorf("trace: event %d: timestamp %d before predecessor %d", i+1, ev.T, last)
+		}
+		last = ev.T
+	}
+	return len(events), nil
+}
+
+// CheckJSONLFile is CheckJSONL over a file path.
+func CheckJSONLFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return CheckJSONL(f)
+}
+
+// chromeEvent is one entry of the Chrome trace_event format ("ph": "B"/"E"
+// duration events and "i" instants, timestamps in microseconds), loadable
+// in about://tracing and Perfetto.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// spanPhase maps paired start/end kinds to Chrome B/E phases.
+func spanPhase(k Kind) (name string, phase string, ok bool) {
+	switch k {
+	case KindSolveStart:
+		return "solve", "B", true
+	case KindSolveEnd:
+		return "solve", "E", true
+	case KindInnerStart:
+		return "inner-solve", "B", true
+	case KindInnerEnd:
+		return "inner-solve", "E", true
+	case KindUnitStart:
+		return "unit", "B", true
+	case KindUnitEnd:
+		return "unit", "E", true
+	}
+	return "", "", false
+}
+
+// WriteChromeTrace renders events as a Chrome trace_event JSON document.
+// Start/end pairs become duration slices; everything else is an instant
+// event. The first event's timestamp anchors ts = 0 so the timeline opens
+// at the solve, not at the Unix epoch. Lanes (tid) follow the inner-solve
+// index, putting each inner solve on its own track.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	var t0 int64
+	if len(events) > 0 {
+		t0 = events[0].T
+	}
+	ces := make([]chromeEvent, 0, len(events))
+	for _, ev := range events {
+		ce := chromeEvent{
+			TS:  float64(ev.T-t0) / 1e3, // ns → µs
+			PID: 1,
+			TID: 1 + ev.Outer,
+			Args: map[string]any{
+				"outer": ev.Outer, "inner": ev.Inner, "agg": ev.Agg, "step": ev.Step,
+				"value": ev.Value, "aux": ev.Aux, "flag": ev.Flag,
+			},
+		}
+		if ev.Label != "" {
+			ce.Args["label"] = ev.Label
+		}
+		if ev.Note != "" {
+			ce.Args["note"] = ev.Note
+		}
+		if name, phase, ok := spanPhase(ev.Kind); ok {
+			ce.Name, ce.Phase = name, phase
+		} else {
+			ce.Name, ce.Phase, ce.Scope = ev.Kind.String(), "i", "t"
+		}
+		ces = append(ces, ce)
+	}
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		DisplayUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: ces, DisplayUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,351 @@
+// Package trace is the solver flight recorder: a fixed-capacity ring
+// buffer of typed, nanosecond-stamped events covering every observable the
+// paper's experimental argument rests on — per-iteration residuals
+// (Figs. 2–4), Hessenberg coefficients against the ‖A‖ bound (Eq. 3,
+// Sec. V), detector verdicts, fault injections — plus the operational
+// lifecycle around them (sandbox outcomes, campaign units, distribution
+// leases).
+//
+// The design contract is "free when off": every emit method is defined on
+// a *Recorder and returns immediately on a nil receiver, so call sites
+// thread a possibly-nil recorder through unconditionally and the disabled
+// path costs one pointer check — no allocation, no branch on a separate
+// "enabled" flag, no interface boxing. Events are flat value structs for
+// the same reason.
+//
+// When the buffer fills, the oldest events are overwritten (and counted as
+// dropped): like an aircraft flight recorder, the tail of the timeline is
+// the part that survives.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Kind is the event type tag.
+type Kind uint8
+
+const (
+	// KindSolveStart/KindSolveEnd span a whole nested solve.
+	KindSolveStart Kind = iota + 1
+	KindSolveEnd
+	// KindIterResidual is the relative residual after one iteration: Outer
+	// carries the inner-solve index (0 for standalone solves), Inner the
+	// iteration within it, Value the relative residual.
+	KindIterResidual
+	// KindCoeff is a Hessenberg coefficient as the iteration actually used
+	// it — recorded after the whole hook chain (injectors, detector) ran.
+	// Flag marks normalization coefficients, Value carries the coefficient.
+	KindCoeff
+	// KindDetectorVerdict is one detector check: Value the coefficient
+	// magnitude under test, Aux the bound, Flag true when the check failed
+	// (a violation).
+	KindDetectorVerdict
+	// KindFaultInjected marks an injector strike: Aux the correct value,
+	// Value the corrupted one, Label the fault model.
+	KindFaultInjected
+	// KindSandboxOutcome reports one sandboxed guest: Label the outcome
+	// name, Flag whether the report was usable, Aux the elapsed
+	// milliseconds.
+	KindSandboxOutcome
+	// KindInnerStart/KindInnerEnd span one unreliable inner solve; Outer is
+	// the inner-solve index, and on End, Value is the iteration count.
+	KindInnerStart
+	KindInnerEnd
+	// KindUnitStart/KindUnitEnd span one campaign unit; Label is the unit
+	// ID, and on End, Note is the outcome with Aux the elapsed
+	// milliseconds.
+	KindUnitStart
+	KindUnitEnd
+	// KindLeaseGranted/KindLeaseExpired are coordinator lease lifecycle:
+	// Label the lease ID, Note the worker, Value the unit count granted or
+	// requeued.
+	KindLeaseGranted
+	KindLeaseExpired
+)
+
+var kindNames = map[Kind]string{
+	KindSolveStart:      "solve-start",
+	KindSolveEnd:        "solve-end",
+	KindIterResidual:    "iter-residual",
+	KindCoeff:           "coeff",
+	KindDetectorVerdict: "detector-verdict",
+	KindFaultInjected:   "fault-injected",
+	KindSandboxOutcome:  "sandbox-outcome",
+	KindInnerStart:      "inner-start",
+	KindInnerEnd:        "inner-end",
+	KindUnitStart:       "unit-start",
+	KindUnitEnd:         "unit-end",
+	KindLeaseGranted:    "lease-granted",
+	KindLeaseExpired:    "lease-expired",
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// String implements fmt.Stringer; unknown kinds print as "unknown".
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// ParseKind maps a wire name back to its Kind (ok false when unknown).
+func ParseKind(s string) (Kind, bool) {
+	k, ok := kindByName[s]
+	return k, ok
+}
+
+// Event is one flight-recorder entry. All fields are value types so an
+// Event never escapes to the heap on the emit path; the per-kind meaning
+// of the generic fields is documented on the Kind constants.
+type Event struct {
+	// T is the event time in nanoseconds since the Unix epoch.
+	T int64
+	// Kind tags the event type.
+	Kind Kind
+	// Outer, Inner, Agg, Step are the paper's coefficient coordinates:
+	// inner-solve index, Arnoldi iteration, aggregate inner iteration, and
+	// orthogonalization step. Unused coordinates stay zero.
+	Outer int
+	Inner int
+	Agg   int
+	Step  int
+	// Value and Aux are the event's scalars (see the Kind constants).
+	Value float64
+	Aux   float64
+	// Flag is the event's boolean (normalization / violation / usable).
+	Flag bool
+	// Label and Note are the event's identifiers (unit ID, lease ID,
+	// outcome name, worker). Emit paths only ever store pre-existing
+	// strings here, so no formatting happens on the hot path.
+	Label string
+	Note  string
+}
+
+// Recorder is a fixed-capacity ring buffer of events. The zero *Recorder
+// (nil) is a valid, permanently-disabled recorder: every method on it is a
+// no-op behind a single pointer check. A non-nil Recorder is safe for
+// concurrent use.
+type Recorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	total int64 // events ever emitted; buf index = total % cap
+	clock func() int64
+}
+
+// DefaultCapacity is the ring size NewRecorder uses for capacity <= 0:
+// large enough to hold every coefficient of a paper-scale FT-GMRES solve
+// (60 outer × 25 inner × ~14 coefficients ≈ 21k coeff events plus their
+// verdicts) without wrapping.
+const DefaultCapacity = 1 << 16
+
+// NewRecorder builds a recorder holding the most recent capacity events
+// (DefaultCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{
+		buf:   make([]Event, 0, capacity),
+		clock: func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+// Emit appends one event, stamping T when the caller left it zero. On a
+// nil receiver it is a no-op.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if cap(r.buf) == 0 { // zero-value Recorder: adopt the default capacity
+		r.buf = make([]Event, 0, DefaultCapacity)
+	}
+	if r.clock == nil {
+		r.clock = func() int64 { return time.Now().UnixNano() }
+	}
+	if ev.T == 0 {
+		ev.T = r.clock()
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.total%int64(cap(r.buf))] = ev
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len reports how many events the ring currently holds.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Dropped reports how many events were overwritten by ring wrap-around.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - int64(len(r.buf))
+}
+
+// Events snapshots the ring in emission order (oldest surviving event
+// first). Nil receiver returns nil.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.buf))
+	if r.total <= int64(cap(r.buf)) {
+		copy(out, r.buf)
+		return out
+	}
+	head := int(r.total % int64(cap(r.buf))) // index of the oldest event
+	n := copy(out, r.buf[head:])
+	copy(out[n:], r.buf[:head])
+	return out
+}
+
+// Reset clears the ring for reuse across solves.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf = r.buf[:0]
+	r.total = 0
+	r.mu.Unlock()
+}
+
+// ---- Typed emit helpers ----
+//
+// Each helper builds the event inline from scalars and pre-existing
+// strings; none allocates before the nil check, so a disabled recorder
+// costs exactly the pointer comparison.
+
+// SolveStart marks the beginning of a solve; label names the solver.
+func (r *Recorder) SolveStart(label string) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindSolveStart, Label: label})
+}
+
+// SolveEnd marks the end of a solve: converged flag, final relative
+// residual, and the iteration count.
+func (r *Recorder) SolveEnd(label string, converged bool, finalRel float64, iters int) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindSolveEnd, Label: label, Flag: converged, Value: finalRel, Inner: iters})
+}
+
+// IterResidual records the relative residual after one iteration.
+func (r *Recorder) IterResidual(outer, inner, agg int, rel float64) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindIterResidual, Outer: outer, Inner: inner, Agg: agg, Value: rel})
+}
+
+// Coeff records a Hessenberg coefficient as the iteration used it.
+func (r *Recorder) Coeff(outer, inner, agg, step int, normalization bool, value float64) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindCoeff, Outer: outer, Inner: inner, Agg: agg, Step: step,
+		Flag: normalization, Value: value})
+}
+
+// DetectorVerdict records one bound check: value under test, the bound,
+// and whether the check failed.
+func (r *Recorder) DetectorVerdict(outer, inner, agg, step int, value, bound float64, violation bool) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindDetectorVerdict, Outer: outer, Inner: inner, Agg: agg, Step: step,
+		Value: value, Aux: bound, Flag: violation})
+}
+
+// FaultInjected records an injector strike: the correct and corrupted
+// values and the model name.
+func (r *Recorder) FaultInjected(outer, inner, agg, step int, correct, corrupted float64, model string) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindFaultInjected, Outer: outer, Inner: inner, Agg: agg, Step: step,
+		Aux: correct, Value: corrupted, Label: model})
+}
+
+// SandboxOutcome records one sandboxed guest's fate.
+func (r *Recorder) SandboxOutcome(outer int, outcome string, usable bool, elapsedMS float64) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindSandboxOutcome, Outer: outer, Label: outcome, Flag: usable, Aux: elapsedMS})
+}
+
+// InnerStart marks the beginning of inner solve j.
+func (r *Recorder) InnerStart(outer int) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindInnerStart, Outer: outer})
+}
+
+// InnerEnd marks the end of inner solve j with its iteration count.
+func (r *Recorder) InnerEnd(outer, iters int) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindInnerEnd, Outer: outer, Value: float64(iters)})
+}
+
+// UnitStart marks a campaign unit beginning execution.
+func (r *Recorder) UnitStart(unitID string) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindUnitStart, Label: unitID})
+}
+
+// UnitEnd marks a campaign unit reaching a journalable outcome.
+func (r *Recorder) UnitEnd(unitID, outcome string, elapsedMS float64) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindUnitEnd, Label: unitID, Note: outcome, Aux: elapsedMS})
+}
+
+// LeaseGranted records a coordinator granting units to a worker.
+func (r *Recorder) LeaseGranted(leaseID, worker string, units int) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindLeaseGranted, Label: leaseID, Note: worker, Value: float64(units)})
+}
+
+// LeaseExpired records a lease expiring with requeued units.
+func (r *Recorder) LeaseExpired(leaseID, worker string, requeued int) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindLeaseExpired, Label: leaseID, Note: worker, Value: float64(requeued)})
+}

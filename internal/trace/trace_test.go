@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fixed installs a deterministic clock.
+func fixed(r *Recorder) *int64 {
+	t := int64(0)
+	r.clock = func() int64 { t++; return t }
+	return &t
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRecorder(4)
+	fixed(r)
+	for i := 1; i <= 10; i++ {
+		r.IterResidual(0, i, i, float64(i))
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		want := 7 + i // events 7..10 survive
+		if ev.Inner != want {
+			t.Fatalf("event %d: inner = %d, want %d", i, ev.Inner, want)
+		}
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	// Timestamps must come out non-decreasing after the unwrap.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T < evs[i-1].T {
+			t.Fatalf("events out of order: %d after %d", evs[i].T, evs[i-1].T)
+		}
+	}
+}
+
+func TestNilRecorderIsSafeAndFree(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(100, func() {
+		r.SolveStart("x")
+		r.IterResidual(1, 2, 3, 0.5)
+		r.Coeff(1, 2, 3, 4, false, 1.5)
+		r.DetectorVerdict(1, 2, 3, 4, 1.5, 2.0, false)
+		r.FaultInjected(1, 2, 3, 4, 1, 2, "scale")
+		r.SandboxOutcome(1, "ok", true, 1.0)
+		r.InnerStart(1)
+		r.InnerEnd(1, 25)
+		r.UnitStart("u")
+		r.UnitEnd("u", "ok", 1.0)
+		r.LeaseGranted("l", "w", 8)
+		r.LeaseExpired("l", "w", 8)
+		r.SolveEnd("x", true, 1e-9, 10)
+		r.Emit(Event{Kind: KindCoeff})
+		r.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocated %v times per run, want 0", allocs)
+	}
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder reported state")
+	}
+}
+
+func TestZeroValueRecorderUsable(t *testing.T) {
+	var r Recorder
+	r.IterResidual(0, 1, 1, 0.5)
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	if evs := r.Events(); evs[0].T <= 0 {
+		t.Fatalf("timestamp not stamped: %d", evs[0].T)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := NewRecorder(64)
+	fixed(r)
+	r.SolveStart("ftgmres")
+	r.InnerStart(1)
+	r.Coeff(1, 2, 2, 1, false, 3.75)
+	r.FaultInjected(1, 2, 2, 1, 3.75, 3.75e150, "scale(×1e+150)")
+	r.DetectorVerdict(1, 2, 2, 1, 3.75e150, 40.1, true)
+	r.IterResidual(1, 2, 2, 0.125)
+	r.SandboxOutcome(1, "ok", true, 12.5)
+	r.InnerEnd(1, 25)
+	r.UnitStart("deadbeef")
+	r.UnitEnd("deadbeef", "ok", 33.0)
+	r.LeaseGranted("lease-000001", "w0", 8)
+	r.LeaseExpired("lease-000001", "w0", 3)
+	r.SolveEnd("ftgmres", true, 1e-9, 7)
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Events()
+	if len(back) != len(want) {
+		t.Fatalf("round trip: %d events, want %d", len(back), len(want))
+	}
+	for i := range want {
+		if back[i] != want[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, back[i], want[i])
+		}
+	}
+}
+
+func TestCheckJSONL(t *testing.T) {
+	r := NewRecorder(8)
+	fixed(r)
+	r.IterResidual(0, 1, 1, 0.5)
+	r.IterResidual(0, 2, 2, 0.25)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CheckJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil || n != 2 {
+		t.Fatalf("CheckJSONL = (%d, %v), want (2, nil)", n, err)
+	}
+
+	bad := []string{
+		`{"t":1,"kind":"no-such-kind","value":0}`,
+		`{"t":0,"kind":"coeff","value":0}`,
+		`{"t":5,"kind":"coeff","value":0}` + "\n" + `{"t":4,"kind":"coeff","value":0}`,
+		`not json`,
+	}
+	for _, in := range bad {
+		if _, err := CheckJSONL(strings.NewReader(in)); err == nil {
+			t.Fatalf("CheckJSONL accepted %q", in)
+		}
+	}
+}
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	r := NewRecorder(16)
+	fixed(r)
+	r.SolveStart("gmres")
+	r.IterResidual(0, 1, 1, 0.5)
+	r.InnerStart(1)
+	r.InnerEnd(1, 25)
+	r.SolveEnd("gmres", true, 1e-9, 1)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("%d trace events, want 5", len(doc.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, ce := range doc.TraceEvents {
+		phases[ce.Phase]++
+		if ce.TS < 0 {
+			t.Fatalf("negative ts %v", ce.TS)
+		}
+	}
+	if phases["B"] != 2 || phases["E"] != 2 || phases["i"] != 1 {
+		t.Fatalf("phase mix %v, want 2×B, 2×E, 1×i", phases)
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for k := KindSolveStart; k <= KindLeaseExpired; k++ {
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Fatalf("ParseKind(%q) = (%v, %v), want (%v, true)", k.String(), got, ok, k)
+		}
+	}
+	if _, ok := ParseKind("unknown"); ok {
+		t.Fatal("ParseKind accepted unknown")
+	}
+}

@@ -1,0 +1,129 @@
+package sdcgmres_test
+
+import (
+	"reflect"
+	"testing"
+
+	"sdcgmres"
+	"sdcgmres/internal/krylov"
+)
+
+// fullOptions returns a SolveOptions with every field set to a
+// distinguishable non-zero value, so a dropped field in the embedding
+// refactor cannot hide behind a zero.
+func fullOptions() sdcgmres.SolveOptions {
+	return sdcgmres.SolveOptions{
+		MaxIter:        42,
+		MaxRestarts:    3,
+		Tol:            1e-7,
+		Ortho:          krylov.CGS,
+		Policy:         krylov.LSQRankRevealing,
+		RRTol:          1e-11,
+		HappyTol:       1e-13,
+		Hooks:          []sdcgmres.CoeffHook{sdcgmres.CoeffHookFunc(func(ctx krylov.CoeffContext, h float64) (float64, error) { return h, nil })},
+		OnHookErr:      krylov.DetectHalt,
+		OuterIteration: 7,
+		AggregateBase:  11,
+		RankCheckTol:   1e-10,
+		Precond:        krylov.IdentityPreconditioner,
+		Recorder:       sdcgmres.NewTraceRecorder(64),
+	}
+}
+
+// TestOptionEmbeddingRoundTrip pins the api_redesign contract: the
+// specialized option structs embed the shared SolveOptions core, the old
+// promoted field paths keep compiling, and a core set through either path
+// reads back field-for-field identical.
+func TestOptionEmbeddingRoundTrip(t *testing.T) {
+	core := fullOptions()
+
+	cg := sdcgmres.CGOptions{Options: core}
+	fcg := sdcgmres.FCGOptions{Options: core, Truncate: 2}
+	fg := sdcgmres.FGMRESOptions{Options: core, ExplicitResidual: true}
+
+	for name, got := range map[string]sdcgmres.SolveOptions{
+		"CGOptions":     cg.Options,
+		"FCGOptions":    fcg.Options,
+		"FGMRESOptions": fg.Options,
+	} {
+		compareOptionsFieldwise(t, name, core, got)
+	}
+	if fcg.Truncate != 2 {
+		t.Fatalf("FCGOptions.Truncate = %d, want 2", fcg.Truncate)
+	}
+	if !fg.ExplicitResidual {
+		t.Fatal("FGMRESOptions.ExplicitResidual lost")
+	}
+
+	// Old field paths: the promoted selectors must read and write the
+	// embedded core.
+	if cg.MaxIter != 42 || fcg.Tol != 1e-7 || fg.Ortho != krylov.CGS {
+		t.Fatalf("promoted selectors broken: %d %g %v", cg.MaxIter, fcg.Tol, fg.Ortho)
+	}
+	cg.MaxIter = 99
+	if cg.Options.MaxIter != 99 {
+		t.Fatal("promoted write did not reach the embedded core")
+	}
+}
+
+// compareOptionsFieldwise walks every exported field by reflection so a
+// future field added to SolveOptions is covered automatically.
+func compareOptionsFieldwise(t *testing.T, name string, want, got sdcgmres.SolveOptions) {
+	t.Helper()
+	wv, gv := reflect.ValueOf(want), reflect.ValueOf(got)
+	typ := wv.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		w, g := wv.Field(i), gv.Field(i)
+		switch f.Type.Kind() {
+		case reflect.Func, reflect.Slice, reflect.Ptr:
+			// Reference fields: identity, not deep equality.
+			if w.IsNil() != g.IsNil() || (!w.IsNil() && w.Pointer() != g.Pointer()) {
+				t.Fatalf("%s.%s not carried through the embedding", name, f.Name)
+			}
+		case reflect.Interface:
+			// Interface fields (Precond): same dynamic value. Funcs and
+			// pointers compare by identity; everything else deeply.
+			if w.IsNil() != g.IsNil() {
+				t.Fatalf("%s.%s not carried through the embedding", name, f.Name)
+			}
+			if !w.IsNil() {
+				we, ge := reflect.ValueOf(w.Interface()), reflect.ValueOf(g.Interface())
+				same := we.Type() == ge.Type()
+				if same {
+					switch we.Kind() {
+					case reflect.Func, reflect.Ptr:
+						same = we.Pointer() == ge.Pointer()
+					default:
+						same = reflect.DeepEqual(w.Interface(), g.Interface())
+					}
+				}
+				if !same {
+					t.Fatalf("%s.%s not carried through the embedding", name, f.Name)
+				}
+			}
+		default:
+			if !reflect.DeepEqual(w.Interface(), g.Interface()) {
+				t.Fatalf("%s.%s = %v, want %v", name, f.Name, g.Interface(), w.Interface())
+			}
+		}
+	}
+}
+
+// TestFacadeAliasesShareInternalTypes pins that the facade option names
+// are aliases (not copies) of the internal types, so options built against
+// either spelling interoperate.
+func TestFacadeAliasesShareInternalTypes(t *testing.T) {
+	if reflect.TypeOf(sdcgmres.SolveOptions{}) != reflect.TypeOf(krylov.Options{}) {
+		t.Fatal("SolveOptions is not an alias of krylov.Options")
+	}
+	if reflect.TypeOf(sdcgmres.CGOptions{}) != reflect.TypeOf(krylov.CGOptions{}) {
+		t.Fatal("CGOptions is not an alias of krylov.CGOptions")
+	}
+	if reflect.TypeOf(sdcgmres.FCGOptions{}) != reflect.TypeOf(krylov.FCGOptions{}) {
+		t.Fatal("FCGOptions is not an alias of krylov.FCGOptions")
+	}
+	if reflect.TypeOf(sdcgmres.FGMRESOptions{}) != reflect.TypeOf(krylov.FGMRESOptions{}) {
+		t.Fatal("FGMRESOptions is not an alias of krylov.FGMRESOptions")
+	}
+}

@@ -39,6 +39,8 @@
 package sdcgmres
 
 import (
+	"context"
+
 	"sdcgmres/internal/abft"
 	"sdcgmres/internal/core"
 	"sdcgmres/internal/detect"
@@ -48,6 +50,7 @@ import (
 	"sdcgmres/internal/precond"
 	"sdcgmres/internal/service"
 	"sdcgmres/internal/sparse"
+	"sdcgmres/internal/trace"
 	"sdcgmres/internal/vec"
 )
 
@@ -141,8 +144,16 @@ const (
 )
 
 // GMRES solves A x = b with restarted GMRES(m) (Algorithm 1 of the paper).
+// It is shorthand for GMRESCtx with context.Background().
 func GMRES(a Operator, b, x0 []float64, opts SolveOptions) (*SolveResult, error) {
 	return krylov.GMRES(a, b, x0, opts)
+}
+
+// GMRESCtx is GMRES with cancellation: ctx is checked every Arnoldi
+// iteration, and a solve cut short returns an error matching both
+// ErrCanceled and ctx.Err() under errors.Is.
+func GMRESCtx(ctx context.Context, a Operator, b, x0 []float64, opts SolveOptions) (*SolveResult, error) {
+	return krylov.GMRESCtx(ctx, a, b, x0, opts)
 }
 
 // FGMRESOptions configures Flexible GMRES.
@@ -156,9 +167,17 @@ type Preconditioner = krylov.Preconditioner
 type PrecondFunc = krylov.PrecondFunc
 
 // FGMRES solves A x = b with Saad's Flexible GMRES (Algorithm 2 of the
-// paper), allowing the preconditioner to change every iteration.
+// paper), allowing the preconditioner to change every iteration. It is
+// shorthand for FGMRESCtx with context.Background().
 func FGMRES(a Operator, b, x0 []float64, provider krylov.PrecondProvider, opts FGMRESOptions) (*SolveResult, error) {
 	return krylov.FGMRES(a, b, x0, provider, opts)
+}
+
+// FGMRESCtx is FGMRES with cancellation: ctx is checked every outer
+// iteration, and a solve cut short returns an error matching both
+// ErrCanceled and ctx.Err() under errors.Is.
+func FGMRESCtx(ctx context.Context, a Operator, b, x0 []float64, provider krylov.PrecondProvider, opts FGMRESOptions) (*SolveResult, error) {
+	return krylov.FGMRESCtx(ctx, a, b, x0, provider, opts)
 }
 
 // FixedPreconditioner adapts one Preconditioner to FGMRES's per-iteration
@@ -175,22 +194,51 @@ func GMRESHouseholder(a Operator, b, x0 []float64, opts SolveOptions) (*SolveRes
 // CGOptions configures the Conjugate Gradient baseline for SPD systems.
 type CGOptions = krylov.CGOptions
 
-// CG solves SPD systems; it fails loudly on indefinite matrices.
+// CG solves SPD systems; it fails loudly on indefinite matrices. It is
+// shorthand for CGCtx with context.Background().
 func CG(a Operator, b, x0 []float64, opts CGOptions) (*SolveResult, error) {
 	return krylov.CG(a, b, x0, opts)
+}
+
+// CGCtx is CG with cancellation: ctx is checked every iteration, and a
+// solve cut short returns an error matching both ErrCanceled and ctx.Err()
+// under errors.Is.
+func CGCtx(ctx context.Context, a Operator, b, x0 []float64, opts CGOptions) (*SolveResult, error) {
+	return krylov.CGCtx(ctx, a, b, x0, opts)
 }
 
 // FCGOptions configures the flexible Conjugate Gradient solver.
 type FCGOptions = krylov.FCGOptions
 
 // FCG solves SPD systems with flexible CG — the alternative flexible outer
-// iteration (Golub & Ye) the paper lists alongside FGMRES.
+// iteration (Golub & Ye) the paper lists alongside FGMRES. It is shorthand
+// for FCGCtx with context.Background().
 func FCG(a Operator, b, x0 []float64, provider krylov.PrecondProvider, opts FCGOptions) (*SolveResult, error) {
 	return krylov.FCG(a, b, x0, provider, opts)
 }
 
+// FCGCtx is FCG with cancellation: ctx is checked every outer iteration,
+// and a solve cut short returns an error matching both ErrCanceled and
+// ctx.Err() under errors.Is.
+func FCGCtx(ctx context.Context, a Operator, b, x0 []float64, provider krylov.PrecondProvider, opts FCGOptions) (*SolveResult, error) {
+	return krylov.FCGCtx(ctx, a, b, x0, provider, opts)
+}
+
 // TrueResidual returns ‖b − A x‖₂/‖b‖₂, the reliably computed residual.
 var TrueResidual = krylov.TrueResidual
+
+// ---- Sentinel errors ----
+
+// Sentinel errors for branching on solve outcomes with errors.Is. Solver
+// functions return ErrCanceled (joined with the context's own error) when
+// a context ends mid-solve; Result.Err() on both SolveResult and FTResult
+// maps non-convergence and detector activity onto ErrNotConverged and
+// ErrDetected.
+var (
+	ErrNotConverged = krylov.ErrNotConverged
+	ErrDetected     = krylov.ErrDetected
+	ErrCanceled     = krylov.ErrCanceled
+)
 
 // ---- FT-GMRES (the paper's contribution) ----
 
@@ -217,14 +265,43 @@ const (
 )
 
 // FTGMRES is the fault-tolerant nested solver: reliable FGMRES outer,
-// sandboxed GMRES inner, Hessenberg-bound detection.
+// sandboxed GMRES inner, Hessenberg-bound detection. Solve takes
+// context.Background(); SolveCtx is the context-first form.
 type FTGMRES = core.Solver
 
 // FTResult reports an FT-GMRES solve, including fault/detector statistics.
+// Its Err method maps the outcome onto the sentinel errors.
 type FTResult = core.Result
 
 // NewFTGMRES builds an FT-GMRES solver for the operator.
 func NewFTGMRES(a *Matrix, cfg FTConfig) *FTGMRES { return core.New(a, cfg) }
+
+// ---- Flight recorder (solve tracing) ----
+
+// TraceRecorder is the fixed-capacity per-solve flight recorder: set one
+// on SolveOptions.Recorder or FTConfig.Recorder and every residual,
+// Arnoldi coefficient, detector verdict, fault strike and sandbox outcome
+// of the solve lands in its ring buffer. A nil recorder is free — every
+// event site costs one pointer check and allocates nothing.
+type TraceRecorder = trace.Recorder
+
+// TraceEvent is one recorded flight-recorder event.
+type TraceEvent = trace.Event
+
+// NewTraceRecorder builds a recorder holding the most recent capacity
+// events (<= 0 selects trace.DefaultCapacity, 65536).
+var NewTraceRecorder = trace.NewRecorder
+
+// WriteTraceJSONL streams events as JSON Lines, the canonical trace
+// interchange form (read back with ReadTraceJSONL).
+var WriteTraceJSONL = trace.WriteJSONL
+
+// ReadTraceJSONL parses a JSONL trace stream.
+var ReadTraceJSONL = trace.ReadJSONL
+
+// WriteChromeTrace emits events as a Chrome trace_event document,
+// loadable in about://tracing or Perfetto.
+var WriteChromeTrace = trace.WriteChromeTrace
 
 // ---- Fault injection ----
 

@@ -37,7 +37,7 @@ func TestPublicGMRESAndCG(t *testing.T) {
 	if err != nil || !g.Converged {
 		t.Fatalf("GMRES: %v %v", g, err)
 	}
-	c, err := sdcgmres.CG(a, b, nil, sdcgmres.CGOptions{Tol: 1e-10})
+	c, err := sdcgmres.CG(a, b, nil, sdcgmres.CGOptions{Options: sdcgmres.SolveOptions{Tol: 1e-10}})
 	if err != nil || !c.Converged {
 		t.Fatalf("CG: %v %v", c, err)
 	}
@@ -113,7 +113,7 @@ func TestPublicHouseholderAndFCG(t *testing.T) {
 	if err != nil || !hh.Converged {
 		t.Fatalf("householder: %v", err)
 	}
-	fcg, err := sdcgmres.FCG(a, b, nil, nil, sdcgmres.FCGOptions{MaxIter: 300, Tol: 1e-9})
+	fcg, err := sdcgmres.FCG(a, b, nil, nil, sdcgmres.FCGOptions{Options: sdcgmres.SolveOptions{MaxIter: 300, Tol: 1e-9}})
 	if err != nil || !fcg.Converged {
 		t.Fatalf("fcg: %v", err)
 	}
