@@ -8,7 +8,7 @@
 //
 //	solved [-addr :8080] [-workers N] [-queue 64] [-budget 30s]
 //	       [-max-budget 5m] [-retain 1024] [-drain-timeout 30s] [-pprof]
-//	       [-campaign-dir DIR]
+//	       [-campaign-dir DIR] [-store-dir DIR]
 //
 // Submit a job:
 //
@@ -32,6 +32,14 @@
 //
 // then poll GET /v1/campaigns/<id> for progress (done/total, ETA,
 // per-problem failures).
+//
+// With -store-dir set, every campaign record also lands in the embedded
+// results warehouse (internal/store): POST /v1/results/query pages raw
+// records, GET /v1/campaigns/<id>/stats serves the paper statistics
+// (confusion matrices, overhead quantiles, per-site heatmaps; add
+// ?diff=<campaign> for a bootstrap-CI comparison), and the sdcreport CLI
+// reads the same directory offline. Both endpoints honor
+// Accept-Encoding: gzip.
 //
 // # Distributed campaigns
 //
@@ -70,6 +78,7 @@ import (
 	"sdcgmres/internal/campaign"
 	"sdcgmres/internal/dist"
 	"sdcgmres/internal/service"
+	"sdcgmres/internal/store"
 )
 
 // cliConfig is the flag-settable daemon configuration.
@@ -93,6 +102,9 @@ type cliConfig struct {
 	leaseTTL    time.Duration
 	batch       int
 	distOut     string
+
+	// Results warehouse (internal/store).
+	storeDir string
 }
 
 func parseFlags(args []string) (cliConfig, error) {
@@ -115,6 +127,7 @@ func parseFlags(args []string) (cliConfig, error) {
 	fs.DurationVar(&cfg.leaseTTL, "lease-ttl", 30*time.Second, "distributed lease time-to-live")
 	fs.IntVar(&cfg.batch, "batch", 8, "units per distributed lease")
 	fs.StringVar(&cfg.distOut, "dist-out", "", "coordinator output directory (default -campaign-dir)")
+	fs.StringVar(&cfg.storeDir, "store-dir", "", "results warehouse directory; enables /v1/results/query and /v1/campaigns/{id}/stats (empty = store off)")
 	err := fs.Parse(args)
 	return cfg, err
 }
@@ -124,13 +137,27 @@ func parseFlags(args []string) (cliConfig, error) {
 // in-process. The campaign manager shares the engine's metrics registry so
 // GET /metrics covers both.
 func setup(cfg cliConfig) (*service.Engine, *service.CampaignManager, http.Handler) {
-	return setupDist(cfg, nil)
+	return setupDist(cfg, nil, nil)
 }
 
-// setupDist is setup plus an optional dist.Host: when present, the server
+// openStore opens the results warehouse named by -store-dir, or returns
+// (nil, nil) when the flag is unset (store off).
+func openStore(cfg cliConfig) (*store.Store, error) {
+	if cfg.storeDir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(cfg.storeDir, 0o755); err != nil {
+		return nil, err
+	}
+	return store.Open(cfg.storeDir, store.Options{})
+}
+
+// setupDist is setup plus an optional dist.Host and results store: a host
 // mounts the lease wire protocol, reports mode "coordinator" with the lease
-// backlog on /healthz, and appends the dist registry to /metrics.
-func setupDist(cfg cliConfig, host *dist.Host) (*service.Engine, *service.CampaignManager, http.Handler) {
+// backlog on /healthz, and appends the dist registry to /metrics; a store
+// feeds every campaign record into the warehouse and mounts the results
+// query and stats endpoints.
+func setupDist(cfg cliConfig, host *dist.Host, st *store.Store) (*service.Engine, *service.CampaignManager, http.Handler) {
 	engine := service.NewEngine(service.Config{
 		Workers:       cfg.workers,
 		QueueDepth:    cfg.queueDepth,
@@ -144,10 +171,12 @@ func setupDist(cfg cliConfig, host *dist.Host) (*service.Engine, *service.Campai
 		Workers:       cfg.workers,
 		Metrics:       engine.Metrics(),
 		TraceCapacity: cfg.traceCap,
+		Store:         st,
 	})
 	opts := service.ServerOptions{
 		EnablePprof: cfg.pprof,
 		Campaigns:   campaigns,
+		Store:       st,
 	}
 	if host != nil {
 		opts.Mode = "coordinator"
@@ -182,8 +211,15 @@ func main() {
 }
 
 func runDaemon(ctx context.Context, stop context.CancelFunc, cfg cliConfig) {
-	engine, campaigns, handler := setup(cfg)
+	st, err := openStore(cfg)
+	if err != nil {
+		log.Fatalf("solved: open store: %v", err)
+	}
+	engine, campaigns, handler := setupDist(cfg, nil, st)
 	engine.Start()
+	if st != nil {
+		log.Printf("solved: results store on %s", cfg.storeDir)
+	}
 
 	srv := &http.Server{
 		Addr:              cfg.addr,
@@ -218,6 +254,11 @@ func runDaemon(ctx context.Context, stop context.CancelFunc, cfg cliConfig) {
 	defer cancel2()
 	if err := srv.Shutdown(httpCtx); err != nil {
 		log.Printf("solved: http shutdown: %v", err)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("solved: store close: %v", err)
+		}
 	}
 	fmt.Println("solved: bye")
 }
@@ -347,8 +388,22 @@ func runCoordinate(ctx context.Context, cfg cliConfig) error {
 		log.Printf("solved: resuming, journal holds %d of %d units", len(have), len(compiled.Units))
 	}
 
+	st, err := openStore(cfg)
+	if err != nil {
+		return fmt.Errorf("open store: %w", err)
+	}
+	if st != nil {
+		defer st.Close()
+		// Backfill resumed units so the warehouse matches the journal from
+		// the start; content-derived IDs make replays a no-op.
+		if _, err := st.IngestAll(man.Name, have); err != nil {
+			log.Printf("solved: store backfill: %v", err)
+		}
+		log.Printf("solved: results store on %s", cfg.storeDir)
+	}
+
 	host := dist.NewHost(nil)
-	engine, campaigns, handler := setupDist(cfg, host)
+	engine, campaigns, handler := setupDist(cfg, host, st)
 	engine.Start()
 	defer engine.Shutdown(context.Background())
 	defer campaigns.Shutdown(context.Background())
@@ -365,10 +420,18 @@ func runCoordinate(ctx context.Context, cfg cliConfig) error {
 	}
 	log.Printf("solved: coordinator on %s — join workers with: solved -worker -coordinator=http://%s", cfg.addr, join)
 
-	fresh, runErr := host.RunCampaign(ctx, compiled, journal, have, dist.CoordinatorConfig{
+	distCfg := dist.CoordinatorConfig{
 		LeaseTTL:  cfg.leaseTTL,
 		BatchSize: cfg.batch,
-	})
+	}
+	if st != nil {
+		distCfg.OnRecord = func(rec campaign.Record) {
+			if _, err := st.Ingest(man.Name, rec); err != nil {
+				log.Printf("solved: store ingest %s: %v", rec.ID, err)
+			}
+		}
+	}
+	fresh, runErr := host.RunCampaign(ctx, compiled, journal, have, distCfg)
 	host.Close()
 	for id, rec := range fresh {
 		have[id] = rec
@@ -385,7 +448,7 @@ func runCoordinate(ctx context.Context, cfg cliConfig) error {
 		return err
 	}
 	for _, sr := range series {
-		name := fmt.Sprintf("%s_%s_%s_%s.csv", man.Name, csvSlug(sr.Key.Model), sr.Key.Step, csvSlug(sr.Key.Detector))
+		name := store.CSVFileName(man.Name, sr.Key)
 		f, err := os.Create(filepath.Join(outdir, name))
 		if err != nil {
 			return err
@@ -398,15 +461,4 @@ func runCoordinate(ctx context.Context, cfg cliConfig) error {
 		log.Printf("solved: wrote %s", filepath.Join(outdir, name))
 	}
 	return nil
-}
-
-// csvSlug keeps CSV filenames shell-friendly.
-func csvSlug(s string) string {
-	return strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_':
-			return r
-		}
-		return '_'
-	}, s)
 }

@@ -259,7 +259,7 @@ func TestCoordinatorWiring(t *testing.T) {
 		t.Fatal(err)
 	}
 	host := dist.NewHost(nil)
-	engine, campaigns, handler := setupDist(cfg, host)
+	engine, campaigns, handler := setupDist(cfg, host, nil)
 	engine.Start()
 	ts := httptest.NewServer(handler)
 	defer ts.Close()

@@ -62,6 +62,38 @@ func (p ProblemSpec) Key() string {
 	return fmt.Sprintf("%s/%d/%d/%d", p.Kind, p.N, p.InnerIters, p.TargetOuter)
 }
 
+// DisplayName is the calibrated problem's report name for this spec —
+// exactly what Compile's calibration produces (expt.Problem.Name) — so
+// consumers holding only a problem key (the results store) can render the
+// same labels the engine aggregator does.
+func (p ProblemSpec) DisplayName() string {
+	if p.Kind == "circuit" {
+		return fmt.Sprintf("circuit-dcop-%d", p.N)
+	}
+	return fmt.Sprintf("%s-%dx%d", p.Kind, p.N, p.N)
+}
+
+// ParseProblemKey inverts ProblemSpec.Key: "poisson/64/25/9" back to the
+// spec. Journaled units carry only the key, so store-side analysis parses
+// it to recover the failure-free outer count (the overhead baseline) and
+// the inner iteration count (the heatmap geometry) without recalibrating.
+func ParseProblemKey(key string) (ProblemSpec, error) {
+	var p ProblemSpec
+	parts := strings.Split(key, "/")
+	if len(parts) != 4 {
+		return p, fmt.Errorf("campaign: problem key %q: want kind/n/inner/target", key)
+	}
+	p.Kind = parts[0]
+	if _, err := fmt.Sscanf(parts[1]+" "+parts[2]+" "+parts[3], "%d %d %d",
+		&p.N, &p.InnerIters, &p.TargetOuter); err != nil {
+		return p, fmt.Errorf("campaign: problem key %q: %w", key, err)
+	}
+	if err := p.Validate(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
 // Validate rejects malformed or resource-abusive problem specs.
 func (p ProblemSpec) Validate() error {
 	switch p.Kind {
@@ -109,6 +141,24 @@ func (d DetectorSpec) Key() string {
 		resp = "warn"
 	}
 	return "on/" + bound + "/" + resp
+}
+
+// ParseDetectorKey inverts DetectorSpec.Key: "off" or "on/<bound>/<resp>"
+// back to a spec. Like ParseProblemKey, this lets a consumer holding only
+// journaled unit fields rebuild the exact expt.SweepConfig the engine used.
+func ParseDetectorKey(key string) (DetectorSpec, error) {
+	if key == "off" {
+		return DetectorSpec{}, nil
+	}
+	parts := strings.Split(key, "/")
+	if len(parts) != 3 || parts[0] != "on" {
+		return DetectorSpec{}, fmt.Errorf("campaign: detector key %q: want off | on/<bound>/<response>", key)
+	}
+	d := DetectorSpec{Enabled: true, Bound: parts[1], Response: parts[2]}
+	if _, err := d.Config(); err != nil {
+		return DetectorSpec{}, err
+	}
+	return d, nil
 }
 
 // Config translates the spec into the solver's detector configuration.

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"sync"
 
 	"sdcgmres/internal/expt"
+	"sdcgmres/internal/frame"
 )
 
 // Outcome classifies a journaled unit.
@@ -38,9 +40,10 @@ type Record struct {
 	ElapsedMS float64         `json:"elapsed_ms"`
 }
 
-// Journal is an append-only JSONL file of completed units. Appends are
-// serialized and written with a single write syscall per record, so a crash
-// can corrupt at most the final line — which the loader tolerates.
+// Journal is an append-only file of completed units: one CRC32C-framed JSON
+// record per line (see internal/frame). Appends are serialized and written
+// with a single write syscall per record, so a crash can damage at most the
+// final line — which the loader detects by checksum and truncates.
 type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
@@ -48,22 +51,34 @@ type Journal struct {
 }
 
 // OpenJournal opens (creating if needed) a journal for appending and
-// returns the records it already holds. A truncated final line — the
-// footprint of a crash mid-append — is dropped with no error; corruption
-// anywhere else is reported, since it means the file is not our journal.
+// returns the records it already holds. A damaged tail — a line truncated
+// by a crash mid-append, or one whose checksum no longer verifies — is
+// truncated away with no error, so the next append lands on a clean record
+// boundary. Corruption anywhere else is reported, since it means the file
+// is not our journal.
 func OpenJournal(path string) (*Journal, map[string]Record, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("campaign: open journal: %w", err)
 	}
-	have, err := loadRecords(f)
+	have, valid, err := loadRecords(f)
 	if err != nil {
 		f.Close()
 		return nil, nil, err
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	if size, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("campaign: seek journal: %w", err)
+	} else if size > valid {
+		// Drop the damaged tail so appends start on a record boundary.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("campaign: truncate journal tail: %w", err)
+		}
+		if _, err := f.Seek(valid, io.SeekStart); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("campaign: seek journal: %w", err)
+		}
 	}
 	return &Journal{f: f, path: path}, have, nil
 }
@@ -75,43 +90,75 @@ func LoadJournal(path string) (map[string]Record, error) {
 		return nil, fmt.Errorf("campaign: open journal: %w", err)
 	}
 	defer f.Close()
-	return loadRecords(f)
+	have, _, err := loadRecords(f)
+	return have, err
 }
 
-// loadRecords parses the journal stream, tolerating a truncated last line.
-func loadRecords(r io.Reader) (map[string]Record, error) {
+// loadRecords parses the journal stream and returns its records plus the
+// byte offset just past the last intact line — the truncation point for a
+// damaged tail. Framed lines (the current format) verify their CRC32C;
+// bare JSON lines (legacy journals) still parse. A bad line at the very
+// end — torn write or checksum failure — is tolerated and excluded from
+// valid; a bad line followed by more records is real corruption and errors.
+func loadRecords(r io.Reader) (map[string]Record, int64, error) {
 	have := make(map[string]Record)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	br := bufio.NewReaderSize(r, 1<<20)
+	var offset, valid int64
 	lineNo := 0
 	var pendingErr error
 	var pendingLine int
-	for sc.Scan() {
-		lineNo++
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 {
+			lineNo++
+			content := line
+			terminated := err == nil
+			if terminated {
+				content = line[:len(line)-1]
+			}
+			offset += int64(len(line))
+			switch {
+			case len(bytes.TrimSpace(content)) == 0:
+				// Blank padding between records: skip, but do not extend
+				// valid — a blank tail is as truncatable as a torn one.
+			case pendingErr != nil:
+				// A bad line followed by more content is real corruption,
+				// not a crash-damaged tail.
+				return nil, 0, fmt.Errorf("campaign: journal line %d corrupt: %w", pendingLine, pendingErr)
+			default:
+				payload, _, ferr := frame.ParseLine(content)
+				if ferr != nil {
+					pendingErr, pendingLine = ferr, lineNo
+					continue
+				}
+				var rec Record
+				if uerr := json.Unmarshal(payload, &rec); uerr != nil {
+					pendingErr, pendingLine = uerr, lineNo
+					continue
+				}
+				if rec.ID == "" {
+					pendingErr, pendingLine = fmt.Errorf("missing unit id"), lineNo
+					continue
+				}
+				if !terminated {
+					// The record parsed but its newline never landed: a
+					// mid-write crash. Drop it — the unit reruns and
+					// journals identically — rather than let the next
+					// append glue onto an unterminated line.
+					continue
+				}
+				have[rec.ID] = rec
+				valid = offset
+			}
 		}
-		if pendingErr != nil {
-			// A bad line followed by more content is real corruption, not a
-			// crash-truncated tail.
-			return nil, fmt.Errorf("campaign: journal line %d corrupt: %w", pendingLine, pendingErr)
+		if err == io.EOF {
+			break
 		}
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			pendingErr, pendingLine = err, lineNo
-			continue
+		if err != nil {
+			return nil, 0, fmt.Errorf("campaign: read journal: %w", err)
 		}
-		if rec.ID == "" {
-			pendingErr, pendingLine = fmt.Errorf("missing unit id"), lineNo
-			continue
-		}
-		have[rec.ID] = rec
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("campaign: read journal: %w", err)
-	}
-	return have, nil
+	return have, valid, nil
 }
 
 // Append journals one record. Safe for concurrent use by the worker pool.
@@ -120,10 +167,10 @@ func (j *Journal) Append(rec Record) error {
 	if err != nil {
 		return fmt.Errorf("campaign: marshal record: %w", err)
 	}
-	raw = append(raw, '\n')
+	line := frame.AppendLine(nil, raw)
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, err := j.f.Write(raw); err != nil {
+	if _, err := j.f.Write(line); err != nil {
 		return fmt.Errorf("campaign: append journal: %w", err)
 	}
 	return nil

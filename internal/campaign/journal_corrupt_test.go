@@ -1,0 +1,135 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sdcgmres/internal/expt"
+)
+
+// writeTestJournal appends n framed records and returns the file contents.
+func writeTestJournal(t *testing.T, path string, n int) []byte {
+	t.Helper()
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec := Record{
+			ID:      string(rune('a'+i)) + "aaa",
+			Unit:    Unit{ID: string(rune('a'+i)) + "aaa", Site: i + 1},
+			Point:   expt.SweepPoint{AggregateInner: i + 1, OuterIters: 5 + i, Converged: true},
+			Outcome: OutcomeOK,
+		}
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestJournalCorruptTailTruncated injects a bit flip into the final record
+// — not a short write, a full-length line whose bytes rotted — and requires
+// the loader to detect it by checksum, drop exactly that record, and
+// truncate the file so subsequent appends land on a clean boundary.
+func TestJournalCorruptTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	raw := writeTestJournal(t, path, 3)
+
+	// Flip one payload bit inside the last line.
+	lastLine := bytes.LastIndexByte(raw[:len(raw)-1], '\n') + 1
+	mutated := append([]byte(nil), raw...)
+	mutated[lastLine+20] ^= 0x08
+	if err := os.WriteFile(path, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, have, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("corrupt tail must be tolerated: %v", err)
+	}
+	if len(have) != 2 {
+		t.Fatalf("got %d records, want 2 (corrupt tail dropped)", len(have))
+	}
+	if _, ok := have["caaa"]; ok {
+		t.Fatal("the corrupted record must not survive")
+	}
+
+	// The tail was truncated, so a fresh append must produce a journal that
+	// reloads cleanly with the replacement record.
+	rec := Record{ID: "caaa", Unit: Unit{ID: "caaa", Site: 3},
+		Point: expt.SweepPoint{AggregateInner: 3, OuterIters: 7, Converged: true}, Outcome: OutcomeOK}
+	if err := j.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadJournal(path)
+	if err != nil {
+		t.Fatalf("journal after corrupt-tail truncation + append must load: %v", err)
+	}
+	if len(reloaded) != 3 || reloaded["caaa"].Point.OuterIters != 7 {
+		t.Fatalf("reloaded: %+v", reloaded)
+	}
+}
+
+// TestJournalCorruptMiddleRejected: the same bit flip anywhere but the tail
+// is real corruption — records follow it, so this is not a crash footprint —
+// and must fail the load loudly.
+func TestJournalCorruptMiddleRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	raw := writeTestJournal(t, path, 3)
+
+	firstLineEnd := bytes.IndexByte(raw, '\n')
+	mutated := append([]byte(nil), raw...)
+	mutated[firstLineEnd-4] ^= 0x08
+	if err := os.WriteFile(path, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJournal(path); err == nil {
+		t.Fatal("mid-file bit rot must be reported, not silently dropped")
+	}
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("OpenJournal must also reject mid-file bit rot")
+	}
+}
+
+// TestJournalShortTailStillTolerated: the pre-CRC behaviour — a line cut
+// short by a crash — keeps working under framing.
+func TestJournalShortTailStillTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	raw := writeTestJournal(t, path, 2)
+
+	// Cut the final line in half (newline gone: a torn single-write append).
+	lastLine := bytes.LastIndexByte(raw[:len(raw)-1], '\n') + 1
+	cut := lastLine + (len(raw)-lastLine)/2
+	if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, have, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("short tail must be tolerated: %v", err)
+	}
+	defer j.Close()
+	if len(have) != 1 {
+		t.Fatalf("got %d records, want 1", len(have))
+	}
+	// OpenJournal truncated to the last intact record boundary.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != int64(lastLine) {
+		t.Fatalf("file size %d after open, want truncation to %d", fi.Size(), lastLine)
+	}
+}

@@ -23,6 +23,11 @@ type CoordinatorConfig struct {
 	// (LeaseGranted on Claim, LeaseExpired on sweep). Purely
 	// observational; lease behaviour is unchanged.
 	Recorder *trace.Recorder
+	// OnRecord, when non-nil, observes every record the coordinator
+	// journals — exactly once per unit, after it is durably appended, with
+	// no coordinator lock held (the results-store ingest hook). Duplicate
+	// and rejected worker records are never surfaced.
+	OnRecord func(campaign.Record)
 	// Now is the clock (default time.Now; tests substitute a fake).
 	Now func() time.Time
 }
@@ -266,14 +271,29 @@ func (co *Coordinator) validLocked(rec campaign.Record) bool {
 // break the resume contract.
 func (co *Coordinator) Complete(leaseID, worker string, recs []campaign.Record) (CompleteResponse, error) {
 	co.mu.Lock()
-	defer co.mu.Unlock()
+	resp, accepted, err := co.completeLocked(leaseID, worker, recs)
+	co.mu.Unlock()
+	// Surface newly journaled records outside the lock, so an ingest hook
+	// (which may hit its own disk) never stalls claims and heartbeats.
+	if co.cfg.OnRecord != nil {
+		for _, rec := range accepted {
+			co.cfg.OnRecord(rec)
+		}
+	}
+	return resp, err
+}
+
+// completeLocked does Complete's work under co.mu and returns the records
+// newly journaled by this call.
+func (co *Coordinator) completeLocked(leaseID, worker string, recs []campaign.Record) (CompleteResponse, []campaign.Record, error) {
 	if co.journalErr != nil {
-		return CompleteResponse{}, co.journalErr
+		return CompleteResponse{}, nil, co.journalErr
 	}
 	now := co.cfg.Now()
 	co.sweepLocked(now)
 	l := co.leases[leaseID] // may be nil: expired or foreign
 	var resp CompleteResponse
+	var accepted []campaign.Record
 	for _, rec := range recs {
 		if !co.validLocked(rec) {
 			resp.Rejected++
@@ -289,12 +309,13 @@ func (co *Coordinator) Complete(leaseID, worker string, recs []campaign.Record) 
 		if err := co.journal.Append(rec); err != nil {
 			co.journalErr = err
 			close(co.failed)
-			return resp, err
+			return resp, accepted, err
 		}
 		co.have[rec.ID] = rec
 		co.fresh[rec.ID] = rec
 		co.remaining--
 		resp.Accepted++
+		accepted = append(accepted, rec)
 		co.cfg.Metrics.UnitsCompleted.Inc()
 		co.cfg.Metrics.ObserveUnit(worker, rec.ElapsedMS/1000)
 		co.forgetLocked(l, rec.ID)
@@ -308,11 +329,11 @@ func (co *Coordinator) Complete(leaseID, worker string, recs []campaign.Record) 
 		if err := co.journal.Sync(); err != nil {
 			co.journalErr = fmt.Errorf("dist: sync journal: %w", err)
 			close(co.failed)
-			return resp, co.journalErr
+			return resp, accepted, co.journalErr
 		}
 		co.once.Do(func() { close(co.done) })
 	}
-	return resp, nil
+	return resp, accepted, nil
 }
 
 // forgetLocked erases a completed unit everywhere it might still be queued:

@@ -352,3 +352,48 @@ func TestCoordinatorClaimMaxCapsBatch(t *testing.T) {
 		t.Fatalf("remaining %d, want %d", l.Remaining, len(c.Units)-3)
 	}
 }
+
+func TestCoordinatorOnRecordHook(t *testing.T) {
+	c := compileTest(t)
+	j, have := openTestJournal(t)
+	var seen []campaign.Record
+	co := NewCoordinator(c, j, have, CoordinatorConfig{
+		BatchSize: 4,
+		OnRecord:  func(rec campaign.Record) { seen = append(seen, rec) },
+	})
+	l, _, err := co.Claim("w1", 0)
+	if err != nil || l == nil {
+		t.Fatal(err)
+	}
+
+	// A tampered record is rejected and must never reach the hook.
+	tampered := fakeRecord(l.Units[0])
+	tampered.Unit.Site += 3
+	if _, err := co.Complete(l.ID, "w1", []campaign.Record{tampered}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 0 {
+		t.Fatalf("rejected record reached OnRecord: %d calls", len(seen))
+	}
+
+	// Fresh completions fire the hook exactly once per record, in order.
+	if _, err := co.Complete(l.ID, "w1", recordsFor(l.Units)); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(l.Units) {
+		t.Fatalf("OnRecord fired %d times, want %d", len(seen), len(l.Units))
+	}
+	for i, u := range l.Units {
+		if seen[i].ID != u.ID {
+			t.Fatalf("OnRecord[%d] = %s, want %s", i, seen[i].ID, u.ID)
+		}
+	}
+
+	// A duplicate report (retried POST) is acknowledged but never re-fires.
+	if _, err := co.Complete(l.ID, "w1", recordsFor(l.Units)); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(l.Units) {
+		t.Fatalf("duplicate report re-fired OnRecord: %d calls, want %d", len(seen), len(l.Units))
+	}
+}

@@ -1,0 +1,195 @@
+package expt_test
+
+// Edge-case pins for the report layer, cross-checked against the results
+// warehouse's server-side statistics (internal/store/analyze): the same
+// records must yield the same headline numbers whether summarized in-process
+// by expt.Summarize or recomputed from a store snapshot. An external test
+// package breaks the import cycle (analyze → campaign → expt).
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/expt"
+	"sdcgmres/internal/store"
+	"sdcgmres/internal/store/analyze"
+)
+
+var (
+	edgeOnce sync.Once
+	edgeCmp  *campaign.Compiled
+	edgeErr  error
+)
+
+// edgeCompiled calibrates one poisson 8×8 campaign (stride 3 → 10 sites).
+func edgeCompiled(t *testing.T) *campaign.Compiled {
+	t.Helper()
+	edgeOnce.Do(func() {
+		edgeCmp, edgeErr = campaign.Compile(campaign.Manifest{
+			Name:     "edge-test",
+			Problems: []campaign.ProblemSpec{{Kind: "poisson", N: 8, InnerIters: 6, TargetOuter: 5}},
+			Models:   []string{"slight"},
+			Steps:    []string{"first"},
+			Stride:   3,
+		})
+	})
+	if edgeErr != nil {
+		t.Fatalf("compile: %v", edgeErr)
+	}
+	return edgeCmp
+}
+
+func edgeConfig(t *testing.T, c *campaign.Compiled) expt.SweepConfig {
+	t.Helper()
+	cfg, err := c.SweepConfig(c.Units[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestWriteSweepCSVEmptySweep(t *testing.T) {
+	c := edgeCompiled(t)
+	cfg := edgeConfig(t, c)
+	var buf bytes.Buffer
+	if err := expt.WriteSweepCSV(&buf, "poisson-8x8", cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "problem,model,step,detector,") {
+		t.Fatalf("empty sweep CSV must be header-only:\n%s", buf.String())
+	}
+}
+
+// TestSummarizeEmptySweep pins the zero-points degenerate case: counts are
+// all zero and the worst-case penalty reads as the full negative baseline
+// (MaxOuter 0 against a nonzero failure-free count) — callers treat a
+// zero-point summary as "no data", not as an improvement.
+func TestSummarizeEmptySweep(t *testing.T) {
+	c := edgeCompiled(t)
+	cfg := edgeConfig(t, c)
+	p := &expt.Problem{Name: "empty", FailureFreeOuter: 5}
+	s := expt.Summarize(p, cfg, nil)
+	if s.Points != 0 || s.Detected != 0 || s.NotConverged != 0 || s.SilentFailures != 0 || s.Unaffected != 0 {
+		t.Fatalf("empty summary counts: %+v", s)
+	}
+	if s.MaxOuter != 0 || s.MaxExtraOuter != -5 || s.PctWorstIncrease != -100 {
+		t.Fatalf("empty summary extremes: %+v", s)
+	}
+}
+
+// TestSummarizeSingleUnit compares the one-record path on both sides: the
+// in-process summary and the warehouse stats computed from the same single
+// record, including the degenerate (width-zero) bootstrap interval.
+func TestSummarizeSingleUnit(t *testing.T) {
+	compiled, err := campaign.Compile(campaign.Manifest{
+		Name:     "edge-single",
+		Problems: []campaign.ProblemSpec{{Kind: "poisson", N: 8, InnerIters: 6, TargetOuter: 5}},
+		Models:   []string{"slight"},
+		Steps:    []string{"first"},
+		Stride:   30, // grid has 30 sites, so stride 30 leaves exactly site 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compiled.Units) != 1 {
+		t.Fatalf("single-unit campaign has %d units", len(compiled.Units))
+	}
+	u := compiled.Units[0]
+	rec := campaign.Record{ID: u.ID, Unit: u, Outcome: campaign.OutcomeOK}
+	rec.Point = expt.SweepPoint{AggregateInner: u.Site, OuterIters: 7, Converged: true, Detections: 1, FaultFired: true}
+
+	p := &expt.Problem{Name: "poisson-8x8", FailureFreeOuter: 5}
+	sum := expt.Summarize(p, edgeConfig(t, compiled), []expt.SweepPoint{rec.Point})
+	if sum.Points != 1 || sum.MaxExtraOuter != 2 || sum.Detected != 1 {
+		t.Fatalf("single-unit summary: %+v", sum)
+	}
+
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Ingest("edge-single", rec); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := analyze.Campaign(st.Snapshot(), "edge-single")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Series) != 1 {
+		t.Fatalf("series: %d", len(cs.Series))
+	}
+	ss := cs.Series[0]
+	// One present site cannot reveal the sweep stride, so the grid
+	// reconstruction falls back to stride 1: the full 30-site grid with 29
+	// holes — conservative, never inventing completeness.
+	if ss.Sites != 30 || ss.Missing != 29 {
+		t.Fatalf("store-side grid: %+v", ss)
+	}
+	if ss.Extra.Max != sum.MaxExtraOuter || ss.WorstPctIncrease != sum.PctWorstIncrease {
+		t.Fatalf("store %+v disagrees with summary %+v", ss, sum)
+	}
+	if ss.Confusion.TruePositives != sum.Detected {
+		t.Fatalf("detected: store %d, summary %d", ss.Confusion.TruePositives, sum.Detected)
+	}
+	// One sample: the bootstrap interval collapses onto the point.
+	ci := ss.MeanExtraCI
+	if ci.Low != ci.Point || ci.High != ci.Point || ci.Point != float64(sum.MaxExtraOuter) {
+		t.Fatalf("single-sample CI not degenerate: %+v", ci)
+	}
+}
+
+// TestSummarizeAllDetected pins the every-fault-caught sweep on both sides:
+// Detected equals Points in the summary, and the warehouse confusion matrix
+// reads perfect recall and precision with an empty negative column.
+func TestSummarizeAllDetected(t *testing.T) {
+	c := edgeCompiled(t)
+	points := make([]expt.SweepPoint, 0, len(c.Units))
+	recs := make(map[string]campaign.Record, len(c.Units))
+	for _, u := range c.Units {
+		pt := expt.SweepPoint{
+			AggregateInner: u.Site,
+			OuterIters:     5 + u.Site%2,
+			Converged:      true,
+			Detections:     1 + u.Site%2,
+			FaultFired:     true,
+		}
+		points = append(points, pt)
+		recs[u.ID] = campaign.Record{ID: u.ID, Unit: u, Point: pt, Outcome: campaign.OutcomeOK}
+	}
+	p := &expt.Problem{Name: "poisson-8x8", FailureFreeOuter: 5}
+	sum := expt.Summarize(p, edgeConfig(t, c), points)
+	if sum.Detected != sum.Points || sum.Points != len(c.Units) {
+		t.Fatalf("all-detected summary: %+v", sum)
+	}
+
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.IngestAll("edge-test", recs); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := analyze.Campaign(st.Snapshot(), "edge-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := cs.Series[0].Confusion
+	if conf.TruePositives != len(c.Units) || conf.FalseNegatives != 0 ||
+		conf.FalsePositives != 0 || conf.TrueNegatives != 0 {
+		t.Fatalf("confusion: %+v", conf)
+	}
+	if conf.Recall != 1 || conf.Precision != 1 || conf.FallOut != 0 {
+		t.Fatalf("confusion rates: %+v", conf)
+	}
+	// The summary's worst-case percent and the store's must agree exactly.
+	if math.Abs(cs.Series[0].WorstPctIncrease-sum.PctWorstIncrease) > 1e-12 {
+		t.Fatalf("worst%%: store %v, summary %v", cs.Series[0].WorstPctIncrease, sum.PctWorstIncrease)
+	}
+}

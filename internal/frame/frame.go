@@ -1,0 +1,162 @@
+// Package frame implements per-record CRC32C framing shared by the
+// campaign journal (text lines) and the results store (binary segments).
+// Both formats carry the same guarantee: a record that reads back did so
+// bit-exactly, and a torn or corrupted tail — the footprint of a crash
+// mid-append or a disk scribble on the last block — is detectable and
+// truncatable without guessing at record boundaries.
+package frame
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on
+// amd64/arm64, and the checksum every journaling store seems to settle on).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of p.
+func Checksum(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
+
+// Framing errors.
+var (
+	// ErrCorrupt: a framed record's payload does not match its checksum.
+	ErrCorrupt = errors.New("frame: checksum mismatch")
+	// ErrTorn: a binary stream ends mid-frame (short header, short payload,
+	// or a trailing checksum mismatch) — the callers' cue to truncate at
+	// ValidBytes.
+	ErrTorn = errors.New("frame: torn trailing record")
+	// ErrTooLarge: a binary frame header claims a payload over MaxRecord.
+	ErrTooLarge = errors.New("frame: record exceeds size cap")
+)
+
+// ---------------------------------------------------------------------------
+// Text-line framing (the campaign journal)
+//
+// A framed line is "xxxxxxxx <payload>\n": eight lowercase hex CRC32C digits
+// of the payload, one space, the payload itself. Unframed lines (legacy
+// journals, whose payloads begin with '{') parse through unchanged, so old
+// journals stay readable.
+
+// lineCRCLen is the hex checksum width of a framed line.
+const lineCRCLen = 8
+
+// AppendLine appends payload to dst as one framed journal line, newline
+// included, and returns the extended slice.
+func AppendLine(dst, payload []byte) []byte {
+	var hexDigits [lineCRCLen]byte
+	sum := Checksum(payload)
+	for i := lineCRCLen - 1; i >= 0; i-- {
+		hexDigits[i] = "0123456789abcdef"[sum&0xf]
+		sum >>= 4
+	}
+	dst = append(dst, hexDigits[:]...)
+	dst = append(dst, ' ')
+	dst = append(dst, payload...)
+	return append(dst, '\n')
+}
+
+// ParseLine splits one journal line (without its newline) into its payload.
+// framed reports whether the line carried a checksum; err is ErrCorrupt when
+// a framed payload fails verification. Lines that do not look framed are
+// returned verbatim with framed == false — the legacy-format path.
+func ParseLine(line []byte) (payload []byte, framed bool, err error) {
+	if len(line) < lineCRCLen+1 || line[lineCRCLen] != ' ' {
+		return line, false, nil
+	}
+	var sum uint32
+	for _, c := range line[:lineCRCLen] {
+		switch {
+		case c >= '0' && c <= '9':
+			sum = sum<<4 | uint32(c-'0')
+		case c >= 'a' && c <= 'f':
+			sum = sum<<4 | uint32(c-'a'+10)
+		default:
+			return line, false, nil
+		}
+	}
+	payload = line[lineCRCLen+1:]
+	if Checksum(payload) != sum {
+		return nil, true, ErrCorrupt
+	}
+	return payload, true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Binary framing (the results store's segment log)
+//
+// A frame is [payload length: uint32 LE][CRC32C(payload): uint32 LE][payload].
+
+// headerLen is the binary frame header size.
+const headerLen = 8
+
+// MaxRecord caps one binary frame's payload. A campaign record marshals to
+// a few hundred bytes; the cap only exists so a corrupt length field cannot
+// drive a giant allocation.
+const MaxRecord = 16 << 20
+
+// WriteRecord writes payload as one binary frame and returns the bytes
+// written.
+func WriteRecord(w io.Writer, payload []byte) (int, error) {
+	if len(payload) > MaxRecord {
+		return 0, ErrTooLarge
+	}
+	var hdr [headerLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], Checksum(payload))
+	if n, err := w.Write(hdr[:]); err != nil {
+		return n, err
+	}
+	n, err := w.Write(payload)
+	return headerLen + n, err
+}
+
+// EncodedLen returns the on-disk size of one binary frame.
+func EncodedLen(payload []byte) int64 { return int64(headerLen + len(payload)) }
+
+// Reader decodes a stream of binary frames, tracking the offset just past
+// the last frame that verified — the truncation point for a torn tail.
+type Reader struct {
+	br    *bufio.Reader
+	valid int64
+}
+
+// NewReader wraps r for frame decoding.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// ValidBytes returns the stream offset just past the last verified frame.
+func (fr *Reader) ValidBytes() int64 { return fr.valid }
+
+// Next returns the next frame's payload. It returns io.EOF at a clean end
+// of stream, ErrTorn when the stream ends mid-frame or the trailing frame
+// fails its checksum, and ErrTooLarge for an implausible length header.
+// The returned slice is freshly allocated and owned by the caller.
+func (fr *Reader) Next() ([]byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, ErrTorn // short header
+	}
+	size := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if size > MaxRecord {
+		return nil, fmt.Errorf("%w (%d bytes)", ErrTooLarge, size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(fr.br, payload); err != nil {
+		return nil, ErrTorn // short payload
+	}
+	if Checksum(payload) != want {
+		return nil, ErrTorn
+	}
+	fr.valid += EncodedLen(payload)
+	return payload, nil
+}

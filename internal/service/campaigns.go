@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/store"
 	"sdcgmres/internal/trace"
 )
 
@@ -115,6 +116,12 @@ type CampaignManagerConfig struct {
 	// sandbox outcomes, queryable via Trace. Tracing never changes what a
 	// campaign journals. Zero disables it.
 	TraceCapacity int
+	// Store, when non-nil, receives every campaign record keyed by the
+	// campaign's name: the journal's record set on resume, then each fresh
+	// record as it lands. Ingest is idempotent (content-derived IDs), so
+	// the resume replay plus the live feed never double-count. The journal
+	// stays authoritative — a store error is counted, not fatal.
+	Store *store.Store
 }
 
 // CampaignManager runs durable fault-injection campaigns inside the daemon:
@@ -230,12 +237,27 @@ func (m *CampaignManager) execute(ctx context.Context, c *managedCampaign) {
 	}
 	defer j.Close()
 
+	storeName := c.manifest.Name
+	if m.cfg.Store != nil {
+		// Backfill the warehouse with what the journal already holds (the
+		// resume path). Re-running a finished campaign replays everything;
+		// content-derived IDs make that a no-op.
+		if _, err := m.cfg.Store.IngestAll(storeName, have); err != nil {
+			met.StoreIngestErrors.Inc()
+		}
+	}
+
 	runner := campaign.NewRunner(compiled, j, have, campaign.Options{
 		Workers: m.cfg.Workers,
 		OnRecord: func(rec campaign.Record) {
 			met.CampaignUnitsExecuted.Inc()
 			if rec.Outcome != campaign.OutcomeOK {
 				met.CampaignUnitsFailed.Inc()
+			}
+			if m.cfg.Store != nil {
+				if _, err := m.cfg.Store.Ingest(storeName, rec); err != nil {
+					met.StoreIngestErrors.Inc()
+				}
 			}
 		},
 		OnSkip:   func(campaign.Unit) { met.CampaignUnitsSkipped.Inc() },

@@ -117,6 +117,9 @@ type Metrics struct {
 	CampaignUnitsExecuted Counter
 	CampaignUnitsSkipped  Counter
 	CampaignUnitsFailed   Counter
+	// StoreIngestErrors counts records the results store failed to absorb
+	// (the journal stays authoritative; these flag warehouse divergence).
+	StoreIngestErrors Counter
 
 	mu    sync.Mutex
 	solve map[string]*Histogram // per solver kind
@@ -167,6 +170,7 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"campaign_units_executed": m.CampaignUnitsExecuted.Value(),
 		"campaign_units_skipped":  m.CampaignUnitsSkipped.Value(),
 		"campaign_units_failed":   m.CampaignUnitsFailed.Value(),
+		"store_ingest_errors":     m.StoreIngestErrors.Value(),
 	}
 }
 
@@ -193,6 +197,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		{"solved_campaign_units_executed_total", "Campaign units executed (not resumed from a journal).", &m.CampaignUnitsExecuted},
 		{"solved_campaign_units_skipped_total", "Campaign units satisfied by a journal on resume.", &m.CampaignUnitsSkipped},
 		{"solved_campaign_units_failed_total", "Campaign units journaled as failed or timed out.", &m.CampaignUnitsFailed},
+		{"solved_store_ingest_errors_total", "Records the results store failed to absorb.", &m.StoreIngestErrors},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.c.Value())

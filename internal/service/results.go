@@ -1,0 +1,124 @@
+package service
+
+import (
+	"compress/gzip"
+	"net/http"
+	"strings"
+
+	"sdcgmres/internal/store"
+	"sdcgmres/internal/store/analyze"
+)
+
+// maxQueryLimit caps one results page; clients page with offset/limit.
+const maxQueryLimit = 10000
+
+// defaultQueryLimit applies when a query names no limit, so an unbounded
+// scrape cannot accidentally serialize a million-record store.
+const defaultQueryLimit = 1000
+
+// gzipResponseWriter routes the body through a gzip stream while headers
+// and status pass straight to the wrapped writer.
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	gz *gzip.Writer
+}
+
+func (g *gzipResponseWriter) Write(p []byte) (int, error) { return g.gz.Write(p) }
+
+// negotiateGzip wraps w in a gzip encoder when the request advertises
+// Accept-Encoding: gzip. The returned finish func must run after the
+// handler writes its body (flushes the stream); it is a no-op when no
+// encoding was negotiated.
+func negotiateGzip(w http.ResponseWriter, r *http.Request) (http.ResponseWriter, func()) {
+	accepts := false
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc := strings.TrimSpace(part)
+		if semi := strings.IndexByte(enc, ';'); semi >= 0 {
+			// A quality value of 0 is a refusal ("gzip;q=0").
+			q := strings.TrimSpace(enc[semi+1:])
+			enc = strings.TrimSpace(enc[:semi])
+			if q == "q=0" || strings.HasPrefix(q, "q=0.0") {
+				continue
+			}
+		}
+		if enc == "gzip" || enc == "*" {
+			accepts = true
+			break
+		}
+	}
+	if !accepts {
+		return w, func() {}
+	}
+	w.Header().Set("Content-Encoding", "gzip")
+	w.Header().Add("Vary", "Accept-Encoding")
+	gz := gzip.NewWriter(w)
+	return &gzipResponseWriter{ResponseWriter: w, gz: gz}, func() { _ = gz.Close() }
+}
+
+// resolveCampaignName maps a /v1/campaigns/{id} path element to a store
+// campaign name: manager IDs ("cmp-000001") resolve to their manifest's
+// name; anything else is taken as a store campaign name directly — which
+// is how fleet-executed campaigns (ingested by a coordinator, never
+// submitted over HTTP) stay queryable.
+func (s *Server) resolveCampaignName(id string) string {
+	if s.opts.Campaigns != nil {
+		if view, ok := s.opts.Campaigns.Campaign(id); ok {
+			return view.Name
+		}
+	}
+	return id
+}
+
+// handleResultsQuery serves POST /v1/results/query: a store.Query in, a
+// snapshot-consistent page of records out.
+func (s *Server) handleResultsQuery(w http.ResponseWriter, r *http.Request) {
+	var q store.Query
+	if !s.decodeBody(w, r, "results query", &q) {
+		return
+	}
+	if q.Limit <= 0 {
+		q.Limit = defaultQueryLimit
+	}
+	if q.Limit > maxQueryLimit {
+		q.Limit = maxQueryLimit
+	}
+	if q.Campaign != "" {
+		q.Campaign = s.resolveCampaignName(q.Campaign)
+	}
+	gw, finish := negotiateGzip(w, r)
+	defer finish()
+	writeJSON(gw, http.StatusOK, s.opts.Store.Snapshot().Query(q))
+}
+
+// campaignStatsResponse is the GET /v1/campaigns/{id}/stats payload.
+type campaignStatsResponse struct {
+	Stats *analyze.CampaignStats `json:"stats"`
+	// Diff compares this campaign against the ?diff= baseline campaign
+	// (regressions = this campaign is significantly slower).
+	Diff *analyze.Diff `json:"diff,omitempty"`
+}
+
+// handleCampaignStats serves the server-side paper statistics for one
+// campaign, computed from a single store snapshot. With ?diff=<campaign>,
+// the response also carries a statistical comparison against that baseline.
+func (s *Server) handleCampaignStats(w http.ResponseWriter, r *http.Request) {
+	name := s.resolveCampaignName(r.PathValue("id"))
+	sn := s.opts.Store.Snapshot()
+	stats, err := analyze.Campaign(sn, name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	resp := campaignStatsResponse{Stats: stats}
+	if base := r.URL.Query().Get("diff"); base != "" {
+		d, err := analyze.DiffCampaigns(sn, s.resolveCampaignName(base), name)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		resp.Diff = d
+	}
+	gw, finish := negotiateGzip(w, r)
+	defer finish()
+	writeJSON(gw, http.StatusOK, resp)
+}

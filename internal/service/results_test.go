@@ -1,0 +1,435 @@
+package service
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/expt"
+	"sdcgmres/internal/store"
+	"sdcgmres/internal/store/analyze"
+	"sdcgmres/internal/trace"
+)
+
+// resultsCompiled calibrates the shared results-endpoint campaign once per
+// binary: poisson 8×8, one model, one step, stride 3 — 10 units.
+var (
+	resultsOnce sync.Once
+	resultsCmp  *campaign.Compiled
+	resultsErr  error
+)
+
+func resultsCompiled(t *testing.T) *campaign.Compiled {
+	t.Helper()
+	resultsOnce.Do(func() {
+		resultsCmp, resultsErr = campaign.Compile(campaign.Manifest{
+			Name:     "results-test",
+			Problems: []campaign.ProblemSpec{{Kind: "poisson", N: 8, InnerIters: 6, TargetOuter: 5}},
+			Models:   []string{"slight"},
+			Steps:    []string{"first"},
+			Stride:   3,
+		})
+	})
+	if resultsErr != nil {
+		t.Fatalf("compile: %v", resultsErr)
+	}
+	return resultsCmp
+}
+
+// fabricate builds a valid record for each compiled unit with outer-iteration
+// overhead extra above the converged baseline.
+func fabricate(c *campaign.Compiled, extra int) map[string]campaign.Record {
+	recs := make(map[string]campaign.Record, len(c.Units))
+	for _, u := range c.Units {
+		recs[u.ID] = campaign.Record{
+			ID:   u.ID,
+			Unit: u,
+			Point: expt.SweepPoint{
+				AggregateInner: u.Site,
+				OuterIters:     5 + extra + u.Site%2,
+				Converged:      true,
+				Detections:     u.Site % 2,
+				FaultFired:     true,
+			},
+			Outcome:   campaign.OutcomeOK,
+			ElapsedMS: 1,
+		}
+	}
+	return recs
+}
+
+// resultsServer mounts the production server over a store pre-loaded with
+// the fabricated campaign (and a +2-outer-slower copy under another name for
+// diff queries).
+func resultsServer(t *testing.T) (*httptest.Server, *store.Store) {
+	t.Helper()
+	c := resultsCompiled(t)
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if _, err := st.IngestAll("results-test", fabricate(c, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.IngestAll("results-slow", fabricate(c, 2)); err != nil {
+		t.Fatal(err)
+	}
+	engine := NewEngine(Config{Workers: 1, DefaultBudget: time.Minute})
+	engine.Start()
+	t.Cleanup(func() { engine.Shutdown(context.Background()) })
+	ts := httptest.NewServer(NewServer(engine, ServerOptions{Store: st}))
+	t.Cleanup(ts.Close)
+	return ts, st
+}
+
+// postQuery POSTs a results query and decodes the page. Accept-Encoding is
+// left to the default Go client (transparent gzip), so handlers are
+// exercised through the compressed path and the tests still see plain JSON.
+func postQuery(t *testing.T, url string, q store.Query) store.QueryResult {
+	t.Helper()
+	body, _ := json.Marshal(q)
+	resp, err := http.Post(url+"/v1/results/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("query: status %d: %s", resp.StatusCode, raw)
+	}
+	var res store.QueryResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestResultsQueryEndpoint(t *testing.T) {
+	ts, _ := resultsServer(t)
+	c := resultsCompiled(t)
+
+	res := postQuery(t, ts.URL, store.Query{Campaign: "results-test"})
+	if res.Total != len(c.Units) || len(res.Records) != len(c.Units) {
+		t.Fatalf("full page: total %d records %d, want %d", res.Total, len(res.Records), len(c.Units))
+	}
+	for i := 1; i < len(res.Records); i++ {
+		if res.Records[i].Record.Unit.Site <= res.Records[i-1].Record.Unit.Site {
+			t.Fatalf("records not site-ordered at %d", i)
+		}
+	}
+
+	// Pagination: limit bounds the page, Total still counts everything.
+	page := postQuery(t, ts.URL, store.Query{Campaign: "results-test", Limit: 3})
+	if page.Total != len(c.Units) || len(page.Records) != 3 {
+		t.Fatalf("limited page: total %d records %d", page.Total, len(page.Records))
+	}
+	rest := postQuery(t, ts.URL, store.Query{Campaign: "results-test", Offset: 3, Limit: 1000})
+	if len(page.Records)+len(rest.Records) != len(c.Units) {
+		t.Fatalf("offset page: %d + %d != %d", len(page.Records), len(rest.Records), len(c.Units))
+	}
+
+	// Site-range filter.
+	ranged := postQuery(t, ts.URL, store.Query{Campaign: "results-test", SiteMin: 4, SiteMax: 10})
+	for _, r := range ranged.Records {
+		if r.Record.Unit.Site < 4 || r.Record.Unit.Site > 10 {
+			t.Fatalf("site filter leaked site %d", r.Record.Unit.Site)
+		}
+	}
+	if ranged.Total == 0 || ranged.Total == len(c.Units) {
+		t.Fatalf("site filter total %d", ranged.Total)
+	}
+
+	// No campaign filter: both campaigns' records.
+	all := postQuery(t, ts.URL, store.Query{})
+	if all.Total != 2*len(c.Units) {
+		t.Fatalf("unfiltered total %d, want %d", all.Total, 2*len(c.Units))
+	}
+
+	// Unknown campaign: empty page, not an error.
+	if res := postQuery(t, ts.URL, store.Query{Campaign: "nope"}); res.Total != 0 {
+		t.Fatalf("unknown campaign total %d", res.Total)
+	}
+
+	// Malformed body: 400.
+	resp, err := http.Post(ts.URL+"/v1/results/query", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed query: status %d", resp.StatusCode)
+	}
+}
+
+// TestResultsQueryGzip pins the negotiated encoding: an explicit
+// Accept-Encoding: gzip gets a gzip body with the right headers, a q=0
+// refusal gets identity, and both decode to the same page.
+func TestResultsQueryGzip(t *testing.T) {
+	ts, _ := resultsServer(t)
+	body, _ := json.Marshal(store.Query{Campaign: "results-test"})
+	// DisableCompression stops the transport from transparently gunzipping,
+	// so the test sees the wire encoding.
+	client := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+
+	fetch := func(accept string) (*http.Response, []byte) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/results/query", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if accept != "" {
+			req.Header.Set("Accept-Encoding", accept)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, raw
+	}
+
+	resp, raw := fetch("gzip")
+	if resp.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("Content-Encoding %q, want gzip", resp.Header.Get("Content-Encoding"))
+	}
+	if !strings.Contains(resp.Header.Get("Vary"), "Accept-Encoding") {
+		t.Fatalf("Vary %q lacks Accept-Encoding", resp.Header.Get("Vary"))
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("body not gzip: %v", err)
+	}
+	plain, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gzres store.QueryResult
+	if err := json.Unmarshal(plain, &gzres); err != nil {
+		t.Fatalf("decoded gzip body invalid: %v", err)
+	}
+
+	resp, raw = fetch("gzip;q=0")
+	if enc := resp.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("q=0 still encoded %q", enc)
+	}
+	var idres store.QueryResult
+	if err := json.Unmarshal(raw, &idres); err != nil {
+		t.Fatalf("identity body invalid: %v", err)
+	}
+	if gzres.Total != idres.Total || len(gzres.Records) != len(idres.Records) {
+		t.Fatalf("gzip page != identity page: %d/%d vs %d/%d",
+			gzres.Total, len(gzres.Records), idres.Total, len(idres.Records))
+	}
+}
+
+func TestCampaignStatsEndpoint(t *testing.T) {
+	ts, _ := resultsServer(t)
+	c := resultsCompiled(t)
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, raw
+	}
+
+	resp, raw := get("/v1/campaigns/results-test/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d: %s", resp.StatusCode, raw)
+	}
+	var sr struct {
+		Stats *analyze.CampaignStats `json:"stats"`
+		Diff  *analyze.Diff          `json:"diff"`
+	}
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Stats == nil || sr.Stats.Records != len(c.Units) || len(sr.Stats.Series) != 1 {
+		t.Fatalf("stats payload: %+v", sr.Stats)
+	}
+	if sr.Diff != nil {
+		t.Fatal("diff present without ?diff")
+	}
+
+	// ?diff=: results-slow runs +2 outers over the same sites, so the
+	// comparison must flag this campaign direction correctly — slow vs base
+	// regresses, base vs slow does not.
+	resp, raw = get("/v1/campaigns/results-slow/stats?diff=results-test")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff stats: status %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Diff == nil || sr.Diff.Regressions == 0 {
+		t.Fatalf("slow-vs-base diff found no regressions: %+v", sr.Diff)
+	}
+	resp, raw = get("/v1/campaigns/results-test/stats?diff=results-slow")
+	if err := json.Unmarshal(raw, &sr); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("base-vs-slow: status %d err %v", resp.StatusCode, err)
+	}
+	if sr.Diff == nil || sr.Diff.Regressions != 0 {
+		t.Fatalf("base-vs-slow diff claims regressions: %+v", sr.Diff)
+	}
+
+	if resp, _ := get("/v1/campaigns/no-such-campaign/stats"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown campaign: status %d", resp.StatusCode)
+	}
+	if resp, _ := get("/v1/campaigns/results-test/stats?diff=no-such-campaign"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown diff baseline: status %d", resp.StatusCode)
+	}
+}
+
+// TestStoreOffEndpointsAbsent pins that a server without a store serves 404
+// for the results routes instead of panicking on a nil store.
+func TestStoreOffEndpointsAbsent(t *testing.T) {
+	engine := NewEngine(Config{Workers: 1, DefaultBudget: time.Minute})
+	engine.Start()
+	defer engine.Shutdown(context.Background())
+	ts := httptest.NewServer(NewServer(engine, ServerOptions{}))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/results/query", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("query without store: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/campaigns/x/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stats without store: status %d", resp.StatusCode)
+	}
+}
+
+// TestCampaignManagerStoreWiring runs a real campaign through the manager
+// with a store attached: every executed record lands in the warehouse, the
+// stats endpoint resolves the manager ID to the manifest name, and a resumed
+// (fully-skipped) rerun backfills idempotently.
+func TestCampaignManagerStoreWiring(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	met := NewMetrics()
+	m := NewCampaignManager(CampaignManagerConfig{Dir: t.TempDir(), Workers: 2, Metrics: met, Store: st})
+	defer m.Shutdown(context.Background())
+
+	v, err := m.Submit(testCampaignManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitCampaignTerminal(t, m, v.ID)
+	if final.State != CampaignDone {
+		t.Fatalf("campaign finished %q (%s)", final.State, final.Error)
+	}
+	if got := st.Stats().Records; got != final.Progress.Total {
+		t.Fatalf("store holds %d records, campaign ran %d units", got, final.Progress.Total)
+	}
+	if met.StoreIngestErrors.Value() != 0 {
+		t.Fatalf("store ingest errors: %d", met.StoreIngestErrors.Value())
+	}
+
+	// Resume path: the rerun executes nothing; IngestAll replays the journal
+	// into the store, which dedups every record.
+	v2, err := m.Submit(testCampaignManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	final2 := waitCampaignTerminal(t, m, v2.ID)
+	if final2.Progress.Executed != 0 {
+		t.Fatalf("rerun executed %d units", final2.Progress.Executed)
+	}
+	ss := st.Stats()
+	if ss.Records != final.Progress.Total || ss.DupDropped != int64(final.Progress.Total) {
+		t.Fatalf("backfill not idempotent: %+v", ss)
+	}
+
+	// The stats endpoint accepts the manager ID and the manifest name alike.
+	engine := NewEngine(Config{Workers: 1, DefaultBudget: time.Minute})
+	engine.Start()
+	defer engine.Shutdown(context.Background())
+	ts := httptest.NewServer(NewServer(engine, ServerOptions{Campaigns: m, Store: st}))
+	defer ts.Close()
+	for _, id := range []string{v.ID, testCampaignManifest().Name} {
+		resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr struct {
+			Stats *analyze.CampaignStats `json:"stats"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || err != nil {
+			t.Fatalf("stats via %q: status %d err %v", id, resp.StatusCode, err)
+		}
+		if sr.Stats == nil || sr.Stats.Records != final.Progress.Total {
+			t.Fatalf("stats via %q: %+v", id, sr.Stats)
+		}
+	}
+}
+
+// TestTraceGzipEncoding pins gzip negotiation on the flight-recorder
+// endpoints: the JSONL trace arrives gzip-encoded when asked for and still
+// parses event for event.
+func TestTraceGzipEncoding(t *testing.T) {
+	engine := NewEngine(Config{Workers: 1, DefaultBudget: time.Minute, TraceCapacity: 1 << 12})
+	engine.Start()
+	defer engine.Shutdown(context.Background())
+	ts := httptest.NewServer(NewServer(engine, ServerOptions{}))
+	defer ts.Close()
+
+	resp, view := postJob(t, ts.URL, PoissonJob(8))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	waitJobHTTP(t, ts.URL, view.ID, 30*time.Second)
+
+	client := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+view.ID+"/trace", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	r, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || r.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("trace: status %d encoding %q", r.StatusCode, r.Header.Get("Content-Encoding"))
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("trace body not gzip: %v", err)
+	}
+	plain, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadJSONL(bytes.NewReader(plain))
+	if err != nil || len(events) == 0 {
+		t.Fatalf("gunzipped trace unparseable: %v (%d events)", err, len(events))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http/pprof"
 
 	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/store"
 	"sdcgmres/internal/trace"
 )
 
@@ -35,6 +36,10 @@ type ServerOptions struct {
 	// ExtraMetrics are appended to GET /metrics after the engine registry
 	// (e.g. the dist coordinator's lease counters).
 	ExtraMetrics []func(io.Writer)
+	// Store, when non-nil, mounts the results-warehouse API
+	// (POST /v1/results/query, GET /v1/campaigns/{id}/stats) and appends
+	// the store gauges to GET /metrics.
+	Store *store.Store
 }
 
 // Server exposes an Engine over HTTP:
@@ -55,6 +60,14 @@ type ServerOptions struct {
 //	GET    /v1/campaigns/{id} campaign status/progress   → 200 CampaignView | 404
 //	GET    /v1/campaigns/{id}/trace flight-recorder stream (?format=jsonl|chrome) → 200 | 400 | 404
 //	DELETE /v1/campaigns/{id} cancel (journal survives)  → 200 CampaignView | 404 | 409
+//
+// and, when a results store is configured:
+//
+//	POST   /v1/results/query          store.Query → 200 store.QueryResult | 400
+//	GET    /v1/campaigns/{id}/stats   server-side paper statistics (?diff=<campaign> adds a comparison) → 200 | 404
+//
+// The results and trace endpoints negotiate gzip response encoding via
+// Accept-Encoding.
 type Server struct {
 	engine *Engine
 	opts   ServerOptions
@@ -80,6 +93,10 @@ func NewServer(engine *Engine, opts ServerOptions) *Server {
 		s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
 		s.mux.HandleFunc("GET /v1/campaigns/{id}/trace", s.handleCampaignTrace)
 		s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
+	}
+	if opts.Store != nil {
+		s.mux.HandleFunc("POST /v1/results/query", s.handleResultsQuery)
+		s.mux.HandleFunc("GET /v1/campaigns/{id}/stats", s.handleCampaignStats)
 	}
 	if opts.Dist != nil {
 		s.mux.Handle("/v1/dist/", opts.Dist)
@@ -236,12 +253,16 @@ func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	events, err := s.engine.JobTrace(r.PathValue("id"))
-	writeTrace(w, r, events, err)
+	gw, finish := negotiateGzip(w, r)
+	defer finish()
+	writeTrace(gw, r, events, err)
 }
 
 func (s *Server) handleCampaignTrace(w http.ResponseWriter, r *http.Request) {
 	events, err := s.opts.Campaigns.Trace(r.PathValue("id"))
-	writeTrace(w, r, events, err)
+	gw, finish := negotiateGzip(w, r)
+	defer finish()
+	writeTrace(gw, r, events, err)
 }
 
 // writeTrace serves a flight-recorder stream. ?format=jsonl (the default)
@@ -272,6 +293,9 @@ func writeTrace(w http.ResponseWriter, r *http.Request, events []trace.Event, er
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.engine.Metrics().WritePrometheus(w)
+	if s.opts.Store != nil {
+		s.opts.Store.WritePrometheus(w)
+	}
 	for _, extra := range s.opts.ExtraMetrics {
 		extra(w)
 	}

@@ -1,0 +1,365 @@
+// Package analyze computes the paper's Section VII statistics server-side,
+// straight from a results-store snapshot: detector confusion matrices,
+// outer-iteration-overhead quantiles and histograms per fault class,
+// per-site impact heatmaps over the (inner iteration × MGS step) grid, and
+// bootstrap confidence intervals — plus a campaign diff that flags
+// statistically significant regressions between two runs.
+//
+// Everything here is derived from journaled unit fields alone (the problem
+// key carries the failure-free outer count and inner geometry), so a store
+// is self-sufficient: no manifest, no recalibration, no solver in the loop.
+package analyze
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/frame"
+	"sdcgmres/internal/store"
+)
+
+// Confusion is a detector confusion matrix over one record set. Positives
+// are experiments whose injected fault actually struck (FaultFired).
+type Confusion struct {
+	// TruePositives: fault struck, detector fired (detected).
+	TruePositives int `json:"true_positives"`
+	// FalseNegatives: fault struck, detector silent (missed).
+	FalseNegatives int `json:"false_negatives"`
+	// FalsePositives: no fault struck, detector fired anyway.
+	FalsePositives int `json:"false_positives"`
+	// TrueNegatives: no fault, no alarm.
+	TrueNegatives int `json:"true_negatives"`
+	// Recall = TP/(TP+FN); Precision = TP/(TP+FP); FallOut = FP/(FP+TN).
+	Recall    float64 `json:"recall"`
+	Precision float64 `json:"precision"`
+	FallOut   float64 `json:"fall_out"`
+}
+
+func (c *Confusion) add(faultFired bool, detections int) {
+	switch {
+	case faultFired && detections > 0:
+		c.TruePositives++
+	case faultFired:
+		c.FalseNegatives++
+	case detections > 0:
+		c.FalsePositives++
+	default:
+		c.TrueNegatives++
+	}
+}
+
+func (c *Confusion) finish() {
+	c.Recall = ratio(c.TruePositives, c.TruePositives+c.FalseNegatives)
+	c.Precision = ratio(c.TruePositives, c.TruePositives+c.FalsePositives)
+	c.FallOut = ratio(c.FalsePositives, c.FalsePositives+c.TrueNegatives)
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Quantiles summarizes an integer sample.
+type Quantiles struct {
+	Count int     `json:"count"`
+	Min   int     `json:"min"`
+	P25   int     `json:"p25"`
+	P50   int     `json:"p50"`
+	P90   int     `json:"p90"`
+	P99   int     `json:"p99"`
+	Max   int     `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// HistBin is one bar of a value histogram.
+type HistBin struct {
+	Value int `json:"value"`
+	Count int `json:"count"`
+}
+
+// CI is a bootstrap confidence interval around a point estimate.
+type CI struct {
+	// Point is the sample statistic (here: the mean).
+	Point float64 `json:"point"`
+	// Low/High bound the central 95% of the bootstrap distribution.
+	Low  float64 `json:"low"`
+	High float64 `json:"high"`
+	// Resamples is the bootstrap replication count.
+	Resamples int `json:"resamples"`
+}
+
+// Excludes reports whether v lies outside the interval — the significance
+// test the campaign diff uses.
+func (ci CI) Excludes(v float64) bool { return v < ci.Low || v > ci.High }
+
+// bootstrapResamples is the default replication count: enough for stable
+// 2.5/97.5 percentiles on campaign-sized samples, cheap enough to run per
+// series on every stats request.
+const bootstrapResamples = 1000
+
+// seedFor derives a deterministic bootstrap seed from a label, so repeated
+// stats requests over the same snapshot return identical intervals.
+func seedFor(label string) int64 { return int64(frame.Checksum([]byte(label))) }
+
+// bootstrapMeanCI estimates a 95% CI for the mean of xs by resampling with
+// replacement, using a seed derived from label for reproducibility.
+func bootstrapMeanCI(label string, xs []int) CI {
+	ci := CI{Point: meanInt(xs), Resamples: bootstrapResamples}
+	if len(xs) < 2 {
+		ci.Low, ci.High = ci.Point, ci.Point
+		return ci
+	}
+	rng := rand.New(rand.NewSource(seedFor(label)))
+	means := make([]float64, bootstrapResamples)
+	for r := range means {
+		sum := 0
+		for i := 0; i < len(xs); i++ {
+			sum += xs[rng.Intn(len(xs))]
+		}
+		means[r] = float64(sum) / float64(len(xs))
+	}
+	sort.Float64s(means)
+	ci.Low = means[int(0.025*float64(len(means)))]
+	ci.High = means[int(0.975*float64(len(means)))-1]
+	return ci
+}
+
+// bootstrapDeltaCI estimates a 95% CI for the mean of paired differences.
+func bootstrapDeltaCI(label string, deltas []float64) CI {
+	ci := CI{Resamples: bootstrapResamples}
+	for _, d := range deltas {
+		ci.Point += d
+	}
+	if len(deltas) > 0 {
+		ci.Point /= float64(len(deltas))
+	}
+	if len(deltas) < 2 {
+		ci.Low, ci.High = ci.Point, ci.Point
+		return ci
+	}
+	rng := rand.New(rand.NewSource(seedFor(label)))
+	means := make([]float64, bootstrapResamples)
+	for r := range means {
+		sum := 0.0
+		for i := 0; i < len(deltas); i++ {
+			sum += deltas[rng.Intn(len(deltas))]
+		}
+		means[r] = sum / float64(len(deltas))
+	}
+	sort.Float64s(means)
+	ci.Low = means[int(0.025*float64(len(means)))]
+	ci.High = means[int(0.975*float64(len(means)))-1]
+	return ci
+}
+
+func meanInt(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// quantiles computes the summary of xs (which it sorts in place).
+func quantiles(xs []int) Quantiles {
+	q := Quantiles{Count: len(xs)}
+	if len(xs) == 0 {
+		return q
+	}
+	sort.Ints(xs)
+	at := func(p float64) int { return xs[int(math.Round(p*float64(len(xs)-1)))] }
+	q.Min, q.Max = xs[0], xs[len(xs)-1]
+	q.P25, q.P50, q.P90, q.P99 = at(0.25), at(0.50), at(0.90), at(0.99)
+	q.Mean = meanInt(xs)
+	return q
+}
+
+// histogram counts value occurrences, ascending.
+func histogram(xs []int) []HistBin {
+	counts := map[int]int{}
+	for _, x := range xs {
+		counts[x]++
+	}
+	values := make([]int, 0, len(counts))
+	for v := range counts {
+		values = append(values, v)
+	}
+	sort.Ints(values)
+	bins := make([]HistBin, len(values))
+	for i, v := range values {
+		bins[i] = HistBin{Value: v, Count: counts[v]}
+	}
+	return bins
+}
+
+// SeriesStats is one sweep series' paper statistics.
+type SeriesStats struct {
+	Key campaign.SeriesKey `json:"key"`
+	// Problem is the display name ("poisson-16x16"); Baseline the
+	// failure-free outer iteration count from the problem key.
+	Problem  string `json:"problem"`
+	Baseline int    `json:"baseline_outer"`
+	// Sites is the reconstructed grid size; Missing/Failed count grid
+	// holes and non-OK outcomes.
+	Sites   int `json:"sites"`
+	Missing int `json:"missing"`
+	Failed  int `json:"failed"`
+	// Confusion is the detector confusion matrix over present records.
+	Confusion Confusion `json:"confusion"`
+	// Extra summarizes the outer-iteration overhead (OuterIters −
+	// Baseline) over present records; ExtraHist is its histogram and
+	// MeanExtraCI a deterministic bootstrap interval around its mean.
+	Extra       Quantiles `json:"extra_outer"`
+	ExtraHist   []HistBin `json:"extra_outer_hist"`
+	MeanExtraCI CI        `json:"mean_extra_ci"`
+	// WorstPctIncrease is the paper's headline number: the worst-case
+	// time-to-solution increase in percent of the failure-free run.
+	WorstPctIncrease float64 `json:"worst_pct_increase"`
+	// NotConverged counts records that hit the outer cap; SilentFailures
+	// counts converged-but-wrong answers.
+	NotConverged   int `json:"not_converged"`
+	SilentFailures int `json:"silent_failures"`
+}
+
+// ClassStats rolls overhead up per fault class (model) across a campaign's
+// series — the "per fault class" tables of Section VII.
+type ClassStats struct {
+	Model       string    `json:"model"`
+	Extra       Quantiles `json:"extra_outer"`
+	ExtraHist   []HistBin `json:"extra_outer_hist"`
+	MeanExtraCI CI        `json:"mean_extra_ci"`
+}
+
+// Heatmap is a per-site impact map for one (problem, model, detector):
+// rows are MGS steps, columns fault sites (aggregate inner iterations),
+// cells the outer-iteration overhead. -1 marks a missing site.
+type Heatmap struct {
+	Problem  string `json:"problem"`
+	Model    string `json:"model"`
+	Detector string `json:"detector"`
+	// InnerIters is the inner-solve length (heatmap guide geometry).
+	InnerIters int      `json:"inner_iters"`
+	Steps      []string `json:"steps"`
+	Sites      []int    `json:"sites"`
+	Extra      [][]int  `json:"extra"`
+}
+
+// CampaignStats is the full server-side statistics bundle for one campaign.
+type CampaignStats struct {
+	Campaign string        `json:"campaign"`
+	Records  int           `json:"records"`
+	Series   []SeriesStats `json:"series"`
+	Classes  []ClassStats  `json:"classes"`
+	Heatmaps []Heatmap     `json:"heatmaps"`
+}
+
+// Campaign computes a campaign's statistics from a snapshot. Series order
+// is deterministic (problem, model, step, detector); heatmaps group steps
+// under each (problem, model, detector).
+func Campaign(sn *store.Snapshot, name string) (*CampaignStats, error) {
+	keys := sn.SeriesKeys(name)
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("analyze: campaign %q not in store", name)
+	}
+	cs := &CampaignStats{Campaign: name}
+	byClass := map[string][]int{}
+	var classOrder []string
+	type hmKey struct{ problem, model, detector string }
+	heat := map[hmKey]*Heatmap{}
+	var heatOrder []hmKey
+
+	for _, key := range keys {
+		sd, err := sn.SeriesData(name, key)
+		if err != nil {
+			return nil, err
+		}
+		ss := SeriesStats{
+			Key:      key,
+			Problem:  sd.Spec.DisplayName(),
+			Baseline: sd.Spec.TargetOuter,
+			Sites:    len(sd.Sites),
+			Missing:  sd.Missing,
+			Failed:   sd.Failed,
+		}
+		cs.Records += len(sd.Recs)
+		extras := make([]int, 0, len(sd.Recs))
+		for _, rec := range sd.Recs {
+			pt := rec.Record.Point
+			ss.Confusion.add(pt.FaultFired, pt.Detections)
+			extra := pt.OuterIters - ss.Baseline
+			extras = append(extras, extra)
+			if !pt.Converged {
+				ss.NotConverged++
+			}
+			if pt.WrongAnswer {
+				ss.SilentFailures++
+			}
+		}
+		ss.Confusion.finish()
+		ss.MeanExtraCI = bootstrapMeanCI(name+"|"+key.String(), extras)
+		ss.ExtraHist = histogram(extras)
+		ss.Extra = quantiles(extras) // sorts extras; done mutating after this
+		if ss.Baseline > 0 {
+			ss.WorstPctIncrease = 100 * float64(ss.Extra.Max) / float64(ss.Baseline)
+		}
+		cs.Series = append(cs.Series, ss)
+
+		if _, ok := byClass[key.Model]; !ok {
+			classOrder = append(classOrder, key.Model)
+		}
+		byClass[key.Model] = append(byClass[key.Model], extras...)
+
+		hk := hmKey{key.Problem, key.Model, key.Detector}
+		hm, ok := heat[hk]
+		if !ok {
+			hm = &Heatmap{
+				Problem:    sd.Spec.DisplayName(),
+				Model:      key.Model,
+				Detector:   key.Detector,
+				InnerIters: sd.Spec.InnerIters,
+				Sites:      sd.Sites,
+			}
+			heat[hk] = hm
+			heatOrder = append(heatOrder, hk)
+		}
+		row := make([]int, len(hm.Sites))
+		// Site grids within one problem share geometry; guard anyway so a
+		// partial series cannot misalign the map.
+		pos := map[int]int{}
+		for i, site := range hm.Sites {
+			pos[site] = i
+			row[i] = -1
+		}
+		for _, rec := range sd.Recs {
+			if i, ok := pos[rec.Record.Unit.Site]; ok {
+				row[i] = rec.Record.Point.OuterIters - ss.Baseline
+			}
+		}
+		hm.Steps = append(hm.Steps, key.Step)
+		hm.Extra = append(hm.Extra, row)
+	}
+
+	sort.Strings(classOrder)
+	for _, model := range classOrder {
+		extras := byClass[model]
+		cls := ClassStats{
+			Model:       model,
+			MeanExtraCI: bootstrapMeanCI(name+"|class|"+model, extras),
+			ExtraHist:   histogram(extras),
+		}
+		cls.Extra = quantiles(extras)
+		cs.Classes = append(cs.Classes, cls)
+	}
+	for _, hk := range heatOrder {
+		cs.Heatmaps = append(cs.Heatmaps, *heat[hk])
+	}
+	return cs, nil
+}

@@ -1,0 +1,261 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+
+	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/expt"
+	"sdcgmres/internal/store"
+	"sdcgmres/internal/textplot"
+)
+
+// Shared compiled campaign: 1 problem × 1 detector × 2 steps × 1 model ×
+// 10 sites = 20 units.
+var (
+	compileOnce sync.Once
+	compiled    *campaign.Compiled
+	compileErr  error
+)
+
+func testCompiled(t *testing.T) *campaign.Compiled {
+	t.Helper()
+	compileOnce.Do(func() {
+		compiled, compileErr = campaign.Compile(campaign.Manifest{
+			Name:     "analyze-test",
+			Problems: []campaign.ProblemSpec{{Kind: "poisson", N: 8, InnerIters: 6, TargetOuter: 5}},
+			Models:   []string{"slight"},
+			Steps:    []string{"first", "last"},
+			Stride:   3,
+		})
+	})
+	if compileErr != nil {
+		t.Fatalf("compile: %v", compileErr)
+	}
+	return compiled
+}
+
+// fabricate builds records with a deterministic shape: overhead grows with
+// the site, detection fires on every third site, site 13 misses its fault.
+func fabricate(c *campaign.Compiled) map[string]campaign.Record {
+	recs := make(map[string]campaign.Record, len(c.Units))
+	for _, u := range c.Units {
+		pt := expt.SweepPoint{
+			AggregateInner: u.Site,
+			OuterIters:     5 + u.Site%4,
+			Converged:      true,
+			FaultFired:     u.Site != 13,
+		}
+		if u.Site%3 == 1 {
+			pt.Detections = 1
+		}
+		recs[u.ID] = campaign.Record{ID: u.ID, Unit: u, Point: pt, Outcome: campaign.OutcomeOK}
+	}
+	return recs
+}
+
+func openWith(t *testing.T, recs map[string]campaign.Record, name string) *store.Store {
+	t.Helper()
+	s, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if _, err := s.IngestAll(name, recs); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCampaignStats(t *testing.T) {
+	c := testCompiled(t)
+	recs := fabricate(c)
+	s := openWith(t, recs, "analyze-test")
+	cs, err := Campaign(s.Snapshot(), "analyze-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Records != len(recs) {
+		t.Fatalf("records %d, want %d", cs.Records, len(recs))
+	}
+	if len(cs.Series) != 2 { // one per MGS step
+		t.Fatalf("series %d, want 2", len(cs.Series))
+	}
+	if len(cs.Classes) != 1 || cs.Classes[0].Model != "slight" {
+		t.Fatalf("classes: %+v", cs.Classes)
+	}
+
+	// Confusion: sites 1..28 step 3; detection at site%3==1 (all of them,
+	// since every site ≡ 1 mod 3), fault missing only at site 13.
+	for _, ss := range cs.Series {
+		if ss.Baseline != 5 {
+			t.Fatalf("baseline %d, want 5", ss.Baseline)
+		}
+		if ss.Sites != 10 || ss.Missing != 0 {
+			t.Fatalf("grid: %+v", ss)
+		}
+		cm := ss.Confusion
+		if cm.TruePositives != 9 || cm.FalseNegatives != 0 || cm.FalsePositives != 1 || cm.TrueNegatives != 0 {
+			t.Fatalf("confusion: %+v", cm)
+		}
+		if cm.Recall != 1 || cm.Precision != 0.9 || cm.FallOut != 1 {
+			t.Fatalf("confusion rates: %+v", cm)
+		}
+		// Overhead = site%4 over sites {1,4,7,...,28}.
+		if ss.Extra.Min != 0 || ss.Extra.Max != 3 || ss.Extra.Count != 10 {
+			t.Fatalf("extra quantiles: %+v", ss.Extra)
+		}
+		if ss.WorstPctIncrease != 60 { // 3/5
+			t.Fatalf("worst increase %v, want 60", ss.WorstPctIncrease)
+		}
+		if got := ss.MeanExtraCI; got.Low > got.Point || got.High < got.Point || got.Resamples != bootstrapResamples {
+			t.Fatalf("mean CI: %+v", got)
+		}
+		total := 0
+		for _, bin := range ss.ExtraHist {
+			total += bin.Count
+		}
+		if total != 10 {
+			t.Fatalf("histogram mass %d, want 10", total)
+		}
+	}
+
+	// Heatmap: steps are rows, the site grid the columns.
+	if len(cs.Heatmaps) != 1 {
+		t.Fatalf("heatmaps %d, want 1", len(cs.Heatmaps))
+	}
+	hm := cs.Heatmaps[0]
+	if hm.Problem != "poisson-8x8" || hm.InnerIters != 6 {
+		t.Fatalf("heatmap meta: %+v", hm)
+	}
+	if len(hm.Steps) != 2 || len(hm.Sites) != 10 || len(hm.Extra) != 2 {
+		t.Fatalf("heatmap shape: steps %v sites %v", hm.Steps, hm.Sites)
+	}
+	for i, site := range hm.Sites {
+		want := site % 4
+		if hm.Extra[0][i] != want || hm.Extra[1][i] != want {
+			t.Fatalf("heatmap cell site %d: got %d/%d want %d", site, hm.Extra[0][i], hm.Extra[1][i], want)
+		}
+	}
+}
+
+// TestCampaignStatsDeterministic: two computations over the same snapshot
+// are byte-identical, bootstrap intervals included.
+func TestCampaignStatsDeterministic(t *testing.T) {
+	c := testCompiled(t)
+	s := openWith(t, fabricate(c), "analyze-test")
+	sn := s.Snapshot()
+	a, err := Campaign(sn, "analyze-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Campaign(sn, "analyze-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("stats not deterministic:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestDiffCampaigns(t *testing.T) {
+	c := testCompiled(t)
+	base := fabricate(c)
+	slower := make(map[string]campaign.Record, len(base))
+	for id, rec := range base {
+		rec.Point.OuterIters += 2 // uniform slowdown
+		slower[id] = rec
+	}
+
+	s, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.IngestAll("run-a", base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.IngestAll("run-b", slower); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.IngestAll("run-a2", base); err != nil {
+		t.Fatal(err)
+	}
+	sn := s.Snapshot()
+
+	d, err := DiffCampaigns(sn, "run-a", "run-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Series) != 2 || len(d.OnlyA) != 0 || len(d.OnlyB) != 0 {
+		t.Fatalf("diff shape: %+v", d)
+	}
+	if d.Regressions != 2 {
+		t.Fatalf("regressions %d, want 2", d.Regressions)
+	}
+	for _, sd := range d.Series {
+		if sd.Paired != 10 {
+			t.Fatalf("paired %d, want 10", sd.Paired)
+		}
+		if delta := sd.MeanExtraB - sd.MeanExtraA; math.Abs(delta-2) > 1e-9 {
+			t.Fatalf("mean delta %v, want 2", delta)
+		}
+		if !sd.Significant || !sd.Regression {
+			t.Fatalf("uniform +2 slowdown must be a significant regression: %+v", sd)
+		}
+	}
+
+	// Identical campaigns: no significant differences.
+	same, err := DiffCampaigns(sn, "run-a", "run-a2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Regressions != 0 {
+		t.Fatalf("identical campaigns flagged %d regressions", same.Regressions)
+	}
+	for _, sd := range same.Series {
+		if sd.Significant {
+			t.Fatalf("identical campaigns must not be significant: %+v", sd)
+		}
+	}
+
+	if _, err := DiffCampaigns(sn, "run-a", "no-such"); err == nil {
+		t.Fatal("diff against a missing campaign must error")
+	}
+}
+
+// TestHeatmapRenders: analyze heatmaps feed textplot.HeatGrid directly.
+func TestHeatmapRenders(t *testing.T) {
+	c := testCompiled(t)
+	s := openWith(t, fabricate(c), "analyze-test")
+	cs, err := Campaign(s.Snapshot(), "analyze-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm := cs.Heatmaps[0]
+	g := textplot.Grid{
+		Title:      hm.Problem,
+		Rows:       hm.Steps,
+		Cols:       hm.Sites,
+		Cells:      make([][]float64, len(hm.Steps)),
+		GuideEvery: hm.InnerIters,
+	}
+	for i, row := range hm.Extra {
+		g.Cells[i] = make([]float64, len(row))
+		for j, v := range row {
+			g.Cells[i][j] = float64(v)
+		}
+	}
+	var buf bytes.Buffer
+	if err := textplot.HeatGrid(&buf, g, 60); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("first")) || !bytes.Contains(buf.Bytes(), []byte("last")) {
+		t.Fatalf("render missing row labels:\n%s", buf.String())
+	}
+}

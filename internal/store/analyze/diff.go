@@ -1,0 +1,144 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/store"
+)
+
+// SeriesDiff compares one sweep series across two campaigns. Sites are
+// paired by fault site; the delta is B's overhead minus A's, so positive
+// deltas mean campaign B converged slower.
+type SeriesDiff struct {
+	Key campaign.SeriesKey `json:"key"`
+	// Paired is the number of sites present in both campaigns.
+	Paired int `json:"paired"`
+	// MeanExtraA/B are the per-campaign mean overheads over paired sites.
+	MeanExtraA float64 `json:"mean_extra_a"`
+	MeanExtraB float64 `json:"mean_extra_b"`
+	// DeltaCI is a deterministic bootstrap 95% interval around the mean
+	// paired delta (B − A).
+	DeltaCI CI `json:"delta_ci"`
+	// Significant: the interval excludes zero. Regression: significant
+	// and positive (B is slower); a significant negative delta is an
+	// improvement.
+	Significant bool `json:"significant"`
+	Regression  bool `json:"regression"`
+	// DetectedA/B and SilentA/B compare detector hits and silent failures
+	// over the paired sites.
+	DetectedA int `json:"detected_a"`
+	DetectedB int `json:"detected_b"`
+	SilentA   int `json:"silent_a"`
+	SilentB   int `json:"silent_b"`
+}
+
+// Diff is the comparison of two campaigns.
+type Diff struct {
+	A string `json:"a"`
+	B string `json:"b"`
+	// Series compares every series present in both campaigns.
+	Series []SeriesDiff `json:"series"`
+	// OnlyA/OnlyB list series existing in just one campaign.
+	OnlyA []campaign.SeriesKey `json:"only_a,omitempty"`
+	OnlyB []campaign.SeriesKey `json:"only_b,omitempty"`
+	// Regressions counts series flagged as statistically significant
+	// slowdowns of B relative to A.
+	Regressions int `json:"regressions"`
+}
+
+// DiffCampaigns compares campaign b against baseline a over one snapshot,
+// flagging series whose mean overhead shifted by a statistically
+// significant margin (bootstrap 95% CI of the paired per-site delta
+// excluding zero).
+func DiffCampaigns(sn *store.Snapshot, a, b string) (*Diff, error) {
+	keysA, keysB := sn.SeriesKeys(a), sn.SeriesKeys(b)
+	if len(keysA) == 0 {
+		return nil, fmt.Errorf("analyze: campaign %q not in store", a)
+	}
+	if len(keysB) == 0 {
+		return nil, fmt.Errorf("analyze: campaign %q not in store", b)
+	}
+	inA := map[campaign.SeriesKey]bool{}
+	for _, k := range keysA {
+		inA[k] = true
+	}
+	inB := map[campaign.SeriesKey]bool{}
+	for _, k := range keysB {
+		inB[k] = true
+	}
+	d := &Diff{A: a, B: b}
+	for _, k := range keysA {
+		if !inB[k] {
+			d.OnlyA = append(d.OnlyA, k)
+		}
+	}
+	for _, k := range keysB {
+		if !inA[k] {
+			d.OnlyB = append(d.OnlyB, k)
+		}
+	}
+
+	for _, key := range keysA {
+		if !inB[key] {
+			continue
+		}
+		sdA, err := sn.SeriesData(a, key)
+		if err != nil {
+			return nil, err
+		}
+		sdB, err := sn.SeriesData(b, key)
+		if err != nil {
+			return nil, err
+		}
+		baseline := sdA.Spec.TargetOuter
+		bySiteB := map[int]store.Rec{}
+		for _, rec := range sdB.Recs {
+			bySiteB[rec.Record.Unit.Site] = rec
+		}
+		sd := SeriesDiff{Key: key}
+		var deltas []float64
+		var sites []int
+		for _, recA := range sdA.Recs {
+			site := recA.Record.Unit.Site
+			recB, ok := bySiteB[site]
+			if !ok {
+				continue
+			}
+			sites = append(sites, site)
+			ptA, ptB := recA.Record.Point, recB.Record.Point
+			extraA := ptA.OuterIters - baseline
+			extraB := ptB.OuterIters - baseline
+			sd.MeanExtraA += float64(extraA)
+			sd.MeanExtraB += float64(extraB)
+			deltas = append(deltas, float64(extraB-extraA))
+			if ptA.Detections > 0 {
+				sd.DetectedA++
+			}
+			if ptB.Detections > 0 {
+				sd.DetectedB++
+			}
+			if ptA.WrongAnswer {
+				sd.SilentA++
+			}
+			if ptB.WrongAnswer {
+				sd.SilentB++
+			}
+		}
+		sort.Ints(sites)
+		sd.Paired = len(sites)
+		if sd.Paired > 0 {
+			sd.MeanExtraA /= float64(sd.Paired)
+			sd.MeanExtraB /= float64(sd.Paired)
+		}
+		sd.DeltaCI = bootstrapDeltaCI(a+"|"+b+"|"+key.String(), deltas)
+		sd.Significant = sd.Paired > 1 && sd.DeltaCI.Excludes(0)
+		sd.Regression = sd.Significant && sd.DeltaCI.Point > 0
+		if sd.Regression {
+			d.Regressions++
+		}
+		d.Series = append(d.Series, sd)
+	}
+	return d, nil
+}

@@ -1,0 +1,67 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"sdcgmres/internal/campaign"
+)
+
+// BenchmarkStoreIngest measures one validated, framed, indexed record
+// append. Each batch of units lands under a distinct campaign name so every
+// ingest takes the non-duplicate path.
+func BenchmarkStoreIngest(b *testing.B) {
+	c := testCompiled(b)
+	recs := fabricateRecords(c)
+	units := make([]campaign.Record, 0, len(recs))
+	for _, r := range recs {
+		units = append(units, r)
+	}
+	s, err := Open(b.TempDir(), Options{NoBackgroundCompact: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("bench-%d", i/len(units))
+		added, err := s.Ingest(name, units[i%len(units)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !added {
+			b.Fatal("bench ingest deduplicated; campaign naming is wrong")
+		}
+	}
+}
+
+// BenchmarkStoreQuery measures one filtered, index-pruned, site-ordered
+// query over a populated store.
+func BenchmarkStoreQuery(b *testing.B) {
+	c := testCompiled(b)
+	recs := fabricateRecords(c)
+	s, err := Open(b.TempDir(), Options{NoBackgroundCompact: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 25; i++ {
+		if _, err := s.IngestAll(fmt.Sprintf("camp-%02d", i), recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sn := s.Snapshot()
+	q := Query{Campaign: "camp-12", Model: "large", Detector: "off", SiteMin: 2, SiteMax: 25}
+	want := sn.Query(q).Total
+	if want == 0 {
+		b.Fatal("bench query matches nothing")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := sn.Query(q).Total; got != want {
+			b.Fatalf("query result changed: %d != %d", got, want)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package store
+
+import (
+	"io"
+	"strings"
+
+	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/expt"
+)
+
+// CSVSlug keeps CSV filenames shell-friendly: any rune outside
+// [A-Za-z0-9_-] becomes '_'.
+func CSVSlug(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// CSVFileName renders the canonical per-series CSV filename —
+// <campaign>_<model>_<step>_<detector>.csv — shared by the solved
+// coordinator's aggregate output and sdcreport's store-side regeneration,
+// so the two can be compared file by file.
+func CSVFileName(campaignName string, key campaign.SeriesKey) string {
+	return CSVSlug(campaignName) + "_" + CSVSlug(key.Model) + "_" + CSVSlug(key.Step) + "_" + CSVSlug(key.Detector) + ".csv"
+}
+
+// WriteSeriesCSV regenerates one series' sweep CSV from the store, routed
+// through the exact writer the engine's aggregator uses
+// (expt.WriteSweepCSV), with the problem display name and sweep
+// configuration rebuilt from the journaled unit keys. For a complete
+// series the output is byte-identical to the engine's aggregate CSV.
+func (sn *Snapshot) WriteSeriesCSV(w io.Writer, campaignName string, key campaign.SeriesKey) error {
+	sd, err := sn.SeriesData(campaignName, key)
+	if err != nil {
+		return err
+	}
+	return expt.WriteSweepCSV(w, sd.Spec.DisplayName(), sd.Config, sd.Points)
+}

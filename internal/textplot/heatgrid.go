@@ -1,0 +1,146 @@
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Grid is a labeled 2-D intensity field: one row per label, one cell per
+// (row, column) sample. NaN cells render blank (missing data).
+type Grid struct {
+	// Title is printed above the grid.
+	Title string
+	// Rows are the row labels, top to bottom.
+	Rows []string
+	// Cols are the x positions of the columns (e.g. fault sites).
+	Cols []int
+	// Cells is indexed [row][col] and must match Rows × Cols.
+	Cells [][]float64
+	// GuideEvery marks every GuideEvery x units on the axis line (the
+	// inner-solve boundary geometry of Figures 3 and 4).
+	GuideEvery int
+}
+
+// heatRamp maps normalized intensity to glyphs, light to heavy.
+const heatRamp = " .:-=+*#%@"
+
+// HeatGrid renders the grid as an ASCII heatmap: columns are bucketed into
+// at most width character cells (bucket maximum wins — the conservative
+// choice for an impact map) and intensities are normalized over the whole
+// grid, so rows are directly comparable.
+func HeatGrid(w io.Writer, g Grid, width int) error {
+	if len(g.Rows) == 0 || len(g.Cols) == 0 {
+		return fmt.Errorf("textplot: heat grid needs rows and columns")
+	}
+	if len(g.Cells) != len(g.Rows) {
+		return fmt.Errorf("textplot: heat grid has %d rows but %d cell rows", len(g.Rows), len(g.Cells))
+	}
+	for i, row := range g.Cells {
+		if len(row) != len(g.Cols) {
+			return fmt.Errorf("textplot: heat grid row %d has %d cells, want %d", i, len(row), len(g.Cols))
+		}
+	}
+	if width <= 0 {
+		width = 100
+	}
+
+	xmin, xmax := g.Cols[0], g.Cols[0]
+	for _, x := range g.Cols {
+		xmin = min(xmin, x)
+		xmax = max(xmax, x)
+	}
+	span := xmax - xmin + 1
+	cols := width
+	if span < cols {
+		cols = span
+	}
+	colOf := func(x int) int {
+		if span == 1 {
+			return 0
+		}
+		c := (x - xmin) * cols / span
+		if c >= cols {
+			c = cols - 1
+		}
+		return c
+	}
+
+	// Normalize over every finite cell in the grid.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range g.Cells {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Errorf("textplot: heat grid has no data")
+	}
+
+	labelW := 0
+	for _, r := range g.Rows {
+		labelW = max(labelW, len(r))
+	}
+	if g.Title != "" {
+		fmt.Fprintln(w, g.Title)
+	}
+	for i, label := range g.Rows {
+		// Bucket the row: maximum per character cell.
+		bucket := make([]float64, cols)
+		has := make([]bool, cols)
+		for j, x := range g.Cols {
+			v := g.Cells[i][j]
+			if math.IsNaN(v) {
+				continue
+			}
+			c := colOf(x)
+			if !has[c] || v > bucket[c] {
+				bucket[c], has[c] = v, true
+			}
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%-*s |", labelW, label)
+		for c := 0; c < cols; c++ {
+			if !has[c] {
+				sb.WriteByte(' ')
+				continue
+			}
+			t := 0.0
+			if hi > lo {
+				t = (bucket[c] - lo) / (hi - lo)
+			} else if bucket[c] != 0 {
+				t = 1.0
+			}
+			idx := int(t * float64(len(heatRamp)-1))
+			sb.WriteByte(heatRamp[idx])
+		}
+		sb.WriteByte('|')
+		fmt.Fprintln(w, sb.String())
+	}
+	// Axis with optional inner-solve boundary guides.
+	var axis strings.Builder
+	fmt.Fprintf(&axis, "%s +", strings.Repeat(" ", labelW))
+	for c := 0; c < cols; c++ {
+		ch := byte('-')
+		if g.GuideEvery > 0 {
+			x0 := xmin + c*span/cols
+			x1 := xmin + (c+1)*span/cols
+			for b := (x0/g.GuideEvery + 1) * g.GuideEvery; b < x1+1; b += g.GuideEvery {
+				if b >= x0 && b <= x1 {
+					ch = '.'
+					break
+				}
+			}
+		}
+		axis.WriteByte(ch)
+	}
+	fmt.Fprintln(w, axis.String())
+	fmt.Fprintf(w, "%s  x [%d..%d], intensity %.3g..%.3g (%q)\n",
+		strings.Repeat(" ", labelW), xmin, xmax, lo, hi, heatRamp)
+	return nil
+}
