@@ -83,6 +83,7 @@ func main() {
 	outdir := flag.String("outdir", "data", "directory for CSV output")
 	stride := flag.Int("stride", 0, "override sweep stride (0 = profile default)")
 	workers := flag.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS)")
+	kernelWorkers := flag.Int("kernel-workers", 0, "total shared-memory kernel budget, split across the concurrent experiments so concurrency x pool width <= the budget; figure CSVs are byte-identical for every value (0 = sequential kernels)")
 	resume := flag.Bool("resume", false, "resume an interrupted run from its journal in -outdir")
 	fleet := flag.Int("fleet", -1, "distributed mode: spawn N in-process workers (-1 = off, 0 = external workers only)")
 	fleetAddr := flag.String("fleet-addr", "127.0.0.1:0", "coordinator listen address for -fleet")
@@ -135,7 +136,7 @@ func main() {
 
 	var sw *sweeper
 	if needPoisson || needCircuit {
-		sw = openSweeper(*outdir, prof, *resume, *workers,
+		sw = openSweeper(*outdir, prof, *resume, *workers, *kernelWorkers,
 			resumeCommand(prof, *only, *outdir, *stride, *workers, *fleet))
 		if *fleet >= 0 {
 			sw.startFleet(fleetOptions{workers: *fleet, addr: *fleetAddr, leaseTTL: *leaseTTL, batch: *fleetBatch})
@@ -340,13 +341,14 @@ func runMonteCarlo(prof profile, outdir string, p *expt.Problem, workers int) {
 // shared per-profile journal, so every finished experiment survives an
 // interrupt and is skipped on -resume.
 type sweeper struct {
-	journal   *campaign.Journal
-	have      map[string]campaign.Record
-	problems  map[string]*expt.Problem
-	stride    int
-	workers   int
-	resumeCmd string
-	fleet     *fleetRuntime
+	journal       *campaign.Journal
+	have          map[string]campaign.Record
+	problems      map[string]*expt.Problem
+	stride        int
+	workers       int
+	kernelWorkers int
+	resumeCmd     string
+	fleet         *fleetRuntime
 }
 
 // resumeCommand reconstructs the exact invocation that continues this run.
@@ -370,7 +372,7 @@ func resumeCommand(prof profile, only, outdir string, stride, workers, fleet int
 // openSweeper opens (or, with resume, reuses) the profile's journal. A
 // non-empty journal without -resume is refused rather than silently
 // satisfying sweeps with stale records.
-func openSweeper(outdir string, prof profile, resume bool, workers int, resumeCmd string) *sweeper {
+func openSweeper(outdir string, prof profile, resume bool, workers, kernelWorkers int, resumeCmd string) *sweeper {
 	path := filepath.Join(outdir, "campaign-"+prof.name+".jsonl")
 	if !resume {
 		if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
@@ -385,12 +387,13 @@ func openSweeper(outdir string, prof profile, resume bool, workers int, resumeCm
 		fmt.Printf("resuming: journal %s holds %d finished experiments\n\n", path, len(have))
 	}
 	return &sweeper{
-		journal:   j,
-		have:      have,
-		problems:  map[string]*expt.Problem{},
-		stride:    prof.stride,
-		workers:   workers,
-		resumeCmd: resumeCmd,
+		journal:       j,
+		have:          have,
+		problems:      map[string]*expt.Problem{},
+		stride:        prof.stride,
+		workers:       workers,
+		kernelWorkers: kernelWorkers,
+		resumeCmd:     resumeCmd,
 	}
 }
 
@@ -535,7 +538,7 @@ func (s *sweeper) sweep(ctx context.Context, name string, spec campaign.ProblemS
 		prog.Executed = len(fresh)
 		prog.Done = prog.Skipped + prog.Executed
 	} else {
-		r := campaign.NewRunner(c, s.journal, s.have, campaign.Options{Workers: s.workers, UnitBudget: time.Hour})
+		r := campaign.NewRunner(c, s.journal, s.have, campaign.Options{Workers: s.workers, KernelWorkers: s.kernelWorkers, UnitBudget: time.Hour})
 		runErr := r.Run(ctx)
 		for id, rec := range r.Records() {
 			s.have[id] = rec

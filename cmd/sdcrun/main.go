@@ -35,6 +35,7 @@ import (
 	"sdcgmres/internal/expt"
 	"sdcgmres/internal/fault"
 	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/krylov"
 	"sdcgmres/internal/service"
 	"sdcgmres/internal/sparse"
@@ -58,10 +59,11 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the machine-readable result record (same schema as the solver service)")
 	campaignFile := flag.String("campaign", "", "run a campaign manifest JSON through the durable engine instead of a single experiment")
 	journalPath := flag.String("journal", "", "campaign journal path (default <name>-<hash>.jsonl beside the manifest)")
+	workers := flag.Int("workers", 0, "shared-memory kernel workers for the solve (campaign mode: total kernel budget split across unit workers); results are byte-identical for every value (0 = sequential)")
 	flag.Parse()
 
 	if *campaignFile != "" {
-		runCampaign(*campaignFile, *journalPath, *jsonOut)
+		runCampaign(*campaignFile, *journalPath, *jsonOut, *workers)
 		return
 	}
 
@@ -105,6 +107,12 @@ func main() {
 			fatal(fmt.Errorf("unknown response %q", *response))
 		}
 		cfg.Detector = core.DetectorConfig{Enabled: true, Kind: kind, Response: resp}
+	}
+
+	if *workers > 1 {
+		pool := kernel.New(*workers)
+		defer pool.Close()
+		cfg.Pool = pool
 	}
 
 	solver := core.New(a, cfg)
@@ -184,7 +192,7 @@ func exitForSolve(res *core.Result) {
 // experiments are skipped, an interrupt keeps the journal, and rerunning the
 // same command resumes. Output is the Section VII-E summary table per
 // completed series (or the full progress + summaries as JSON).
-func runCampaign(manifestPath, journalPath string, jsonOut bool) {
+func runCampaign(manifestPath, journalPath string, jsonOut bool, kernelWorkers int) {
 	raw, err := os.ReadFile(manifestPath)
 	if err != nil {
 		fatal(err)
@@ -215,7 +223,7 @@ func runCampaign(manifestPath, journalPath string, jsonOut bool) {
 		fmt.Printf("journal:  %s (%d experiments already done)\n\n", journalPath, len(have))
 	}
 
-	r := campaign.NewRunner(c, j, have, campaign.Options{})
+	r := campaign.NewRunner(c, j, have, campaign.Options{KernelWorkers: kernelWorkers})
 	runErr := r.Run(ctx)
 	for id, rec := range r.Records() {
 		have[id] = rec

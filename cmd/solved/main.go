@@ -83,16 +83,17 @@ import (
 
 // cliConfig is the flag-settable daemon configuration.
 type cliConfig struct {
-	addr         string
-	workers      int
-	queueDepth   int
-	budget       time.Duration
-	maxBudget    time.Duration
-	retain       int
-	drainTimeout time.Duration
-	pprof        bool
-	campaignDir  string
-	traceCap     int
+	addr          string
+	workers       int
+	queueDepth    int
+	budget        time.Duration
+	maxBudget     time.Duration
+	retain        int
+	drainTimeout  time.Duration
+	pprof         bool
+	campaignDir   string
+	traceCap      int
+	kernelWorkers int
 
 	// Distributed-campaign modes.
 	worker      bool
@@ -120,6 +121,7 @@ func parseFlags(args []string) (cliConfig, error) {
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	fs.StringVar(&cfg.campaignDir, "campaign-dir", ".", "directory for campaign journals")
 	fs.IntVar(&cfg.traceCap, "trace-cap", 0, "per-job/per-campaign flight-recorder capacity in events (0 = tracing off)")
+	fs.IntVar(&cfg.kernelWorkers, "kernel-workers", 0, "total shared-memory kernel budget, split across job/unit workers so concurrency x pool width <= the budget; results are byte-identical for every value (0 = sequential kernels)")
 	fs.BoolVar(&cfg.worker, "worker", false, "join a distributed campaign fleet (requires -coordinator)")
 	fs.StringVar(&cfg.coordinator, "coordinator", "", "coordinator base URL for -worker mode")
 	fs.StringVar(&cfg.workerName, "worker-name", "", "worker identity (default hostname-pid)")
@@ -165,10 +167,12 @@ func setupDist(cfg cliConfig, host *dist.Host, st *store.Store) (*service.Engine
 		MaxBudget:     cfg.maxBudget,
 		Retain:        cfg.retain,
 		TraceCapacity: cfg.traceCap,
+		KernelWorkers: cfg.kernelWorkers,
 	})
 	campaigns := service.NewCampaignManager(service.CampaignManagerConfig{
 		Dir:           cfg.campaignDir,
 		Workers:       cfg.workers,
+		KernelWorkers: cfg.kernelWorkers,
 		Metrics:       engine.Metrics(),
 		TraceCapacity: cfg.traceCap,
 		Store:         st,
@@ -282,10 +286,11 @@ func newFleetWorker(cfg cliConfig) (*dist.Worker, string, error) {
 		conc = runtime.GOMAXPROCS(0)
 	}
 	w := dist.NewWorker(dist.WorkerConfig{
-		Coordinator: strings.TrimRight(cfg.coordinator, "/"),
-		Name:        name,
-		Concurrency: conc,
-		Logf:        log.Printf,
+		Coordinator:   strings.TrimRight(cfg.coordinator, "/"),
+		Name:          name,
+		Concurrency:   conc,
+		KernelWorkers: cfg.kernelWorkers,
+		Logf:          log.Printf,
 	})
 	return w, name, nil
 }

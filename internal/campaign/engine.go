@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sdcgmres/internal/expt"
+	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/sandbox"
 	"sdcgmres/internal/trace"
 )
@@ -32,6 +33,13 @@ type Options struct {
 	// observation only: the records a campaign journals — and therefore
 	// its aggregate CSVs — are byte-identical with or without it.
 	Recorder *trace.Recorder
+	// KernelWorkers is the total shared-memory kernel budget for the run
+	// (0 = kernels run sequentially). Each campaign worker gets a
+	// persistent pool of max(1, KernelWorkers/Workers) kernel workers, so
+	// unit concurrency times pool width never oversubscribes the budget.
+	// Kernels are bitwise deterministic: records and aggregate CSVs are
+	// identical for every KernelWorkers value.
+	KernelWorkers int
 }
 
 // Progress is a point-in-time snapshot of a run.
@@ -173,8 +181,20 @@ func (r *Runner) Run(ctx context.Context) error {
 	var journalErr atomic.Value // error; first append failure aborts the run
 	abort, cancelAbort := context.WithCancel(ctx)
 	defer cancelAbort()
+	perWorker := 0
+	if r.opts.KernelWorkers > 0 && workers > 0 {
+		perWorker = r.opts.KernelWorkers / workers
+		if perWorker < 1 {
+			perWorker = 1
+		}
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		var pool *kernel.Pool
+		if perWorker > 1 {
+			pool = kernel.New(perWorker)
+			defer pool.Close()
+		}
 		go func() {
 			defer wg.Done()
 			for abort.Err() == nil {
@@ -191,7 +211,7 @@ func (r *Runner) Run(ctx context.Context) error {
 					}
 					continue
 				}
-				rec, ran := r.runUnit(abort, u)
+				rec, ran := r.runUnit(abort, u, pool)
 				if !ran {
 					continue // canceled mid-unit: not journaled, rerun on resume
 				}
@@ -243,8 +263,8 @@ func (r *Runner) bumpFailure(problem string) {
 // runUnit executes one unit under the sandbox with its deadline. ran is
 // false only when the campaign context ended before the unit produced a
 // journalable outcome.
-func (r *Runner) runUnit(ctx context.Context, u Unit) (rec Record, ran bool) {
-	return ExecuteUnitTraced(ctx, r.compiled, u, r.opts.UnitBudget, r.opts.Recorder)
+func (r *Runner) runUnit(ctx context.Context, u Unit, pool *kernel.Pool) (rec Record, ran bool) {
+	return ExecuteUnitPooled(ctx, r.compiled, u, r.opts.UnitBudget, r.opts.Recorder, pool)
 }
 
 // ExecuteUnit runs one unit of a compiled campaign under the sandbox with
@@ -263,6 +283,14 @@ func ExecuteUnit(ctx context.Context, c *Compiled, u Unit, budget time.Duration)
 // trace events. The record returned is identical to ExecuteUnit's — the
 // recorder observes, it never participates.
 func ExecuteUnitTraced(ctx context.Context, c *Compiled, u Unit, budget time.Duration, rtrace *trace.Recorder) (rec Record, ran bool) {
+	return ExecuteUnitPooled(ctx, c, u, budget, rtrace, nil)
+}
+
+// ExecuteUnitPooled is ExecuteUnitTraced with a kernel pool: the unit's
+// solver kernels run on pool's persistent workers (nil = sequential). The
+// kernels are bitwise deterministic, so the record is identical for every
+// pool width — the pool buys wall-clock time, nothing else.
+func ExecuteUnitPooled(ctx context.Context, c *Compiled, u Unit, budget time.Duration, rtrace *trace.Recorder, pool *kernel.Pool) (rec Record, ran bool) {
 	if budget <= 0 {
 		budget = 2 * time.Minute
 		if ms := c.Manifest.UnitBudgetMS; ms > 0 {
@@ -279,6 +307,7 @@ func ExecuteUnitTraced(ctx context.Context, c *Compiled, u Unit, budget time.Dur
 	}()
 	p := c.Problems[u.Problem]
 	cfg, err := c.SweepConfig(u)
+	cfg.Pool = pool
 	if err != nil {
 		// Compile guarantees parseable units; treat the impossible as a
 		// failed unit rather than wedging the campaign.

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"sdcgmres/internal/detect"
+	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/krylov"
 	"sdcgmres/internal/precond"
 	"sdcgmres/internal/sandbox"
@@ -171,6 +172,11 @@ type Config struct {
 	// each inner solve. A nil Recorder costs one pointer check per event
 	// site and allocates nothing.
 	Recorder *trace.Recorder
+	// Pool, when non-nil, runs the hot-path kernels of both the reliable
+	// outer iteration and every sandboxed inner solve on a persistent
+	// shared-memory worker pool. Results are bitwise identical for every
+	// pool width (nil included), so the pool is purely a speed knob.
+	Pool *kernel.Pool
 }
 
 // Stats aggregates what happened during a nested solve.
@@ -343,6 +349,7 @@ func (s *Solver) SolveCtx(ctx context.Context, b, x0 []float64) (*Result, error)
 				Options: krylov.Options{
 					MaxIter: s.cfg.MaxOuter,
 					Tol:     s.cfg.OuterTol,
+					Pool:    s.cfg.Pool,
 				},
 				OnIteration: onOuter,
 			})
@@ -353,6 +360,7 @@ func (s *Solver) SolveCtx(ctx context.Context, b, x0 []float64) (*Result, error)
 					Tol:          s.cfg.OuterTol,
 					Policy:       s.cfg.OuterPolicy,
 					RankCheckTol: s.cfg.RankCheckTol,
+					Pool:         s.cfg.Pool,
 				},
 				ExplicitResidual: true,
 				OnIteration:      onOuter,
@@ -417,6 +425,7 @@ func (s *Solver) innerSolve(ctx context.Context, j int, z, q []float64, stats *S
 		AggregateBase:  (j - 1) * s.cfg.Inner.Iterations,
 		Precond:        s.cfg.Inner.Precond,
 		Recorder:       rec,
+		Pool:           s.cfg.Pool,
 	}
 	if s.cfg.Inner.RobustFirstSolve && j == 1 {
 		// Selective robustness (Sec. VII-E): the first inner solve is the

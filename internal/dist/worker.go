@@ -13,6 +13,7 @@ import (
 
 	"sdcgmres/internal/campaign"
 	"sdcgmres/internal/expt"
+	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/service"
 	"sdcgmres/internal/trace"
 )
@@ -91,6 +92,14 @@ type WorkerConfig struct {
 	// Recorder, when non-nil, receives unit-lifecycle trace events for
 	// every unit this worker executes (via campaign.ExecuteUnitTraced).
 	Recorder *trace.Recorder
+	// KernelWorkers is the total shared-memory kernel budget for this
+	// worker process (0 = sequential kernels). Each of the Concurrency
+	// execution slots gets a persistent pool of max(1,
+	// KernelWorkers/Concurrency) kernel workers, so slot concurrency
+	// times pool width never oversubscribes the budget. Kernels are
+	// bitwise deterministic: the records posted are identical for every
+	// KernelWorkers value.
+	KernelWorkers int
 	// Logf receives progress lines (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -144,6 +153,11 @@ type Worker struct {
 	// compiled caches the current generation's compilation.
 	gen      int
 	compiled *campaign.Compiled
+
+	// pools holds one persistent kernel pool per execution slot (nil
+	// entries mean sequential kernels). Built by Run, closed when it
+	// returns.
+	pools []*kernel.Pool
 }
 
 // NewWorker builds a worker. Run does the work.
@@ -165,6 +179,20 @@ func (w *Worker) Stats() WorkerStats {
 // Run serves the coordinator until it closes (nil), the context ends
 // (ctx.Err()), or the coordinator stays unreachable past the retry budget.
 func (w *Worker) Run(ctx context.Context) error {
+	perSlot := 0
+	if w.cfg.KernelWorkers > 0 {
+		perSlot = w.cfg.KernelWorkers / w.cfg.Concurrency
+		if perSlot < 1 {
+			perSlot = 1
+		}
+	}
+	w.pools = make([]*kernel.Pool, w.cfg.Concurrency)
+	if perSlot > 1 {
+		for i := range w.pools {
+			w.pools[i] = kernel.New(perSlot)
+			defer w.pools[i].Close()
+		}
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -275,11 +303,12 @@ func (w *Worker) executeLease(ctx context.Context, info CampaignInfo, l *Lease) 
 		wg   sync.WaitGroup
 	)
 	for i := 0; i < w.cfg.Concurrency; i++ {
+		pool := w.pools[i]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for u := range next {
-				rec, ran := campaign.ExecuteUnitTraced(hbCtx, w.compiled, u, w.cfg.UnitBudget, w.cfg.Recorder)
+				rec, ran := campaign.ExecuteUnitPooled(hbCtx, w.compiled, u, w.cfg.UnitBudget, w.cfg.Recorder, pool)
 				if !ran {
 					continue
 				}

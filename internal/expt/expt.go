@@ -15,6 +15,7 @@ import (
 	"sdcgmres/internal/core"
 	"sdcgmres/internal/fault"
 	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/krylov"
 	"sdcgmres/internal/sparse"
 	"sdcgmres/internal/vec"
@@ -169,6 +170,10 @@ type SweepConfig struct {
 	Stride int
 	// Workers bounds concurrent experiments (0 = GOMAXPROCS).
 	Workers int
+	// Pool, when non-nil, runs each experiment's solver kernels on a
+	// persistent worker pool. Kernels are bitwise deterministic for any
+	// pool width, so sweep outputs are identical with or without it.
+	Pool *kernel.Pool
 }
 
 // Sweep injects one SDC at every (strided) aggregate inner iteration of the
@@ -223,7 +228,9 @@ func Sweep(ctx context.Context, p *Problem, cfg SweepConfig) []SweepPoint {
 // journaled campaigns produce identical records for identical sites.
 func RunPoint(ctx context.Context, p *Problem, cfg SweepConfig, aggregate int) SweepPoint {
 	inj := fault.NewInjector(cfg.Model, fault.Site{AggregateInner: aggregate, Step: cfg.Step})
-	s := core.New(p.A, p.Config(cfg.Detector, []krylov.CoeffHook{inj}))
+	ccfg := p.Config(cfg.Detector, []krylov.CoeffHook{inj})
+	ccfg.Pool = cfg.Pool
+	s := core.New(p.A, ccfg)
 	res, err := s.SolveCtx(ctx, p.B, nil)
 	pt := SweepPoint{AggregateInner: aggregate}
 	if ctx.Err() != nil {

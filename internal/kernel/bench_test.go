@@ -1,0 +1,112 @@
+package kernel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/kernel"
+)
+
+// benchWidths is the worker ladder recorded in BENCH_kernels.json: the
+// sequential baseline (nil pool) and pools of 2, 4 and 8.
+var benchWidths = []int{1, 2, 4, 8}
+
+func benchPool(w int) *kernel.Pool {
+	if w <= 1 {
+		return nil
+	}
+	return kernel.New(w)
+}
+
+func widthName(w int) string {
+	if w <= 1 {
+		return "seq"
+	}
+	return fmt.Sprintf("w%d", w)
+}
+
+// BenchmarkSpMV measures the nnz-partitioned CSR product on a 2-D Poisson
+// matrix of ≥50k rows (250×250 grid → 62 500 rows, ~310k nnz).
+func BenchmarkSpMV(b *testing.B) {
+	a := gallery.Poisson2D(250)
+	x := randVec(a.Cols(), 21)
+	dst := make([]float64, a.Rows())
+	for _, w := range benchWidths {
+		p := benchPool(w)
+		b.Run(widthName(w), func(b *testing.B) {
+			b.SetBytes(int64(16 * a.NNZ()))
+			for i := 0; i < b.N; i++ {
+				a.MatVecPool(p, dst, x)
+			}
+		})
+		p.Close()
+	}
+}
+
+// BenchmarkDotParallel measures the deterministic chunked dot at 1M
+// elements (244 chunks).
+func BenchmarkDotParallel(b *testing.B) {
+	const n = 1 << 20
+	x, y := randVec(n, 22), randVec(n, 23)
+	var sink float64
+	for _, w := range benchWidths {
+		p := benchPool(w)
+		b.Run(widthName(w), func(b *testing.B) {
+			b.SetBytes(16 * n)
+			for i := 0; i < b.N; i++ {
+				sink += kernel.Dot(p, x, y)
+			}
+		})
+		p.Close()
+	}
+	_ = sink
+}
+
+// BenchmarkDotSmall guards the no-regression bound at paper scale: a
+// 4096-element dot must answer on the sequential fast path with no pool
+// overhead.
+func BenchmarkDotSmall(b *testing.B) {
+	const n = 4096
+	x, y := randVec(n, 24), randVec(n, 25)
+	var sink float64
+	for _, w := range benchWidths {
+		p := benchPool(w)
+		b.Run(widthName(w), func(b *testing.B) {
+			b.SetBytes(16 * n)
+			for i := 0; i < b.N; i++ {
+				sink += kernel.Dot(p, x, y)
+			}
+		})
+		p.Close()
+	}
+	_ = sink
+}
+
+// BenchmarkArnoldiParallel models one MGS orthogonalization step at
+// iteration j=20 on a 250k-element vector: 20 dots and 20 axpys against the
+// basis plus the closing norm — the solver's quadratic-cost hot loop.
+func BenchmarkArnoldiParallel(b *testing.B) {
+	const n = 250_000
+	const j = 20
+	basis := make([][]float64, j)
+	for i := range basis {
+		basis[i] = randVec(n, int64(30+i))
+	}
+	w0 := randVec(n, 29)
+	work := make([]float64, n)
+	for _, w := range benchWidths {
+		p := benchPool(w)
+		b.Run(widthName(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(work, w0)
+				for k := 0; k < j; k++ {
+					h := kernel.Dot(p, basis[k], work)
+					kernel.Axpy(p, -h, basis[k], work)
+				}
+				_ = kernel.Norm2(p, work)
+			}
+		})
+		p.Close()
+	}
+}

@@ -1,0 +1,48 @@
+package kernel
+
+import "sort"
+
+// PartitionNNZ splits the rows of a CSR matrix into parts with near-equal
+// stored-entry (nnz) counts, returning parts+1 non-decreasing row
+// boundaries: part p owns rows [bounds[p], bounds[p+1]). rowPtr is the CSR
+// row-pointer array (length rows+1, rowPtr[rows] == nnz).
+//
+// Boundary p is the first row whose cumulative nnz reaches p/parts of the
+// total (binary search on rowPtr), so a handful of dense rows cannot starve
+// the remaining workers the way equal-row splitting does. One row is never
+// split: a single row denser than nnz/parts bounds the achievable balance,
+// and the adjacent parts may come out empty — callers must tolerate empty
+// ranges (Pool.Run's dynamic claiming makes them free).
+//
+// The boundaries are a function of rowPtr and parts alone. Since row-range
+// SpMV writes disjoint outputs with serial per-row rounding, the partitioned
+// product is bit-identical to the serial one for every parts value.
+func PartitionNNZ(rowPtr []int, parts int) []int {
+	rows := len(rowPtr) - 1
+	if rows < 0 {
+		rows = 0
+	}
+	if parts > rows {
+		parts = rows
+	}
+	if parts <= 1 {
+		return []int{0, rows}
+	}
+	nnz := rowPtr[rows]
+	bounds := make([]int, parts+1)
+	bounds[parts] = rows
+	for p := 1; p < parts; p++ {
+		target := int(int64(nnz) * int64(p) / int64(parts))
+		r := sort.SearchInts(rowPtr, target)
+		// SearchInts lands on the first rowPtr[r] >= target; rowPtr[r] is the
+		// cumulative count before row r, so r itself starts the next part.
+		if r > rows {
+			r = rows
+		}
+		if r < bounds[p-1] {
+			r = bounds[p-1]
+		}
+		bounds[p] = r
+	}
+	return bounds
+}

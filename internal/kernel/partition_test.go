@@ -1,0 +1,120 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"sdcgmres/internal/kernel"
+)
+
+// checkBounds validates the partition invariants: parts+1 entries,
+// non-decreasing, starting at 0 and ending at rows (full coverage, no
+// overlap by construction).
+func checkBounds(t *testing.T, rowPtr []int, parts int, bounds []int) {
+	t.Helper()
+	rows := len(rowPtr) - 1
+	if rows < 0 {
+		rows = 0
+	}
+	if len(bounds) < 2 {
+		t.Fatalf("bounds too short: %v", bounds)
+	}
+	if bounds[0] != 0 || bounds[len(bounds)-1] != rows {
+		t.Fatalf("bounds %v do not cover [0, %d)", bounds, rows)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			t.Fatalf("bounds %v decrease at %d", bounds, i)
+		}
+	}
+}
+
+func TestPartitionNNZEmpty(t *testing.T) {
+	for _, rowPtr := range [][]int{{}, {0}} {
+		b := kernel.PartitionNNZ(rowPtr, 4)
+		if len(b) != 2 || b[0] != 0 || b[1] != 0 {
+			t.Fatalf("empty matrix: bounds = %v, want [0 0]", b)
+		}
+	}
+}
+
+func TestPartitionNNZMoreWorkersThanRows(t *testing.T) {
+	rowPtr := []int{0, 3, 5, 9} // 3 rows
+	b := kernel.PartitionNNZ(rowPtr, 8)
+	checkBounds(t, rowPtr, 8, b)
+	if len(b) != 4 { // clamped to rows parts
+		t.Fatalf("bounds = %v, want 3 parts for 3 rows", b)
+	}
+}
+
+func TestPartitionNNZBalance(t *testing.T) {
+	// 100 uniform rows of 10 nnz: 4 parts must split 25/25/25/25.
+	rowPtr := make([]int, 101)
+	for i := 1; i <= 100; i++ {
+		rowPtr[i] = rowPtr[i-1] + 10
+	}
+	b := kernel.PartitionNNZ(rowPtr, 4)
+	checkBounds(t, rowPtr, 4, b)
+	for p := 0; p < 4; p++ {
+		if got := b[p+1] - b[p]; got != 25 {
+			t.Fatalf("part %d owns %d rows, want 25 (bounds %v)", p, got, b)
+		}
+	}
+}
+
+func TestPartitionNNZEmptyRows(t *testing.T) {
+	// Rows 10..19 hold all the nnz; the empty rows must not skew the split.
+	rowPtr := make([]int, 31)
+	for i := 1; i <= 30; i++ {
+		rowPtr[i] = rowPtr[i-1]
+		if i > 10 && i <= 20 {
+			rowPtr[i] += 100
+		}
+	}
+	b := kernel.PartitionNNZ(rowPtr, 5)
+	checkBounds(t, rowPtr, 5, b)
+	// Each part should own ~200 of the 1000 nnz.
+	for p := 0; p < 5; p++ {
+		nnz := rowPtr[b[p+1]] - rowPtr[b[p]]
+		if nnz > 400 {
+			t.Fatalf("part %d owns %d nnz of 1000 (bounds %v): dense span not split", p, nnz, b)
+		}
+	}
+}
+
+func TestPartitionNNZOneDenseRow(t *testing.T) {
+	// One row holds 10_000 nnz among 9 single-nnz rows. The dense row cannot
+	// be split; the adjacent parts may come out empty, but coverage and
+	// monotonicity must survive and no row may be assigned twice.
+	rowPtr := make([]int, 11)
+	for i := 1; i <= 10; i++ {
+		rowPtr[i] = rowPtr[i-1] + 1
+		if i == 5 {
+			rowPtr[i] += 10_000
+		}
+	}
+	b := kernel.PartitionNNZ(rowPtr, 4)
+	checkBounds(t, rowPtr, 4, b)
+	// The dense row must land in exactly one part (guaranteed by
+	// monotone bounds; spot-check the owning part exists).
+	owners := 0
+	for p := 0; p+1 < len(b); p++ {
+		if b[p] <= 4 && 4 < b[p+1] {
+			owners++
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("dense row owned by %d parts (bounds %v)", owners, b)
+	}
+}
+
+func TestPartitionNNZSinglePart(t *testing.T) {
+	rowPtr := []int{0, 2, 4, 8}
+	b := kernel.PartitionNNZ(rowPtr, 1)
+	if len(b) != 2 || b[0] != 0 || b[1] != 3 {
+		t.Fatalf("parts=1: bounds = %v, want [0 3]", b)
+	}
+	b = kernel.PartitionNNZ(rowPtr, 0)
+	if len(b) != 2 || b[0] != 0 || b[1] != 3 {
+		t.Fatalf("parts=0: bounds = %v, want [0 3]", b)
+	}
+}

@@ -1,7 +1,7 @@
 package krylov
 
 import (
-	"sdcgmres/internal/vec"
+	"sdcgmres/internal/kernel"
 )
 
 // orthoResult carries one Arnoldi orthogonalization step's outputs.
@@ -52,7 +52,7 @@ func orthogonalize(q [][]float64, w []float64, j int, opts *Options, events *[]H
 		// Classical Gram-Schmidt: all projections against the original w.
 		raw := make([]float64, j+1)
 		for i := 0; i <= j; i++ {
-			raw[i] = vec.Dot(q[i], w)
+			raw[i] = kernel.Dot(opts.Pool, q[i], w)
 		}
 		for i := 0; i <= j; i++ {
 			h[i] = project(i, raw[i])
@@ -61,7 +61,7 @@ func orthogonalize(q [][]float64, w []float64, j int, opts *Options, events *[]H
 			}
 		}
 		for i := 0; i <= j; i++ {
-			vec.Axpy(-h[i], q[i], w)
+			kernel.Axpy(opts.Pool, -h[i], q[i], w)
 		}
 	case CGS2:
 		// CGS with one full re-orthogonalization pass ("twice is enough").
@@ -70,7 +70,7 @@ func orthogonalize(q [][]float64, w []float64, j int, opts *Options, events *[]H
 		// ization machinery itself.
 		raw := make([]float64, j+1)
 		for i := 0; i <= j; i++ {
-			raw[i] = vec.Dot(q[i], w)
+			raw[i] = kernel.Dot(opts.Pool, q[i], w)
 		}
 		for i := 0; i <= j; i++ {
 			h[i] = project(i, raw[i])
@@ -79,20 +79,20 @@ func orthogonalize(q [][]float64, w []float64, j int, opts *Options, events *[]H
 			}
 		}
 		for i := 0; i <= j; i++ {
-			vec.Axpy(-h[i], q[i], w)
+			kernel.Axpy(opts.Pool, -h[i], q[i], w)
 		}
 		for i := 0; i <= j; i++ {
-			c := vec.Dot(q[i], w)
-			vec.Axpy(-c, q[i], w)
+			c := kernel.Dot(opts.Pool, q[i], w)
+			kernel.Axpy(opts.Pool, -c, q[i], w)
 			h[i] += c
 		}
 	default: // MGS
 		for i := 0; i <= j; i++ {
-			h[i] = project(i, vec.Dot(q[i], w))
+			h[i] = project(i, kernel.Dot(opts.Pool, q[i], w))
 			if halt {
 				return orthoResult{halted: true}
 			}
-			vec.Axpy(-h[i], q[i], w)
+			kernel.Axpy(opts.Pool, -h[i], q[i], w)
 		}
 	}
 
@@ -102,7 +102,7 @@ func orthogonalize(q [][]float64, w []float64, j int, opts *Options, events *[]H
 	c.Step = j + 2
 	c.LastStep = true
 	c.Kind = Normalization
-	norm, errSeen := observe(opts.Hooks, c, vec.Norm2(w), events)
+	norm, errSeen := observe(opts.Hooks, c, kernel.Norm2(opts.Pool, w), events)
 	if errSeen && opts.OnHookErr == DetectHalt {
 		return orthoResult{halted: true}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/vec"
 )
 
@@ -50,7 +51,7 @@ func CGCtx(ctx context.Context, a Operator, b, x0 []float64, opts CGOptions) (*R
 		copy(x, x0)
 	}
 	res := &Result{}
-	normB := vec.Norm2(b)
+	normB := kernel.Norm2(opts.Pool, b)
 	if normB == 0 {
 		res.X = x
 		res.Converged = true
@@ -58,11 +59,11 @@ func CGCtx(ctx context.Context, a Operator, b, x0 []float64, opts CGOptions) (*R
 	}
 
 	r := make([]float64, n)
-	a.MatVec(r, x)
+	matVec(opts.Pool, a, r, x)
 	vec.Sub(r, b, r)
 	p := vec.Clone(r)
 	ap := make([]float64, n)
-	rr := vec.Dot(r, r)
+	rr := kernel.Dot(opts.Pool, r, r)
 
 	for it := 0; it < opts.MaxIter; it++ {
 		if err := ctxOK(ctx); err != nil {
@@ -75,8 +76,8 @@ func CGCtx(ctx context.Context, a Operator, b, x0 []float64, opts CGOptions) (*R
 			res.Converged = true
 			break
 		}
-		a.MatVec(ap, p)
-		pap := vec.Dot(p, ap)
+		matVec(opts.Pool, a, ap, p)
+		pap := kernel.Dot(opts.Pool, p, ap)
 		if pap <= 0 {
 			// A is not positive definite along p; CG's invariants are gone.
 			res.X = x
@@ -84,9 +85,9 @@ func CGCtx(ctx context.Context, a Operator, b, x0 []float64, opts CGOptions) (*R
 			return res, fmt.Errorf("krylov: CG found non-positive curvature pᵀAp = %g at iteration %d (matrix not SPD?)", pap, it+1)
 		}
 		alpha := rr / pap
-		vec.Axpy(alpha, p, x)
-		vec.Axpy(-alpha, ap, r)
-		rrNew := vec.Dot(r, r)
+		kernel.Axpy(opts.Pool, alpha, p, x)
+		kernel.Axpy(opts.Pool, -alpha, ap, r)
+		rrNew := kernel.Dot(opts.Pool, r, r)
 		beta := rrNew / rr
 		rr = rrNew
 		for i := range p {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/vec"
 )
 
@@ -67,7 +68,7 @@ func FCGCtx(ctx context.Context, a Operator, b, x0 []float64, provider PrecondPr
 		copy(x, x0)
 	}
 	res := &Result{}
-	normB := vec.Norm2(b)
+	normB := kernel.Norm2(opts.Pool, b)
 	if normB == 0 {
 		res.X = x
 		res.Converged = true
@@ -75,7 +76,7 @@ func FCGCtx(ctx context.Context, a Operator, b, x0 []float64, provider PrecondPr
 	}
 
 	r := make([]float64, n)
-	a.MatVec(r, x)
+	matVec(opts.Pool, a, r, x)
 	vec.Sub(r, b, r)
 
 	type direction struct {
@@ -89,7 +90,7 @@ func FCGCtx(ctx context.Context, a Operator, b, x0 []float64, provider PrecondPr
 		if err := ctxOK(ctx); err != nil {
 			return nil, err
 		}
-		rel := vec.Norm2(r) / normB
+		rel := kernel.Norm2(opts.Pool, r) / normB
 		res.ResidualHistory = append(res.ResidualHistory, rel)
 		opts.Recorder.IterResidual(0, k+1, k+1, rel)
 		if opts.OnIteration != nil {
@@ -115,30 +116,30 @@ func FCGCtx(ctx context.Context, a Operator, b, x0 []float64, provider PrecondPr
 		// New direction: A-orthogonalize z against the retained history.
 		p := vec.Clone(z)
 		for _, d := range hist {
-			beta := vec.Dot(z, d.ap) / d.pap
-			vec.Axpy(-beta, d.p, p)
+			beta := kernel.Dot(opts.Pool, z, d.ap) / d.pap
+			kernel.Axpy(opts.Pool, -beta, d.p, p)
 		}
 		ap := make([]float64, n)
-		a.MatVec(ap, p)
-		pap := vec.Dot(p, ap)
+		matVec(opts.Pool, a, ap, p)
+		pap := kernel.Dot(opts.Pool, p, ap)
 		if !(pap > 0) {
 			// Corrupted preconditioner result produced a non-positive-
 			// curvature direction (impossible for SPD A with honest z).
 			// Run through with steepest descent instead.
 			p = vec.Clone(r)
-			a.MatVec(ap, p)
-			pap = vec.Dot(p, ap)
+			matVec(opts.Pool, a, ap, p)
+			pap = kernel.Dot(opts.Pool, p, ap)
 			if !(pap > 0) {
 				res.X = x
 				res.FinalResidual = rel
 				return res, fmt.Errorf("krylov: FCG found non-positive curvature on the residual direction (matrix not SPD?)")
 			}
 		}
-		alpha := vec.Dot(p, r) / pap
-		vec.Axpy(alpha, p, x)
+		alpha := kernel.Dot(opts.Pool, p, r) / pap
+		kernel.Axpy(opts.Pool, alpha, p, x)
 		// Reliable residual: recompute explicitly rather than trusting the
 		// recurrence across possibly faulty directions.
-		a.MatVec(r, x)
+		matVec(opts.Pool, a, r, x)
 		vec.Sub(r, b, r)
 		res.Iterations++
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"sdcgmres/internal/dense"
+	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/vec"
 )
 
@@ -76,7 +77,7 @@ func FGMRESCtx(ctx context.Context, a Operator, b, x0 []float64, provider Precon
 		copy(x, x0)
 	}
 	res := &Result{}
-	normB := vec.Norm2(b)
+	normB := kernel.Norm2(o.Pool, b)
 	if normB == 0 {
 		res.X = x
 		res.Converged = true
@@ -84,10 +85,10 @@ func FGMRESCtx(ctx context.Context, a Operator, b, x0 []float64, provider Precon
 	}
 
 	r0 := make([]float64, n)
-	a.MatVec(r0, x)
+	matVec(o.Pool, a, r0, x)
 	res.Work.SpMVs++
 	vec.Sub(r0, b, r0)
-	beta := vec.Norm2(r0)
+	beta := kernel.Norm2(o.Pool, r0)
 	if o.Tol > 0 && beta/normB <= o.Tol {
 		res.X = x
 		res.Converged = true
@@ -96,7 +97,7 @@ func FGMRESCtx(ctx context.Context, a Operator, b, x0 []float64, provider Precon
 	}
 
 	q := make([][]float64, 0, o.MaxIter+1)
-	vec.Scale(1/beta, r0)
+	kernel.Scale(o.Pool, 1/beta, r0)
 	q = append(q, r0)
 	z := make([][]float64, 0, o.MaxIter)
 	lsq := dense.NewHessLSQ(o.MaxIter, beta)
@@ -116,7 +117,7 @@ func FGMRESCtx(ctx context.Context, a Operator, b, x0 []float64, provider Precon
 			return nil, fmt.Errorf("krylov: preconditioner failed at outer iteration %d: %w", j+1, err)
 		}
 		z = append(z, zj)
-		a.MatVec(w, zj)
+		matVec(o.Pool, a, w, zj)
 		res.Work.SpMVs++
 
 		or := orthogonalize(q, w, j, &o, &res.HookEvents)
@@ -144,7 +145,7 @@ func FGMRESCtx(ctx context.Context, a Operator, b, x0 []float64, provider Precon
 			res.Breakdown = true
 		} else {
 			qn := vec.Clone(w)
-			vec.Scale(1/hj1, qn)
+			kernel.Scale(o.Pool, 1/hj1, qn)
 			q = append(q, qn)
 		}
 
@@ -153,8 +154,8 @@ func FGMRESCtx(ctx context.Context, a Operator, b, x0 []float64, provider Precon
 		if opts.ExplicitResidual {
 			y := solveProjected(lsq, &o, res)
 			cand := vec.Clone(x)
-			applyUpdate(cand, z, y)
-			rel = TrueResidual(a, b, cand)
+			applyUpdate(o.Pool, cand, z, y)
+			rel = TrueResidualPool(o.Pool, a, b, cand)
 			res.Work.SpMVs++
 		}
 		res.ResidualHistory = append(res.ResidualHistory, rel)
@@ -170,7 +171,7 @@ func FGMRESCtx(ctx context.Context, a Operator, b, x0 []float64, provider Precon
 
 	if lsq.K() > 0 {
 		y := solveProjected(lsq, &o, res)
-		applyUpdate(x, z, y)
+		applyUpdate(o.Pool, x, z, y)
 	}
 	res.X = x
 	if k := len(res.ResidualHistory); k > 0 {

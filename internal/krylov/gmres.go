@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"sdcgmres/internal/dense"
+	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/vec"
 )
 
@@ -39,7 +40,7 @@ func GMRESCtx(ctx context.Context, a Operator, b, x0 []float64, opts Options) (*
 	if x0 != nil {
 		copy(x, x0)
 	}
-	normB := vec.Norm2(b)
+	normB := kernel.Norm2(opts.Pool, b)
 	if normB == 0 {
 		// The zero solution is exact.
 		return &Result{X: x, Converged: true, FinalResidual: 0}, nil
@@ -63,10 +64,10 @@ func GMRESCtx(ctx context.Context, a Operator, b, x0 []float64, opts Options) (*
 		// Restart: explicit residual check guards against the drift between
 		// projected and true residuals across cycles.
 		r := make([]float64, n)
-		a.MatVec(r, x)
+		matVec(opts.Pool, a, r, x)
 		res.Work.SpMVs++
 		vec.Sub(r, b, r)
-		rel := vec.Norm2(r) / normB
+		rel := kernel.Norm2(opts.Pool, r) / normB
 		if opts.Tol > 0 && rel <= opts.Tol {
 			res.Converged = true
 			break
@@ -93,10 +94,10 @@ type cycleOutcome struct {
 func gmresCycle(ctx context.Context, a Operator, b []float64, x []float64, normB float64, opts *Options, res *Result) cycleOutcome {
 	n := a.Rows()
 	r0 := make([]float64, n)
-	a.MatVec(r0, x)
+	matVec(opts.Pool, a, r0, x)
 	res.Work.SpMVs++
 	vec.Sub(r0, b, r0)
-	beta := vec.Norm2(r0)
+	beta := kernel.Norm2(opts.Pool, r0)
 	if opts.Tol > 0 && beta/normB <= opts.Tol {
 		return cycleOutcome{converged: true}
 	}
@@ -105,7 +106,7 @@ func gmresCycle(ctx context.Context, a Operator, b []float64, x []float64, normB
 	}
 
 	q := make([][]float64, 0, opts.MaxIter+1)
-	vec.Scale(1/beta, r0)
+	kernel.Scale(opts.Pool, 1/beta, r0)
 	q = append(q, r0)
 	lsq := dense.NewHessLSQ(opts.MaxIter, beta)
 
@@ -126,9 +127,9 @@ func gmresCycle(ctx context.Context, a Operator, b []float64, x []float64, normB
 				out.err = fmt.Errorf("krylov: preconditioner failed at iteration %d: %w", j+1, err)
 				return out
 			}
-			a.MatVec(w, z)
+			matVec(opts.Pool, a, w, z)
 		} else {
-			a.MatVec(w, q[j])
+			matVec(opts.Pool, a, w, q[j])
 		}
 		res.Work.SpMVs++
 		or := orthogonalize(q, w, j, opts, &res.HookEvents)
@@ -155,7 +156,7 @@ func gmresCycle(ctx context.Context, a Operator, b []float64, x []float64, normB
 		}
 		if j+1 < opts.MaxIter {
 			qn := vec.Clone(w)
-			vec.Scale(1/hj1, qn)
+			kernel.Scale(opts.Pool, 1/hj1, qn)
 			q = append(q, qn)
 		}
 	}
@@ -164,18 +165,18 @@ func gmresCycle(ctx context.Context, a Operator, b []float64, x []float64, normB
 	}
 	y := solveProjected(lsq, opts, res)
 	if opts.Precond == nil {
-		applyUpdate(x, q, y)
+		applyUpdate(opts.Pool, x, q, y)
 		return out
 	}
 	// Right-preconditioned update: x += M⁻¹(Q y), one preconditioner
 	// application for the whole combination.
 	s := make([]float64, n)
-	applyUpdate(s, q, y)
+	applyUpdate(opts.Pool, s, q, y)
 	if err := opts.Precond.Apply(z, s); err != nil {
 		out.err = fmt.Errorf("krylov: preconditioner failed in solution update: %w", err)
 		return out
 	}
-	vec.Axpy(1, z, x)
+	kernel.Axpy(opts.Pool, 1, z, x)
 	return out
 }
 
@@ -198,12 +199,12 @@ func solveProjected(lsq *dense.HessLSQ, opts *Options, res *Result) []float64 {
 }
 
 // applyUpdate computes x += Σ y_i q_i for the leading len(y) basis vectors.
-func applyUpdate(x []float64, basis [][]float64, y []float64) {
+func applyUpdate(p *kernel.Pool, x []float64, basis [][]float64, y []float64) {
 	for i, c := range y {
 		if i >= len(basis) {
 			break
 		}
-		vec.Axpy(c, basis[i], x)
+		kernel.Axpy(p, c, basis[i], x)
 	}
 }
 
@@ -217,15 +218,21 @@ func abs(v float64) float64 {
 // TrueResidual returns ‖b − A x‖₂ / ‖b‖₂, the reliably computed relative
 // residual the outer solver of FT-GMRES uses to judge convergence.
 func TrueResidual(a Operator, b, x []float64) float64 {
+	return TrueResidualPool(nil, a, b, x)
+}
+
+// TrueResidualPool is TrueResidual with the SpMV and norms on the kernel
+// pool. Bit-identical to TrueResidual for every pool width.
+func TrueResidualPool(p *kernel.Pool, a Operator, b, x []float64) float64 {
 	if err := checkSystem(a, b, x); err != nil {
 		panic(fmt.Sprintf("krylov.TrueResidual: %v", err))
 	}
 	r := make([]float64, a.Rows())
-	a.MatVec(r, x)
+	matVec(p, a, r, x)
 	vec.Sub(r, b, r)
-	nb := vec.Norm2(b)
+	nb := kernel.Norm2(p, b)
 	if nb == 0 {
-		return vec.Norm2(r)
+		return kernel.Norm2(p, r)
 	}
-	return vec.Norm2(r) / nb
+	return kernel.Norm2(p, r) / nb
 }

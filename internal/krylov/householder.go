@@ -210,6 +210,6 @@ func hhCycle(a Operator, b []float64, x []float64, normB float64, opts *Options,
 		return out
 	}
 	y := solveProjected(lsq, opts, res)
-	applyUpdate(x, basis, y)
+	applyUpdate(opts.Pool, x, basis, y)
 	return out
 }

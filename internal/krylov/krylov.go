@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/trace"
 )
 
@@ -24,6 +25,25 @@ type Operator interface {
 	Rows() int
 	Cols() int
 	MatVec(dst, x []float64)
+}
+
+// PoolOperator is an Operator whose matrix-vector product can run on a
+// kernel pool. sparse.CSR satisfies it via MatVecPool. Operators that do
+// not implement it fall back to the sequential MatVec — which is always
+// numerically equivalent, since pooled SpMV partitions rows (disjoint
+// writes, serial per-row rounding).
+type PoolOperator interface {
+	Operator
+	MatVecPool(p *kernel.Pool, dst, x []float64)
+}
+
+// matVec applies a to x on the pool when the operator supports it.
+func matVec(p *kernel.Pool, a Operator, dst, x []float64) {
+	if po, ok := a.(PoolOperator); ok {
+		po.MatVecPool(p, dst, x)
+		return
+	}
+	a.MatVec(dst, x)
 }
 
 // Preconditioner applies z ≈ M⁻¹ q. For inner-outer iterations the "apply"
@@ -217,6 +237,13 @@ type Options struct {
 	// is untouched and the recorded value is the post-hook one). A nil
 	// Recorder costs one pointer check per emission site and nothing else.
 	Recorder *trace.Recorder
+	// Pool, when non-nil, runs the solver's hot-path kernels — SpMV (for
+	// operators that implement PoolOperator), dot products, norms, and
+	// axpy/scale updates — on a persistent shared-memory worker pool. The
+	// kernels are bitwise deterministic: results are identical for every
+	// worker count, including a nil Pool (sequential), so the pool changes
+	// wall-clock time and nothing else.
+	Pool *kernel.Pool
 }
 
 func (o Options) withDefaults() Options {

@@ -109,6 +109,10 @@ type CampaignManagerConfig struct {
 	Dir string
 	// Workers bounds each campaign's concurrent units (default GOMAXPROCS).
 	Workers int
+	// KernelWorkers is the total shared-memory kernel budget per campaign
+	// run (0 = sequential kernels); the campaign engine splits it across
+	// its unit workers. Journals and CSVs are identical for every value.
+	KernelWorkers int
 	// Metrics receives campaign observations (default: a fresh registry).
 	Metrics *Metrics
 	// TraceCapacity, when positive, gives every campaign a flight
@@ -248,7 +252,8 @@ func (m *CampaignManager) execute(ctx context.Context, c *managedCampaign) {
 	}
 
 	runner := campaign.NewRunner(compiled, j, have, campaign.Options{
-		Workers: m.cfg.Workers,
+		Workers:       m.cfg.Workers,
+		KernelWorkers: m.cfg.KernelWorkers,
 		OnRecord: func(rec campaign.Record) {
 			met.CampaignUnitsExecuted.Inc()
 			if rec.Outcome != campaign.OutcomeOK {

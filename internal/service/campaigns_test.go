@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/trace"
 )
 
@@ -99,7 +100,7 @@ func TestCampaignManagerLifecycleAndResume(t *testing.T) {
 
 func TestCampaignHTTPEndpoints(t *testing.T) {
 	m := NewCampaignManager(CampaignManagerConfig{Dir: t.TempDir(), Workers: 2})
-	engine := NewEngine(Config{Workers: 1, Runner: func(ctx context.Context, spec *JobSpec, _ *trace.Recorder) (*SolveRecord, error) {
+	engine := NewEngine(Config{Workers: 1, Runner: func(ctx context.Context, spec *JobSpec, _ *trace.Recorder, _ *kernel.Pool) (*SolveRecord, error) {
 		return &SolveRecord{}, nil
 	}})
 	engine.Start()

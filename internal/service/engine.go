@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/sandbox"
 	"sdcgmres/internal/trace"
 )
@@ -30,8 +31,11 @@ var (
 // without harming the process. rec is the job's flight recorder — nil
 // unless the engine was configured with a TraceCapacity — and a Runner
 // must tolerate nil (every trace.Recorder method is nil-safe, so passing
-// it through unconditionally is fine).
-type Runner func(ctx context.Context, spec *JobSpec, rec *trace.Recorder) (*SolveRecord, error)
+// it through unconditionally is fine). pool is the engine worker's
+// persistent kernel pool — nil when the engine has no kernel budget — and
+// a Runner must tolerate nil too (a nil pool means sequential kernels,
+// with bit-identical results).
+type Runner func(ctx context.Context, spec *JobSpec, rec *trace.Recorder, pool *kernel.Pool) (*SolveRecord, error)
 
 // Config parameterizes an Engine. The zero value is usable: every field
 // has a production default.
@@ -59,6 +63,13 @@ type Config struct {
 	// tracing: runners receive a nil recorder and pay one pointer check
 	// per event site.
 	TraceCapacity int
+	// KernelWorkers is the process's total shared-memory kernel budget
+	// (0 = sequential kernels). Each engine worker gets a persistent pool
+	// of max(1, KernelWorkers/Workers) kernel workers, so job concurrency
+	// times pool width never oversubscribes the budget. Kernels are
+	// bitwise deterministic: solve records are identical for every
+	// KernelWorkers value.
+	KernelWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +114,11 @@ type Engine struct {
 	baseCtx    context.Context
 	hardCancel context.CancelFunc
 
+	// pools holds one persistent kernel pool per engine worker (nil
+	// entries mean sequential kernels). Built by Start, closed by
+	// Shutdown after the drain completes.
+	pools []*kernel.Pool
+
 	mu   sync.Mutex
 	jobs map[string]*Job
 	done []string // terminal job IDs in completion order, for eviction
@@ -138,10 +154,33 @@ func (e *Engine) Start() {
 	if !e.started.CompareAndSwap(false, true) {
 		return
 	}
+	perWorker := 0
+	if e.cfg.KernelWorkers > 0 {
+		perWorker = e.cfg.KernelWorkers / e.cfg.Workers
+		if perWorker < 1 {
+			perWorker = 1
+		}
+	}
+	e.pools = make([]*kernel.Pool, e.cfg.Workers)
+	if perWorker > 1 {
+		for i := range e.pools {
+			e.pools[i] = kernel.New(perWorker)
+		}
+	}
 	e.wg.Add(e.cfg.Workers)
 	for i := 0; i < e.cfg.Workers; i++ {
-		go e.worker()
+		go e.worker(e.pools[i])
 	}
+}
+
+// KernelStats sums kernel-pool activity across the engine's workers.
+// All-zero when the engine runs sequential kernels.
+func (e *Engine) KernelStats() kernel.Stats {
+	var total kernel.Stats
+	for _, p := range e.pools {
+		total.Add(p.Stats())
+	}
+	return total
 }
 
 // Submit validates and enqueues a job. It returns ErrDraining during
@@ -270,25 +309,30 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 		e.wg.Wait()
 		close(drained)
 	}()
+	var err error
 	select {
 	case <-drained:
-		return nil
 	case <-ctx.Done():
 		e.hardCancel()
 		<-drained
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	for _, p := range e.pools {
+		p.Close()
+	}
+	return err
 }
 
-// worker pops jobs until the queue closes and drains.
-func (e *Engine) worker() {
+// worker pops jobs until the queue closes and drains. pool is this
+// worker's persistent kernel pool (nil = sequential kernels).
+func (e *Engine) worker(pool *kernel.Pool) {
 	defer e.wg.Done()
 	for {
 		j, ok := e.queue.Pop()
 		if !ok {
 			return
 		}
-		e.run(j)
+		e.run(j, pool)
 	}
 }
 
@@ -305,7 +349,7 @@ func (e *Engine) budget(spec *JobSpec) time.Duration {
 }
 
 // run executes one job under the sandbox contract and records its fate.
-func (e *Engine) run(j *Job) {
+func (e *Engine) run(j *Job, pool *kernel.Pool) {
 	m := e.cfg.Metrics
 
 	j.mu.Lock()
@@ -330,7 +374,7 @@ func (e *Engine) run(j *Job) {
 
 	var rec *SolveRecord
 	rep := sandbox.RunCtx(ctx, 0, func() error {
-		r, err := e.cfg.Runner(ctx, &j.spec, tr)
+		r, err := e.cfg.Runner(ctx, &j.spec, tr, pool)
 		if err != nil {
 			return err
 		}

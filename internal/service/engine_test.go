@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/trace"
 )
 
@@ -13,7 +14,7 @@ import (
 // size: N == hangN blocks until the job context ends; anything else sleeps
 // briefly and succeeds.
 func stubRunner(hangN int, delay time.Duration) Runner {
-	return func(ctx context.Context, spec *JobSpec, _ *trace.Recorder) (*SolveRecord, error) {
+	return func(ctx context.Context, spec *JobSpec, _ *trace.Recorder, _ *kernel.Pool) (*SolveRecord, error) {
 		if spec.Matrix.N == hangN {
 			<-ctx.Done()
 			return nil, ctx.Err()
@@ -107,7 +108,7 @@ func TestEngineTimeoutDoesNotKillNeighbors(t *testing.T) {
 }
 
 func TestEnginePanicIsolated(t *testing.T) {
-	e := NewEngine(Config{Workers: 1, Runner: func(ctx context.Context, spec *JobSpec, _ *trace.Recorder) (*SolveRecord, error) {
+	e := NewEngine(Config{Workers: 1, Runner: func(ctx context.Context, spec *JobSpec, _ *trace.Recorder, _ *kernel.Pool) (*SolveRecord, error) {
 		panic("solver exploded")
 	}})
 	e.Start()

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sdcgmres/internal/kernel"
 )
 
 // Counter is a monotonically increasing metric.
@@ -221,5 +223,29 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	}
 	for i, k := range kinds {
 		hists[i].WritePrometheus(w, "solved_solve_duration_seconds", fmt.Sprintf("solver=%q", k))
+	}
+}
+
+// writeKernelMetrics renders a kernel-pool stats snapshot in the Prometheus
+// text format: the engine's aggregate parallel width and its lifetime
+// dispatch/chunk/fallback counters. All-zero (but still present, so
+// dashboards can rely on the series) when the process runs sequential
+// kernels.
+func writeKernelMetrics(w io.Writer, s kernel.Stats) {
+	gauges := []struct {
+		name, help string
+		v          int64
+	}{
+		{"solved_kernel_workers", "Total kernel-pool width across engine workers.", int64(s.Workers)},
+		{"solved_kernel_dispatches_total", "Parallel kernel dispatches (helpers woken).", s.Dispatches},
+		{"solved_kernel_chunks_total", "Kernel work items executed across all dispatches.", s.Chunks},
+		{"solved_kernel_seq_fallbacks_total", "Kernel calls answered on the sequential fast path.", s.SeqFallbacks},
+	}
+	for _, g := range gauges {
+		typ := "counter"
+		if g.name == "solved_kernel_workers" {
+			typ = "gauge"
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", g.name, g.help, g.name, typ, g.name, g.v)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"sdcgmres/internal/detect"
 	"sdcgmres/internal/fault"
 	"sdcgmres/internal/gallery"
+	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/krylov"
 	"sdcgmres/internal/precond"
 	"sdcgmres/internal/sparse"
@@ -122,8 +123,10 @@ func BuildMatrix(m MatrixSpec) (*sparse.CSR, string, error) {
 // worker pool) provides panic isolation and the wall-clock budget via the
 // sandbox, so RunSpec itself stays straight-line. A non-nil tr captures
 // the solve's full flight-recorder stream (residuals, coefficients,
-// detector verdicts, fault strikes, sandbox outcomes).
-func RunSpec(ctx context.Context, spec *JobSpec, tr *trace.Recorder) (*SolveRecord, error) {
+// detector verdicts, fault strikes, sandbox outcomes). A non-nil pool
+// runs the solver's kernels on persistent workers; records are bitwise
+// identical for every pool width.
+func RunSpec(ctx context.Context, spec *JobSpec, tr *trace.Recorder, pool *kernel.Pool) (*SolveRecord, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -152,11 +155,11 @@ func RunSpec(ctx context.Context, spec *JobSpec, tr *trace.Recorder) (*SolveReco
 	var rec *SolveRecord
 	switch spec.SolverKind() {
 	case "ftgmres":
-		rec, err = runFTGMRES(ctx, spec, a, name, b, hooks, tr)
+		rec, err = runFTGMRES(ctx, spec, a, name, b, hooks, tr, pool)
 	case "gmres":
-		rec, err = runGMRES(ctx, spec, a, name, b, hooks, tr)
+		rec, err = runGMRES(ctx, spec, a, name, b, hooks, tr, pool)
 	case "cg":
-		rec, err = runCG(ctx, spec, a, name, b, tr)
+		rec, err = runCG(ctx, spec, a, name, b, tr, pool)
 	default:
 		return nil, fmt.Errorf("service: unknown solver kind %q", spec.Solver.Kind)
 	}
@@ -171,12 +174,13 @@ func RunSpec(ctx context.Context, spec *JobSpec, tr *trace.Recorder) (*SolveReco
 	return rec, nil
 }
 
-func runFTGMRES(ctx context.Context, spec *JobSpec, a *sparse.CSR, name string, b []float64, hooks []krylov.CoeffHook, tr *trace.Recorder) (*SolveRecord, error) {
+func runFTGMRES(ctx context.Context, spec *JobSpec, a *sparse.CSR, name string, b []float64, hooks []krylov.CoeffHook, tr *trace.Recorder, pool *kernel.Pool) (*SolveRecord, error) {
 	cfg, err := coreConfig(spec, a, hooks)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Recorder = tr
+	cfg.Pool = pool.WithRecorder(tr)
 	start := time.Now()
 	res, err := core.New(a, cfg).SolveCtx(ctx, b, nil)
 	if err != nil {
@@ -232,7 +236,7 @@ func coreConfig(spec *JobSpec, a *sparse.CSR, hooks []krylov.CoeffHook) (core.Co
 	return cfg, nil
 }
 
-func runGMRES(ctx context.Context, spec *JobSpec, a *sparse.CSR, name string, b []float64, hooks []krylov.CoeffHook, tr *trace.Recorder) (*SolveRecord, error) {
+func runGMRES(ctx context.Context, spec *JobSpec, a *sparse.CSR, name string, b []float64, hooks []krylov.CoeffHook, tr *trace.Recorder, pool *kernel.Pool) (*SolveRecord, error) {
 	s := spec.Solver
 	ortho, _ := parseOrtho(s.Ortho)
 	policy, _ := parsePolicy(s.Policy)
@@ -252,6 +256,7 @@ func runGMRES(ctx context.Context, spec *JobSpec, a *sparse.CSR, name string, b 
 		Policy:   policy,
 		Hooks:    hooks,
 		Recorder: tr,
+		Pool:     pool.WithRecorder(tr),
 	}
 	res, err := krylov.GMRESCtx(ctx, a, b, nil, opts)
 	if err != nil {
@@ -277,12 +282,13 @@ func runGMRES(ctx context.Context, spec *JobSpec, a *sparse.CSR, name string, b 
 	return rec, nil
 }
 
-func runCG(ctx context.Context, spec *JobSpec, a *sparse.CSR, name string, b []float64, tr *trace.Recorder) (*SolveRecord, error) {
+func runCG(ctx context.Context, spec *JobSpec, a *sparse.CSR, name string, b []float64, tr *trace.Recorder, pool *kernel.Pool) (*SolveRecord, error) {
 	s := spec.Solver
 	res, err := krylov.CGCtx(ctx, a, b, nil, krylov.CGOptions{Options: krylov.Options{
 		MaxIter:  defaultInt(s.MaxOuter, 60),
 		Tol:      defaultFloat(s.Tol, 1e-8),
 		Recorder: tr,
+		Pool:     pool.WithRecorder(tr),
 	}})
 	if err != nil {
 		return nil, err

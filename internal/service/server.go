@@ -293,6 +293,7 @@ func writeTrace(w http.ResponseWriter, r *http.Request, events []trace.Event, er
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.engine.Metrics().WritePrometheus(w)
+	writeKernelMetrics(w, s.engine.KernelStats())
 	if s.opts.Store != nil {
 		s.opts.Store.WritePrometheus(w)
 	}

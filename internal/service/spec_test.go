@@ -71,7 +71,7 @@ func TestParseFaultModelRoundTrip(t *testing.T) {
 
 func TestRunSpecFTGMRES(t *testing.T) {
 	spec := PoissonJob(16)
-	rec, err := RunSpec(context.Background(), &spec, nil)
+	rec, err := RunSpec(context.Background(), &spec, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestRunSpecFTGMRES(t *testing.T) {
 func TestRunSpecWithFaultAndDetector(t *testing.T) {
 	spec := PoissonJob(16)
 	spec.Fault = &FaultSpec{Class: "large", At: 3}
-	rec, err := RunSpec(context.Background(), &spec, nil)
+	rec, err := RunSpec(context.Background(), &spec, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestRunSpecWithFaultAndDetector(t *testing.T) {
 
 func TestRunSpecGMRESAndCG(t *testing.T) {
 	gm := JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 12}, Solver: SolverSpec{Kind: "gmres", MaxOuter: 200}}
-	rec, err := RunSpec(context.Background(), &gm, nil)
+	rec, err := RunSpec(context.Background(), &gm, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestRunSpecGMRESAndCG(t *testing.T) {
 	}
 
 	cg := JobSpec{Matrix: MatrixSpec{Kind: "poisson", N: 12}, Solver: SolverSpec{Kind: "cg", MaxOuter: 500}}
-	rec, err = RunSpec(context.Background(), &cg, nil)
+	rec, err = RunSpec(context.Background(), &cg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestRunSpecGMRESAndCG(t *testing.T) {
 func TestRunSpecMatrixMarket(t *testing.T) {
 	mm := "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 4.0\n2 2 4.0\n3 3 4.0\n1 2 -1.0\n2 1 -1.0\n"
 	spec := MatrixMarketJob(mm)
-	rec, err := RunSpec(context.Background(), &spec, nil)
+	rec, err := RunSpec(context.Background(), &spec, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestRunSpecCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	spec := PoissonJob(16)
-	if _, err := RunSpec(ctx, &spec, nil); err == nil {
+	if _, err := RunSpec(ctx, &spec, nil, nil); err == nil {
 		t.Fatal("canceled context should abort the solve")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/vec"
 )
 
@@ -164,6 +165,29 @@ func (m *CSR) MatVec(dst, x []float64) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// MatVecPool computes dst = A x on the kernel pool's persistent workers,
+// partitioning rows by nnz balance (kernel.PartitionNNZ) so a few dense
+// rows cannot serialize the product. Row partitions write disjoint outputs
+// with serial per-row rounding, so the result is bit-identical to MatVec
+// for every pool width — a nil pool, or a matrix below the parallel
+// threshold, simply delegates to MatVec.
+func (m *CSR) MatVecPool(p *kernel.Pool, dst, x []float64) {
+	if len(x) != m.cols || len(dst) != m.rows {
+		panic(fmt.Sprintf("sparse.MatVecPool: A is %dx%d, x[%d], dst[%d]", m.rows, m.cols, len(x), len(dst)))
+	}
+	w := p.Workers()
+	if w <= 1 || m.NNZ() < spmvParallelThreshold {
+		m.MatVec(dst, x)
+		return
+	}
+	// Over-partition mildly so the dynamic claim evens out residual
+	// imbalance; determinism is untouched (partitions stay row-disjoint).
+	bounds := kernel.PartitionNNZ(m.rowPtr, 4*w)
+	p.Run("spmv", m.rows, len(bounds)-1, func(part int) {
+		m.matVecRange(dst, x, bounds[part], bounds[part+1])
+	})
 }
 
 func (m *CSR) matVecRange(dst, x []float64, lo, hi int) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/vec"
 )
 
@@ -23,6 +24,15 @@ var ErrJacobiStalled = errors.New("sparse: jacobi iteration did not converge")
 // the σmin (condition-number) estimator without needing a sparse LU. It
 // returns the achieved relative residual alongside the solution.
 func JacobiSolve(m *CSR, b []float64, maxIter int, tol float64) ([]float64, float64, error) {
+	return JacobiSolvePool(nil, m, b, maxIter, tol)
+}
+
+// JacobiSolvePool is JacobiSolve on the kernel pool: the per-sweep SpMV and
+// residual norm run on the pool's persistent workers. The iterates — and
+// therefore the iteration count and achieved residual — are bit-identical
+// to JacobiSolve's for every pool width (a nil pool is the sequential
+// engine).
+func JacobiSolvePool(p *kernel.Pool, m *CSR, b []float64, maxIter int, tol float64) ([]float64, float64, error) {
 	n := m.Rows()
 	if m.Cols() != n || len(b) != n {
 		panic(fmt.Sprintf("sparse.JacobiSolve: A is %dx%d, b[%d]", m.Rows(), m.Cols(), len(b)))
@@ -33,7 +43,7 @@ func JacobiSolve(m *CSR, b []float64, maxIter int, tol float64) ([]float64, floa
 			return nil, math.Inf(1), fmt.Errorf("sparse: jacobi needs nonzero diagonal, row %d is zero", i)
 		}
 	}
-	nb := vec.Norm2(b)
+	nb := kernel.Norm2(p, b)
 	if nb == 0 {
 		return make([]float64, n), 0, nil
 	}
@@ -41,9 +51,9 @@ func JacobiSolve(m *CSR, b []float64, maxIter int, tol float64) ([]float64, floa
 	ax := make([]float64, n)
 	r := make([]float64, n)
 	for it := 0; it < maxIter; it++ {
-		m.MatVec(ax, x)
+		m.MatVecPool(p, ax, x)
 		vec.Sub(r, b, ax)
-		rel := vec.Norm2(r) / nb
+		rel := kernel.Norm2(p, r) / nb
 		if rel <= tol {
 			return x, rel, nil
 		}
@@ -52,9 +62,9 @@ func JacobiSolve(m *CSR, b []float64, maxIter int, tol float64) ([]float64, floa
 			x[i] += r[i] / d[i]
 		}
 	}
-	m.MatVec(ax, x)
+	m.MatVecPool(p, ax, x)
 	vec.Sub(r, b, ax)
-	rel := vec.Norm2(r) / nb
+	rel := kernel.Norm2(p, r) / nb
 	if rel <= tol {
 		return x, rel, nil
 	}

@@ -63,6 +63,12 @@ const (
 	// requeued.
 	KindLeaseGranted
 	KindLeaseExpired
+	// KindKernelOp is one parallel compute-engine dispatch: Label the
+	// kernel name ("dot", "norm2", "spmv", …), Inner the problem size
+	// (vector length or matrix rows), Value the number of partitions
+	// dispatched. Sequential fast-path calls are not recorded — the event
+	// marks work that actually fanned out.
+	KindKernelOp
 )
 
 var kindNames = map[Kind]string{
@@ -79,6 +85,7 @@ var kindNames = map[Kind]string{
 	KindUnitEnd:         "unit-end",
 	KindLeaseGranted:    "lease-granted",
 	KindLeaseExpired:    "lease-expired",
+	KindKernelOp:        "kernel-op",
 }
 
 var kindByName = func() map[string]Kind {
@@ -348,4 +355,13 @@ func (r *Recorder) LeaseExpired(leaseID, worker string, requeued int) {
 		return
 	}
 	r.Emit(Event{Kind: KindLeaseExpired, Label: leaseID, Note: worker, Value: float64(requeued)})
+}
+
+// KernelOp records one parallel compute-engine dispatch: the kernel name
+// (a pre-existing string), the problem size, and the partition count.
+func (r *Recorder) KernelOp(op string, n, parts int) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindKernelOp, Label: op, Inner: n, Value: float64(parts)})
 }

@@ -180,7 +180,7 @@ func TestChromeTraceWellFormed(t *testing.T) {
 }
 
 func TestParseKindRoundTrip(t *testing.T) {
-	for k := KindSolveStart; k <= KindLeaseExpired; k++ {
+	for k := KindSolveStart; k <= KindKernelOp; k++ {
 		got, ok := ParseKind(k.String())
 		if !ok || got != k {
 			t.Fatalf("ParseKind(%q) = (%v, %v), want (%v, true)", k.String(), got, ok, k)

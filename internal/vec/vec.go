@@ -17,14 +17,25 @@ import (
 	"sync"
 )
 
-// parallelThreshold is the vector length below which the serial kernels are
+// ParallelThreshold is the vector length below which the serial kernels are
 // always used; goroutine dispatch costs more than it saves for short vectors.
-const parallelThreshold = 1 << 15
+// internal/kernel shares the same cutoff for its pool-based variants, so the
+// "sequential below, chunk-decomposed above" boundary is one number for the
+// whole repository.
+const ParallelThreshold = 1 << 15
 
-// chunkSize is the fixed reduction granularity for parallel dot products and
+// parallelThreshold is kept as the package-internal alias.
+const parallelThreshold = ParallelThreshold
+
+// ChunkSize is the fixed reduction granularity for parallel dot products and
 // norms. Chunk boundaries depend only on the vector length, never on the
-// worker count, which keeps results bitwise reproducible.
-const chunkSize = 1 << 12
+// worker count, which keeps results bitwise reproducible. internal/kernel
+// reuses the same granularity so pool reductions round identically to this
+// package's.
+const ChunkSize = 1 << 12
+
+// chunkSize is kept as the package-internal alias.
+const chunkSize = ChunkSize
 
 // maxWorkers caps goroutine fan-out for the parallel kernels.
 func maxWorkers() int { return runtime.GOMAXPROCS(0) }
@@ -80,6 +91,16 @@ func Dot(x, y []float64) float64 {
 		return dotChunked(x, y)
 	}
 	return dotParallel(x, y)
+}
+
+// DotChunked computes the dot product serially but with the same fixed-chunk
+// decomposition every parallel path uses, so results round identically to
+// Dot at any length. internal/kernel applies it per chunk: a slice no longer
+// than ChunkSize is a single unrolled-serial evaluation, which is exactly
+// the per-chunk partial of the parallel reduction.
+func DotChunked(x, y []float64) float64 {
+	checkLen("vec.DotChunked", len(x), len(y))
+	return dotChunked(x, y)
 }
 
 // dotChunked computes the dot product serially but with the same chunk
@@ -147,8 +168,21 @@ func dotParallel(x, y []float64) float64 {
 // Norm2 returns the Euclidean norm ‖x‖₂. It rescales to avoid overflow and
 // underflow in the squares, following the classic LAPACK dnrm2 strategy.
 func Norm2(x []float64) float64 {
-	scale := 0.0
-	ssq := 1.0
+	scale, ssq := SumSquaresScaled(x)
+	return scale * math.Sqrt(ssq)
+}
+
+// SumSquaresScaled runs the LAPACK dnrm2 rescaled sum-of-squares recurrence
+// over x and returns the (scale, ssq) pair, with Σ x_i² = scale²·ssq and
+// ‖x‖₂ = scale·sqrt(ssq). The pair stays finite for entries up to
+// math.MaxFloat64 and loses nothing to underflow for denormals, which is the
+// whole point of the rescaling. An all-zero (or empty) x returns (0, 1).
+//
+// internal/kernel evaluates this per fixed chunk and folds the pairs in
+// index order with CombineSumSquares, so the parallel norm preserves the
+// overflow/underflow behaviour at every worker count.
+func SumSquaresScaled(x []float64) (scale, ssq float64) {
+	scale, ssq = 0, 1
 	for _, v := range x {
 		if v == 0 {
 			continue
@@ -163,7 +197,28 @@ func Norm2(x []float64) float64 {
 			ssq += r * r
 		}
 	}
-	return scale * math.Sqrt(ssq)
+	return scale, ssq
+}
+
+// CombineSumSquares folds two rescaled sum-of-squares pairs into one:
+// the result represents the concatenation of the two ranges the pairs
+// summarize. The (0, 1) pair is the identity, matching SumSquaresScaled's
+// empty-range value. Folding chunk pairs left-to-right in index order gives
+// a result that depends only on the chunk boundaries — never on which
+// worker computed which chunk.
+func CombineSumSquares(scale1, ssq1, scale2, ssq2 float64) (scale, ssq float64) {
+	switch {
+	case scale2 == 0:
+		return scale1, ssq1
+	case scale1 == 0:
+		return scale2, ssq2
+	case scale1 >= scale2:
+		r := scale2 / scale1
+		return scale1, ssq1 + ssq2*r*r
+	default:
+		r := scale1 / scale2
+		return scale2, ssq2 + ssq1*r*r
+	}
 }
 
 // Norm2Fast returns sqrt(Dot(x,x)). It is cheaper than Norm2 and adequate
