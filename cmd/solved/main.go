@@ -8,7 +8,16 @@
 //
 //	solved [-addr :8080] [-workers N] [-queue 64] [-budget 30s]
 //	       [-max-budget 5m] [-retain 1024] [-drain-timeout 30s] [-pprof]
-//	       [-campaign-dir DIR] [-store-dir DIR]
+//	       [-campaign-dir DIR] [-store-dir DIR] [-qos-config qos.json]
+//	       [-max-campaigns N]
+//
+// With -qos-config set, the engine's flat FIFO becomes the internal/qos
+// multi-tenant scheduler: per-tenant token-bucket rate limits, weighted-fair
+// queuing, priority classes ("interactive" | "batch" | "background") with
+// starvation-proof aging, deadline-aware shedding, and per-tenant circuit
+// breakers. Tenants are named by the job spec's "tenant" field or the
+// X-Tenant request header; rejected submissions get 429 with Retry-After.
+// Without the flag the daemon's queueing behavior is unchanged.
 //
 // Submit a job:
 //
@@ -77,6 +86,7 @@ import (
 
 	"sdcgmres/internal/campaign"
 	"sdcgmres/internal/dist"
+	"sdcgmres/internal/qos"
 	"sdcgmres/internal/service"
 	"sdcgmres/internal/store"
 )
@@ -106,6 +116,27 @@ type cliConfig struct {
 
 	// Results warehouse (internal/store).
 	storeDir string
+
+	// Multi-tenant QoS (internal/qos).
+	qosConfig    string
+	maxCampaigns int
+	// qos is the parsed -qos-config document (nil = flat FIFO). Resolved
+	// by loadQoS before setup; tests may set it directly.
+	qos *qos.Config
+}
+
+// loadQoS resolves -qos-config into cfg.qos. No flag, no scheduler: the
+// engine keeps its flat FIFO byte-for-byte.
+func (cfg *cliConfig) loadQoS() error {
+	if cfg.qosConfig == "" {
+		return nil
+	}
+	c, err := qos.LoadConfig(cfg.qosConfig)
+	if err != nil {
+		return err
+	}
+	cfg.qos = &c
+	return nil
 }
 
 func parseFlags(args []string) (cliConfig, error) {
@@ -130,6 +161,8 @@ func parseFlags(args []string) (cliConfig, error) {
 	fs.IntVar(&cfg.batch, "batch", 8, "units per distributed lease")
 	fs.StringVar(&cfg.distOut, "dist-out", "", "coordinator output directory (default -campaign-dir)")
 	fs.StringVar(&cfg.storeDir, "store-dir", "", "results warehouse directory; enables /v1/results/query and /v1/campaigns/{id}/stats (empty = store off)")
+	fs.StringVar(&cfg.qosConfig, "qos-config", "", "multi-tenant QoS config file (JSON): per-tenant rate limits, weighted-fair queuing, priority classes, deadline shedding, circuit breakers; empty keeps the single flat FIFO")
+	fs.IntVar(&cfg.maxCampaigns, "max-campaigns", 0, "concurrently active campaigns before POST /v1/campaigns answers 429 (0 = unlimited)")
 	err := fs.Parse(args)
 	return cfg, err
 }
@@ -168,6 +201,7 @@ func setupDist(cfg cliConfig, host *dist.Host, st *store.Store) (*service.Engine
 		Retain:        cfg.retain,
 		TraceCapacity: cfg.traceCap,
 		KernelWorkers: cfg.kernelWorkers,
+		QoS:           cfg.qos,
 	})
 	campaigns := service.NewCampaignManager(service.CampaignManagerConfig{
 		Dir:           cfg.campaignDir,
@@ -176,6 +210,7 @@ func setupDist(cfg cliConfig, host *dist.Host, st *store.Store) (*service.Engine
 		Metrics:       engine.Metrics(),
 		TraceCapacity: cfg.traceCap,
 		Store:         st,
+		MaxActive:     cfg.maxCampaigns,
 	})
 	opts := service.ServerOptions{
 		EnablePprof: cfg.pprof,
@@ -219,10 +254,16 @@ func runDaemon(ctx context.Context, stop context.CancelFunc, cfg cliConfig) {
 	if err != nil {
 		log.Fatalf("solved: open store: %v", err)
 	}
+	if err := cfg.loadQoS(); err != nil {
+		log.Fatalf("solved: load qos config: %v", err)
+	}
 	engine, campaigns, handler := setupDist(cfg, nil, st)
 	engine.Start()
 	if st != nil {
 		log.Printf("solved: results store on %s", cfg.storeDir)
+	}
+	if cfg.qos != nil {
+		log.Printf("solved: qos scheduler on (%s, %d named tenants)", cfg.qosConfig, len(cfg.qos.Tenants))
 	}
 
 	srv := &http.Server{
@@ -396,6 +437,9 @@ func runCoordinate(ctx context.Context, cfg cliConfig) error {
 	st, err := openStore(cfg)
 	if err != nil {
 		return fmt.Errorf("open store: %w", err)
+	}
+	if err := cfg.loadQoS(); err != nil {
+		return fmt.Errorf("load qos config: %w", err)
 	}
 	if st != nil {
 		defer st.Close()

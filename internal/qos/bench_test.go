@@ -1,0 +1,35 @@
+package qos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkQoSAdmission measures one admission decision plus one scheduler
+// pick (Push + Pop) as the tenant count grows. Recorded in BENCH_qos.json.
+func BenchmarkQoSAdmission(b *testing.B) {
+	for _, tenants := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			cfg := Config{Tenants: map[string]TenantConfig{}, QueueDepth: 1 << 20}
+			names := make([]string, tenants)
+			for i := range names {
+				names[i] = fmt.Sprintf("tenant-%02d", i)
+				cfg.Tenants[names[i]] = TenantConfig{Weight: i%4 + 1}
+			}
+			s, err := New[int](cfg, Options[int]{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Push(names[i%tenants], Class(i%3), 0, i); err != nil {
+					b.Fatal(err)
+				}
+				if _, ok := s.Pop(); !ok {
+					b.Fatal("closed")
+				}
+			}
+		})
+	}
+}

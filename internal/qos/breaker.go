@@ -1,0 +1,104 @@
+package qos
+
+import "time"
+
+// Breaker states, reported on /healthz.
+const (
+	// BreakerClosed: admitting normally.
+	BreakerClosed = "closed"
+	// BreakerOpen: tripped; all admission rejected until the cooldown
+	// elapses.
+	BreakerOpen = "open"
+	// BreakerHalfOpen: cooldown elapsed; exactly one probe job is admitted
+	// and its outcome decides whether the breaker closes or re-trips.
+	BreakerHalfOpen = "half-open"
+)
+
+// breaker is a per-tenant circuit breaker fed by sandbox outcomes: a run
+// of threshold consecutive panics/timeouts trips it open, the cooldown
+// moves it to probe-only admission, and one successful probe closes it
+// again. threshold <= 0 disables the breaker entirely. The caller
+// serializes access and supplies the clock.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	state       string
+	consecutive int // consecutive bad outcomes while closed
+	openedAt    time.Time
+	probe       bool // half-open: the probe slot is taken
+}
+
+func newBreaker(threshold int, cooldown time.Duration) breaker {
+	return breaker{threshold: threshold, cooldown: cooldown, state: BreakerClosed}
+}
+
+// admit reports whether a job may pass the breaker right now. It never
+// mutates probe state — the scheduler calls noteAdmitted only once the
+// job clears every other admission check, so a rejected probe does not
+// burn the probe slot.
+func (b *breaker) admit(now time.Time) (ok bool, retry time.Duration) {
+	if b.threshold <= 0 {
+		return true, 0
+	}
+	switch b.state {
+	case BreakerClosed:
+		return true, 0
+	case BreakerOpen:
+		if wait := b.openedAt.Add(b.cooldown).Sub(now); wait > 0 {
+			return false, wait
+		}
+		b.state = BreakerHalfOpen
+		b.probe = false
+		return true, 0
+	default: // half-open
+		if b.probe {
+			return false, b.cooldown
+		}
+		return true, 0
+	}
+}
+
+// noteAdmitted marks a fully-admitted job; in the half-open state it
+// claims the probe slot.
+func (b *breaker) noteAdmitted() {
+	if b.state == BreakerHalfOpen {
+		b.probe = true
+	}
+}
+
+// report feeds one finished job's fate back. ok is "the guest behaved"
+// (anything but a sandbox panic or wall-clock timeout).
+func (b *breaker) report(now time.Time, ok bool) {
+	if b.threshold <= 0 {
+		return
+	}
+	if ok {
+		b.state = BreakerClosed
+		b.consecutive = 0
+		b.probe = false
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: re-trip for a fresh cooldown.
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.probe = false
+	case BreakerClosed:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = now
+		}
+	}
+}
+
+// current reports the state name, resolving an elapsed cooldown so the
+// snapshot matches what admit would do.
+func (b *breaker) current(now time.Time) string {
+	if b.state == BreakerOpen && !now.Before(b.openedAt.Add(b.cooldown)) {
+		return BreakerHalfOpen
+	}
+	return b.state
+}

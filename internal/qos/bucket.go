@@ -1,0 +1,59 @@
+package qos
+
+import "time"
+
+// bucket is a token-bucket rate limiter: tokens refill continuously at
+// rate per second up to burst, and each admitted job spends one. A zero
+// rate means unlimited (take always succeeds). All methods assume the
+// caller serializes access (the scheduler's lock) and pass the current
+// time explicitly, so a deterministic clock drives tests.
+type bucket struct {
+	rate   float64 // tokens per second; 0 = unlimited
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// newBucket builds a full bucket.
+func newBucket(rate float64, burst int) bucket {
+	return bucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// refill accrues tokens for the time elapsed since the last touch.
+func (b *bucket) refill(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		return
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// take spends one token if available. When the bucket is empty it reports
+// how long until the next token accrues.
+func (b *bucket) take(now time.Time) (ok bool, retry time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	b.refill(now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}
+
+// level reports the current token level (for /healthz state snapshots).
+func (b *bucket) level(now time.Time) float64 {
+	if b.rate <= 0 {
+		return b.burst
+	}
+	b.refill(now)
+	return b.tokens
+}

@@ -1,0 +1,207 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConfig(t *testing.T) {
+	raw := []byte(`{
+		"tenants": {
+			"acme": {"weight": 3, "rate": 10, "burst": 20},
+			"guest": {"rate": 0.5}
+		},
+		"default": {"weight": 1},
+		"queue_depth": 8,
+		"aging_step": "5s",
+		"breaker_threshold": 3,
+		"breaker_cooldown": 2.5
+	}`)
+	c, err := ParseConfig(raw)
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	if got := c.Tenants["acme"].Weight; got != 3 {
+		t.Errorf("acme weight = %d, want 3", got)
+	}
+	if got := time.Duration(c.AgingStep); got != 5*time.Second {
+		t.Errorf("aging_step = %v, want 5s", got)
+	}
+	if got := time.Duration(c.BreakerCooldown); got != 2500*time.Millisecond {
+		t.Errorf("breaker_cooldown = %v, want 2.5s", got)
+	}
+	if names := c.TenantNames(); len(names) != 2 || names[0] != "acme" || names[1] != "guest" {
+		t.Errorf("TenantNames = %v", names)
+	}
+}
+
+func TestParseConfigRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseConfig([]byte(`{"tenannts": {}}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestParseConfigRejectsBadValues(t *testing.T) {
+	cases := []string{
+		`{"tenants": {"a": {"weight": -1}}}`,
+		`{"tenants": {"a": {"rate": -2}}}`,
+		`{"tenants": {"a": {"burst": -1}}}`,
+		`{"tenants": {"": {}}}`,
+		`{"queue_depth": -1}`,
+		`{"aging_step": "fast"}`,
+	}
+	for _, raw := range cases {
+		if _, err := ParseConfig([]byte(raw)); err == nil {
+			t.Errorf("config %s accepted, want error", raw)
+		}
+	}
+}
+
+func TestTenantConfigDefaults(t *testing.T) {
+	c := Config{QueueDepth: 32}.withDefaults()
+	tc := TenantConfig{Rate: 2.5}.withDefaults(c)
+	if tc.Weight != 1 {
+		t.Errorf("weight = %d, want 1", tc.Weight)
+	}
+	if tc.Burst != 3 { // ceil(2.5)
+		t.Errorf("burst = %d, want 3", tc.Burst)
+	}
+	if tc.QueueDepth != 32 {
+		t.Errorf("queue_depth = %d, want 32 (inherited)", tc.QueueDepth)
+	}
+	if zero := (TenantConfig{}).withDefaults(c); zero.Burst != 1 {
+		t.Errorf("zero-rate burst = %d, want 1", zero.Burst)
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for s, want := range map[string]Class{"": Batch, "batch": Batch, "interactive": Interactive, "background": Background} {
+		got, err := ParseClass(s)
+		if err != nil || got != want {
+			t.Errorf("ParseClass(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseClass("vip"); err == nil {
+		t.Error("ParseClass(vip) accepted")
+	}
+	if got := Class(99).String(); got != "unknown" {
+		t.Errorf("Class(99) = %q", got)
+	}
+}
+
+func TestShedErrorRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1}, {10 * time.Millisecond, 1}, {time.Second, 1}, {1100 * time.Millisecond, 2}, {5 * time.Second, 5},
+	}
+	for _, c := range cases {
+		e := &ShedError{Tenant: "t", Reason: ReasonThrottled, RetryAfter: c.d}
+		if got := e.RetryAfterSeconds(); got != c.want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+		if !strings.Contains(e.Error(), "throttled") {
+			t.Errorf("Error() = %q, want reason in message", e.Error())
+		}
+	}
+}
+
+func TestBucketRefillAndRetry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBucket(2, 2) // 2 tokens/s, burst 2, starts full
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(now); !ok {
+			t.Fatalf("take %d rejected with full bucket", i)
+		}
+	}
+	ok, retry := b.take(now)
+	if ok {
+		t.Fatal("take succeeded on empty bucket")
+	}
+	if retry != 500*time.Millisecond {
+		t.Fatalf("retry = %v, want 500ms (1 token at 2/s)", retry)
+	}
+	if ok, _ := b.take(now.Add(500 * time.Millisecond)); !ok {
+		t.Fatal("take rejected after refill interval")
+	}
+	// Refill caps at burst.
+	if lvl := b.level(now.Add(time.Hour)); lvl != 2 {
+		t.Fatalf("level after long idle = %g, want burst 2", lvl)
+	}
+}
+
+func TestBucketUnlimited(t *testing.T) {
+	b := newBucket(0, 1)
+	now := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := b.take(now); !ok {
+			t.Fatal("zero-rate bucket rejected")
+		}
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(2000, 0)
+	b := newBreaker(2, 10*time.Second)
+
+	// Below threshold: stays closed, and one success resets the run.
+	b.report(now, false)
+	b.report(now, true)
+	b.report(now, false)
+	if ok, _ := b.admit(now); !ok {
+		t.Fatal("breaker tripped below threshold")
+	}
+
+	// Two consecutive failures trip it.
+	b.report(now, false)
+	if ok, retry := b.admit(now); ok || retry != 10*time.Second {
+		t.Fatalf("admit after trip = %v, retry %v; want rejected, 10s", ok, retry)
+	}
+	if b.current(now) != BreakerOpen {
+		t.Fatalf("state = %s, want open", b.current(now))
+	}
+
+	// Cooldown elapses: one probe passes, the second is rejected.
+	now = now.Add(10 * time.Second)
+	if b.current(now) != BreakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", b.current(now))
+	}
+	if ok, _ := b.admit(now); !ok {
+		t.Fatal("probe rejected after cooldown")
+	}
+	b.noteAdmitted()
+	if ok, _ := b.admit(now); ok {
+		t.Fatal("second probe admitted")
+	}
+
+	// Failed probe re-trips for a fresh cooldown.
+	b.report(now, false)
+	if ok, _ := b.admit(now.Add(5 * time.Second)); ok {
+		t.Fatal("admitted during re-trip cooldown")
+	}
+	now = now.Add(10 * time.Second)
+	if ok, _ := b.admit(now); !ok {
+		t.Fatal("probe rejected after second cooldown")
+	}
+	b.noteAdmitted()
+	b.report(now, true)
+	if b.current(now) != BreakerClosed {
+		t.Fatalf("state after good probe = %s, want closed", b.current(now))
+	}
+	if ok, _ := b.admit(now); !ok {
+		t.Fatal("closed breaker rejected")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(-1, time.Second)
+	now := time.Unix(0, 0)
+	for i := 0; i < 50; i++ {
+		b.report(now, false)
+	}
+	if ok, _ := b.admit(now); !ok {
+		t.Fatal("disabled breaker rejected")
+	}
+}

@@ -21,6 +21,9 @@ var (
 	ErrUnknownCampaign = errors.New("service: unknown campaign")
 	// ErrCampaignTerminal: the campaign already reached a terminal state.
 	ErrCampaignTerminal = errors.New("service: campaign already terminal")
+	// ErrBusy: the manager is at its active-campaign cap; retry later. The
+	// HTTP layer maps it to 429 with a Retry-After header.
+	ErrBusy = errors.New("service: too many active campaigns")
 )
 
 // Campaign lifecycle states.
@@ -126,6 +129,9 @@ type CampaignManagerConfig struct {
 	// the resume replay plus the live feed never double-count. The journal
 	// stays authoritative — a store error is counted, not fatal.
 	Store *store.Store
+	// MaxActive bounds concurrently non-terminal campaigns; Submit returns
+	// ErrBusy beyond it (0 = unlimited, today's behavior).
+	MaxActive int
 }
 
 // CampaignManager runs durable fault-injection campaigns inside the daemon:
@@ -186,6 +192,9 @@ func (m *CampaignManager) Submit(man campaign.Manifest) (CampaignView, error) {
 	if err := man.Validate(); err != nil {
 		return CampaignView{}, err
 	}
+	if m.cfg.MaxActive > 0 && m.activeCount() >= m.cfg.MaxActive {
+		return CampaignView{}, ErrBusy
+	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	c := &managedCampaign{
 		id:        fmt.Sprintf("cmp-%06d", m.nextID.Add(1)),
@@ -211,6 +220,22 @@ func (m *CampaignManager) Submit(man campaign.Manifest) (CampaignView, error) {
 		m.execute(ctx, c)
 	}()
 	return c.view(), nil
+}
+
+// activeCount counts campaigns that have not reached a terminal state.
+func (m *CampaignManager) activeCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, c := range m.campaigns {
+		c.mu.Lock()
+		switch c.state {
+		case CampaignCompiling, CampaignRunning:
+			n++
+		}
+		c.mu.Unlock()
+	}
+	return n
 }
 
 // execute drives one campaign from compile to a terminal state.

@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sdcgmres/internal/kernel"
+	"sdcgmres/internal/qos"
 	"sdcgmres/internal/sandbox"
 	"sdcgmres/internal/trace"
 )
@@ -70,6 +73,17 @@ type Config struct {
 	// bitwise deterministic: solve records are identical for every
 	// KernelWorkers value.
 	KernelWorkers int
+	// QoS, when non-nil, replaces the flat FIFO at the engine's
+	// backpressure point with the internal/qos multi-tenant scheduler:
+	// per-tenant rate limits, weighted-fair queuing, priority classes with
+	// aging, deadline shedding, and circuit breakers. Nil preserves
+	// today's single-queue FIFO semantics exactly. The config must be
+	// valid (qos.ParseConfig and qos.LoadConfig validate); NewEngine
+	// panics on one that is not.
+	QoS *qos.Config
+	// QoSClock injects the scheduler's clock (nil = time.Now). Tests use
+	// a deterministic clock so scheduling assertions never sleep.
+	QoSClock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -102,8 +116,12 @@ func (c Config) withDefaults() Config {
 // reliable host of the paper's Section IV contract, with every job as an
 // unreliable guest.
 type Engine struct {
-	cfg     Config
-	queue   *FIFO[*Job]
+	cfg   Config
+	queue *FIFO[*Job]
+	// sched is the QoS scheduler when Config.QoS is set; nil otherwise.
+	// Exactly one of the two queue paths is in use for the engine's whole
+	// lifetime.
+	sched   *qos.Scheduler[*Job]
 	wg      sync.WaitGroup
 	started atomic.Bool
 	drain   atomic.Bool
@@ -128,13 +146,26 @@ type Engine struct {
 func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Engine{
+	e := &Engine{
 		cfg:        cfg,
 		queue:      NewFIFO[*Job](cfg.QueueDepth),
 		baseCtx:    ctx,
 		hardCancel: cancel,
 		jobs:       make(map[string]*Job),
 	}
+	if cfg.QoS != nil {
+		sched, err := qos.New[*Job](*cfg.QoS, qos.Options[*Job]{
+			Now:         cfg.QoSClock,
+			Workers:     cfg.Workers,
+			ServiceTime: cfg.Metrics.MeanServiceTime,
+			OnShed:      e.shedExpired,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("service: invalid QoS config: %v", err))
+		}
+		e.sched = sched
+	}
+	return e
 }
 
 // Metrics returns the engine's registry.
@@ -144,7 +175,45 @@ func (e *Engine) Metrics() *Metrics { return e.cfg.Metrics }
 func (e *Engine) Workers() int { return e.cfg.Workers }
 
 // QueueLen returns the number of jobs waiting for a worker.
-func (e *Engine) QueueLen() int { return e.queue.Len() }
+func (e *Engine) QueueLen() int {
+	if e.sched != nil {
+		return e.sched.Len()
+	}
+	return e.queue.Len()
+}
+
+// QoSEnabled reports whether the engine runs the multi-tenant QoS
+// scheduler instead of the flat FIFO.
+func (e *Engine) QoSEnabled() bool { return e.sched != nil }
+
+// QoSState snapshots the scheduler's per-tenant state for /healthz.
+// Nil when the engine runs without QoS.
+func (e *Engine) QoSState() []qos.TenantState {
+	if e.sched == nil {
+		return nil
+	}
+	return e.sched.State()
+}
+
+// WriteQoSMetrics appends the per-tenant solved_qos_* series to a
+// /metrics response. No-op without a QoS scheduler.
+func (e *Engine) WriteQoSMetrics(w io.Writer) {
+	if e.sched != nil {
+		e.sched.WritePrometheus(w)
+	}
+}
+
+// RetryAfter estimates how many whole seconds a rejected submitter should
+// wait before retrying: live queue depth × the mean observed service time
+// ÷ worker count, ceiling, minimum 1.
+func (e *Engine) RetryAfter() int {
+	wait := float64(e.QueueLen()) * e.cfg.Metrics.MeanServiceTime().Seconds() / float64(e.cfg.Workers)
+	s := int(math.Ceil(wait))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
 
 // Draining reports whether shutdown has begun.
 func (e *Engine) Draining() bool { return e.drain.Load() }
@@ -184,8 +253,9 @@ func (e *Engine) KernelStats() kernel.Stats {
 }
 
 // Submit validates and enqueues a job. It returns ErrDraining during
-// shutdown, ErrQueueFull when admission control rejects the job, or the
-// spec's validation error.
+// shutdown, ErrQueueFull when the FIFO rejects the job, a *qos.ShedError
+// when the QoS scheduler rejects it (carrying the reason and retry
+// advice), or the spec's validation error.
 func (e *Engine) Submit(spec JobSpec) (JobView, error) {
 	if e.drain.Load() {
 		return JobView{}, ErrDraining
@@ -202,11 +272,11 @@ func (e *Engine) Submit(spec JobSpec) (JobView, error) {
 	e.mu.Lock()
 	e.jobs[j.id] = j
 	e.mu.Unlock()
-	if err := e.queue.Push(j); err != nil {
+	if err := e.enqueue(j); err != nil {
 		e.mu.Lock()
 		delete(e.jobs, j.id)
 		e.mu.Unlock()
-		if errors.Is(err, ErrQueueClosed) {
+		if errors.Is(err, ErrQueueClosed) || errors.Is(err, qos.ErrClosed) {
 			return JobView{}, ErrDraining
 		}
 		e.cfg.Metrics.JobsRejected.Inc()
@@ -214,6 +284,56 @@ func (e *Engine) Submit(spec JobSpec) (JobView, error) {
 	}
 	e.cfg.Metrics.JobsAccepted.Inc()
 	return j.View(), nil
+}
+
+// enqueue hands a job to whichever queue path the engine runs.
+func (e *Engine) enqueue(j *Job) error {
+	if e.sched == nil {
+		return e.queue.Push(j)
+	}
+	// The QoS path gives the job its flight recorder at admission, so the
+	// qos-admit/qos-shed events land on its own trace. The FIFO path keeps
+	// creating it at run start, unchanged.
+	var tr *trace.Recorder
+	if e.cfg.TraceCapacity > 0 {
+		tr = trace.NewRecorder(e.cfg.TraceCapacity)
+		j.mu.Lock()
+		j.trace = tr
+		j.mu.Unlock()
+	}
+	spec := &j.spec
+	if err := e.sched.Push(spec.Tenant, spec.QoSClass(), spec.Deadline(), j); err != nil {
+		return err
+	}
+	tr.QoSAdmit(qosTenant(spec), spec.QoSClass().String(), e.sched.Len())
+	return nil
+}
+
+// qosTenant is the spec's tenant as the scheduler accounts it.
+func qosTenant(spec *JobSpec) string {
+	if spec.Tenant == "" {
+		return qos.DefaultTenant
+	}
+	return spec.Tenant
+}
+
+// shedExpired is the scheduler's OnShed callback: the job's deadline
+// expired while it was queued, and it will never reach a worker.
+func (e *Engine) shedExpired(tenant string, j *Job) {
+	j.mu.Lock()
+	if j.state.Terminal() { // e.g. canceled while queued; already retired
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateShed
+	j.err = "deadline expired while queued"
+	j.finished = time.Now()
+	waited := j.finished.Sub(j.submitted)
+	tr := j.trace
+	j.mu.Unlock()
+	tr.QoSShed(tenant, string(qos.ReasonExpired), float64(waited.Milliseconds()), 0)
+	e.cfg.Metrics.JobsShed.Inc()
+	e.retire(j)
 }
 
 // Job returns a snapshot of the job with the given ID.
@@ -304,6 +424,9 @@ func (e *Engine) Cancel(id string) (JobView, error) {
 func (e *Engine) Shutdown(ctx context.Context) error {
 	e.drain.Store(true)
 	e.queue.Close()
+	if e.sched != nil {
+		e.sched.Close()
+	}
 	drained := make(chan struct{})
 	go func() {
 		e.wg.Wait()
@@ -328,7 +451,13 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 func (e *Engine) worker(pool *kernel.Pool) {
 	defer e.wg.Done()
 	for {
-		j, ok := e.queue.Pop()
+		var j *Job
+		var ok bool
+		if e.sched != nil {
+			j, ok = e.sched.Pop()
+		} else {
+			j, ok = e.queue.Pop()
+		}
 		if !ok {
 			return
 		}
@@ -366,9 +495,12 @@ func (e *Engine) run(j *Job, pool *kernel.Pool) {
 
 	var tr *trace.Recorder
 	if e.cfg.TraceCapacity > 0 {
-		tr = trace.NewRecorder(e.cfg.TraceCapacity)
 		j.mu.Lock()
-		j.trace = tr
+		tr = j.trace // the QoS path created it at admission
+		if tr == nil {
+			tr = trace.NewRecorder(e.cfg.TraceCapacity)
+			j.trace = tr
+		}
 		j.mu.Unlock()
 	}
 
@@ -424,6 +556,13 @@ func (e *Engine) run(j *Job, pool *kernel.Pool) {
 		m.JobsCanceled.Inc()
 	default:
 		m.JobsFailed.Inc()
+	}
+	if e.sched != nil {
+		// Feed the tenant's circuit breaker: a panic or a blown wall-clock
+		// budget is the guest misbehaving; everything else (including a
+		// plain error or a caller cancel) is not.
+		good := rep.Outcome != sandbox.Panicked && rep.Outcome != sandbox.TimedOut
+		e.sched.ReportOutcome(j.spec.Tenant, good)
 	}
 	e.retire(j)
 }

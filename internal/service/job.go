@@ -28,12 +28,15 @@ const (
 	// StateCanceled: canceled by the caller or by engine shutdown before
 	// completing.
 	StateCanceled State = "canceled"
+	// StateShed: the QoS scheduler dropped the job because its deadline
+	// expired while it was still queued; it never occupied a worker.
+	StateShed State = "shed"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
 	switch s {
-	case StateDone, StateFailed, StateTimedOut, StateCanceled:
+	case StateDone, StateFailed, StateTimedOut, StateCanceled, StateShed:
 		return true
 	}
 	return false

@@ -68,6 +68,16 @@ func (h *Histogram) Count() int64 {
 	return h.total
 }
 
+// Mean returns the mean observed value (0 before any observation).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
 // WritePrometheus renders the histogram under the given metric name and
 // label set (e.g. `worker="w1"`; empty for none) in the text exposition
 // format: cumulative buckets, sum and count. Callers emit the # HELP and
@@ -106,6 +116,10 @@ type Metrics struct {
 	JobsFailed    Counter
 	JobsTimedOut  Counter
 	JobsCanceled  Counter
+	// JobsShed counts jobs the QoS scheduler dropped after admission: their
+	// deadline expired while queued (admission-time rejections count under
+	// JobsRejected and the per-tenant qos registry).
+	JobsShed Counter
 	// Resilience activity, aggregated from completed jobs' records.
 	DetectorFirings Counter
 	FaultInjections Counter
@@ -152,6 +166,30 @@ func (m *Metrics) SolveHistogram(kind string) *Histogram {
 	return m.solve[kind]
 }
 
+// MeanServiceTime returns the mean completed-solve latency across every
+// solver kind — the live service-rate estimate behind Retry-After advice
+// and deadline shedding. Zero before any solve completes.
+func (m *Metrics) MeanServiceTime() time.Duration {
+	m.mu.Lock()
+	hists := make([]*Histogram, 0, len(m.solve))
+	for _, h := range m.solve {
+		hists = append(hists, h)
+	}
+	m.mu.Unlock()
+	var sum float64
+	var total int64
+	for _, h := range hists {
+		h.mu.Lock()
+		sum += h.sum
+		total += h.total
+		h.mu.Unlock()
+	}
+	if total == 0 {
+		return 0
+	}
+	return time.Duration(sum / float64(total) * float64(time.Second))
+}
+
 // Snapshot returns the counters by exported name, for tests and JSON use.
 func (m *Metrics) Snapshot() map[string]int64 {
 	return map[string]int64{
@@ -161,6 +199,7 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"jobs_failed":      m.JobsFailed.Value(),
 		"jobs_timed_out":   m.JobsTimedOut.Value(),
 		"jobs_canceled":    m.JobsCanceled.Value(),
+		"jobs_shed":        m.JobsShed.Value(),
 		"detector_firings": m.DetectorFirings.Value(),
 		"fault_injections": m.FaultInjections.Value(),
 		"sandbox_failures": m.SandboxFailures.Value(),
@@ -189,6 +228,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		{"solved_jobs_failed_total", "Jobs whose solve errored or panicked.", &m.JobsFailed},
 		{"solved_jobs_timed_out_total", "Jobs killed by their wall-clock budget.", &m.JobsTimedOut},
 		{"solved_jobs_canceled_total", "Jobs canceled by the caller or by shutdown.", &m.JobsCanceled},
+		{"solved_jobs_shed_total", "Jobs dropped by the QoS scheduler after their queued deadline expired.", &m.JobsShed},
 		{"solved_detector_firings_total", "SDC detector violations across all jobs.", &m.DetectorFirings},
 		{"solved_fault_injections_total", "Armed fault injectors that actually fired.", &m.FaultInjections},
 		{"solved_sandbox_failures_total", "Inner solves rejected at the sandbox boundary.", &m.SandboxFailures},

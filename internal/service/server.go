@@ -7,8 +7,10 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/qos"
 	"sdcgmres/internal/store"
 	"sdcgmres/internal/trace"
 )
@@ -144,14 +146,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, "job spec", &spec) {
 		return
 	}
+	// The X-Tenant header names the tenant without touching the spec body;
+	// an explicit spec field wins when both are present.
+	if spec.Tenant == "" {
+		spec.Tenant = r.Header.Get("X-Tenant")
+	}
 	view, err := s.engine.Submit(spec)
+	var shed *qos.ShedError
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, view)
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.As(err, &shed):
+		w.Header().Set("Retry-After", strconv.Itoa(shed.RetryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.engine.RetryAfter()))
 		writeError(w, http.StatusTooManyRequests, err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -205,6 +216,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.opts.LeaseBacklog != nil {
 		body["lease_backlog"] = s.opts.LeaseBacklog()
 	}
+	if s.engine.QoSEnabled() {
+		body["qos"] = s.engine.QoSState()
+	}
 	writeJSON(w, status, body)
 }
 
@@ -219,6 +233,9 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, view)
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", strconv.Itoa(s.engine.RetryAfter()))
+		writeError(w, http.StatusTooManyRequests, err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, err.Error())
 	}
@@ -294,6 +311,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.engine.Metrics().WritePrometheus(w)
 	writeKernelMetrics(w, s.engine.KernelStats())
+	s.engine.WriteQoSMetrics(w)
 	if s.opts.Store != nil {
 		s.opts.Store.WritePrometheus(w)
 	}

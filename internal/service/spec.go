@@ -18,6 +18,7 @@ import (
 
 	"sdcgmres/internal/fault"
 	"sdcgmres/internal/krylov"
+	"sdcgmres/internal/qos"
 )
 
 // Resource ceilings for untrusted job specs. They bound the memory and
@@ -101,12 +102,44 @@ type JobSpec struct {
 	// TimeBudgetMS caps the solve's wall clock in milliseconds. Zero uses
 	// the engine default; values above the engine maximum are clamped.
 	TimeBudgetMS int64 `json:"time_budget_ms,omitempty"`
+	// Tenant names the submitting tenant for QoS accounting. Empty falls
+	// under the scheduler's default tenant; the HTTP layer also fills it
+	// from the X-Tenant request header. Ignored when the engine runs
+	// without a QoS scheduler.
+	Tenant string `json:"tenant,omitempty"`
+	// Class is the QoS priority class: "interactive", "batch" (the
+	// default), or "background". Ignored without a QoS scheduler.
+	Class string `json:"class,omitempty"`
+	// DeadlineMS, when positive, is the job's start-by budget in
+	// milliseconds: if the job cannot reach a worker within it, the
+	// scheduler sheds the job instead of running it late. Ignored without
+	// a QoS scheduler.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // Budget converts the job's time budget to a duration (0 = engine default).
 func (s *JobSpec) Budget() time.Duration {
 	return time.Duration(s.TimeBudgetMS) * time.Millisecond
 }
+
+// Deadline converts the job's start-by budget to a duration (0 = none).
+func (s *JobSpec) Deadline() time.Duration {
+	return time.Duration(s.DeadlineMS) * time.Millisecond
+}
+
+// QoSClass returns the spec's parsed priority class (Batch when unset;
+// Validate has already rejected unknown names).
+func (s *JobSpec) QoSClass() qos.Class {
+	c, err := qos.ParseClass(s.Class)
+	if err != nil {
+		return qos.Batch
+	}
+	return c
+}
+
+// MaxTenantLen caps tenant names: they label Prometheus series, so an
+// unbounded set would let one caller explode metric cardinality.
+const MaxTenantLen = 64
 
 // SolverKind returns the normalized solver kind.
 func (s *JobSpec) SolverKind() string {
@@ -178,6 +211,15 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.TimeBudgetMS < 0 {
 		return fmt.Errorf("service: time_budget_ms must be >= 0")
+	}
+	if s.DeadlineMS < 0 {
+		return fmt.Errorf("service: deadline_ms must be >= 0")
+	}
+	if len(s.Tenant) > MaxTenantLen {
+		return fmt.Errorf("service: tenant name %d bytes exceeds cap %d", len(s.Tenant), MaxTenantLen)
+	}
+	if _, err := qos.ParseClass(s.Class); err != nil {
+		return err
 	}
 
 	if s.Fault != nil {

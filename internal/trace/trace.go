@@ -69,6 +69,16 @@ const (
 	// dispatched. Sequential fast-path calls are not recorded — the event
 	// marks work that actually fanned out.
 	KindKernelOp
+	// KindQoSAdmit is one multi-tenant admission decision that let a job
+	// through: Label the tenant, Note the priority class, Inner the
+	// scheduler queue depth after the admit.
+	KindQoSAdmit
+	// KindQoSShed is one admission-control rejection or in-queue drop:
+	// Label the tenant, Note the shed reason ("throttled", "queue-full",
+	// "deadline", "breaker", "expired"), Aux the time the job had waited
+	// in milliseconds (0 for admission-time sheds), Value the advised
+	// retry-after in seconds.
+	KindQoSShed
 )
 
 var kindNames = map[Kind]string{
@@ -86,6 +96,8 @@ var kindNames = map[Kind]string{
 	KindLeaseGranted:    "lease-granted",
 	KindLeaseExpired:    "lease-expired",
 	KindKernelOp:        "kernel-op",
+	KindQoSAdmit:        "qos-admit",
+	KindQoSShed:         "qos-shed",
 }
 
 var kindByName = func() map[string]Kind {
@@ -364,4 +376,24 @@ func (r *Recorder) KernelOp(op string, n, parts int) {
 		return
 	}
 	r.Emit(Event{Kind: KindKernelOp, Label: op, Inner: n, Value: float64(parts)})
+}
+
+// QoSAdmit records a multi-tenant admission decision letting a job
+// through: the tenant, its priority class, and the queue depth after the
+// admit.
+func (r *Recorder) QoSAdmit(tenant, class string, depth int) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindQoSAdmit, Label: tenant, Note: class, Inner: depth})
+}
+
+// QoSShed records an admission rejection or in-queue drop: the tenant,
+// the shed reason, how long the job had waited (ms; 0 at admission), and
+// the advised retry-after in seconds.
+func (r *Recorder) QoSShed(tenant, reason string, waitedMS, retryAfterSec float64) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindQoSShed, Label: tenant, Note: reason, Aux: waitedMS, Value: retryAfterSec})
 }

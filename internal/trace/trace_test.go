@@ -56,6 +56,8 @@ func TestNilRecorderIsSafeAndFree(t *testing.T) {
 		r.UnitEnd("u", "ok", 1.0)
 		r.LeaseGranted("l", "w", 8)
 		r.LeaseExpired("l", "w", 8)
+		r.QoSAdmit("t", "batch", 1)
+		r.QoSShed("t", "throttled", 0, 1)
 		r.SolveEnd("x", true, 1e-9, 10)
 		r.Emit(Event{Kind: KindCoeff})
 		r.Reset()
@@ -180,7 +182,7 @@ func TestChromeTraceWellFormed(t *testing.T) {
 }
 
 func TestParseKindRoundTrip(t *testing.T) {
-	for k := KindSolveStart; k <= KindKernelOp; k++ {
+	for k := KindSolveStart; k <= KindQoSShed; k++ {
 		got, ok := ParseKind(k.String())
 		if !ok || got != k {
 			t.Fatalf("ParseKind(%q) = (%v, %v), want (%v, true)", k.String(), got, ok, k)
