@@ -26,7 +26,8 @@ type breaker struct {
 	state       string
 	consecutive int // consecutive bad outcomes while closed
 	openedAt    time.Time
-	probe       bool // half-open: the probe slot is taken
+	probe       bool      // half-open: the probe slot is taken
+	probeAt     time.Time // when the probe slot was claimed
 }
 
 func newBreaker(threshold int, cooldown time.Duration) breaker {
@@ -53,7 +54,14 @@ func (b *breaker) admit(now time.Time) (ok bool, retry time.Duration) {
 		return true, 0
 	default: // half-open
 		if b.probe {
-			return false, b.cooldown
+			if deadline := b.probeAt.Add(b.cooldown); now.Before(deadline) {
+				return false, deadline.Sub(now)
+			}
+			// The probe has been out a whole cooldown with no outcome:
+			// assume it was lost (the backstop behind releaseProbe) and
+			// let this job take the slot instead of locking the tenant
+			// out forever.
+			b.probe = false
 		}
 		return true, 0
 	}
@@ -61,9 +69,20 @@ func (b *breaker) admit(now time.Time) (ok bool, retry time.Duration) {
 
 // noteAdmitted marks a fully-admitted job; in the half-open state it
 // claims the probe slot.
-func (b *breaker) noteAdmitted() {
+func (b *breaker) noteAdmitted(now time.Time) {
 	if b.state == BreakerHalfOpen {
 		b.probe = true
+		b.probeAt = now
+	}
+}
+
+// releaseProbe frees the half-open probe slot without an outcome: the
+// admitted job died before ever running (canceled while queued, or its
+// deadline expired in the queue), so its silence says nothing about the
+// tenant either way.
+func (b *breaker) releaseProbe() {
+	if b.state == BreakerHalfOpen {
+		b.probe = false
 	}
 }
 
@@ -74,9 +93,22 @@ func (b *breaker) report(now time.Time, ok bool) {
 		return
 	}
 	if ok {
-		b.state = BreakerClosed
-		b.consecutive = 0
-		b.probe = false
+		switch b.state {
+		case BreakerClosed:
+			b.consecutive = 0
+		case BreakerHalfOpen:
+			// Only a claimed probe's success closes the breaker; with no
+			// probe in flight the success must be a pre-trip straggler.
+			if b.probe {
+				b.state = BreakerClosed
+				b.consecutive = 0
+				b.probe = false
+			}
+		case BreakerOpen:
+			// A job admitted before the trip finished fine; ignoring it
+			// keeps the cooldown/probe cycle intact under interleaved
+			// successes and failures.
+		}
 		return
 	}
 	switch b.state {

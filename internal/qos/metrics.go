@@ -93,6 +93,15 @@ func (m *Metrics) Shed(tenant string, reason Reason) {
 	m.mu.Unlock()
 }
 
+// Drop removes a tenant's series. The scheduler calls it when it evicts
+// an idle dynamic tenant, so metric cardinality stays bounded alongside
+// scheduler state.
+func (m *Metrics) Drop(tenant string) {
+	m.mu.Lock()
+	delete(m.tenants, tenant)
+	m.mu.Unlock()
+}
+
 // ObserveWait records one dequeued job's queue wait in seconds.
 func (m *Metrics) ObserveWait(tenant string, seconds float64) {
 	m.mu.Lock()

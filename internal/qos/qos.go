@@ -196,6 +196,16 @@ type Config struct {
 	// QueueDepth is the per-tenant sub-queue bound for tenants that set
 	// none (default 64, matching the engine's single-queue default).
 	QueueDepth int `json:"queue_depth,omitempty"`
+	// MaxTenants bounds how many tenants *not* named in Tenants may hold
+	// live scheduler state at once (default 256; negative disables the
+	// bound). Tenant names arrive on the unauthenticated X-Tenant header,
+	// so without a bound a client cycling fresh names would grow scheduler
+	// memory and Prometheus cardinality without limit. At the cap the
+	// scheduler first evicts an idle dynamic tenant (empty queue, quiet
+	// breaker, full token bucket); when none is evictable, further
+	// unlisted names share the default tenant's state, limits, and
+	// accounting until a slot frees up.
+	MaxTenants int `json:"max_tenants,omitempty"`
 	// AgingStep is the queued wait that promotes a job one priority band,
 	// making the class ladder starvation-proof (default 10s; negative
 	// disables aging).
@@ -216,6 +226,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AgingStep == 0 {
 		c.AgingStep = Duration(10 * time.Second)
+	}
+	if c.MaxTenants == 0 {
+		c.MaxTenants = 256
 	}
 	if c.BreakerThreshold == 0 {
 		c.BreakerThreshold = 5

@@ -171,7 +171,7 @@ func TestBreakerLifecycle(t *testing.T) {
 	if ok, _ := b.admit(now); !ok {
 		t.Fatal("probe rejected after cooldown")
 	}
-	b.noteAdmitted()
+	b.noteAdmitted(now)
 	if ok, _ := b.admit(now); ok {
 		t.Fatal("second probe admitted")
 	}
@@ -185,7 +185,7 @@ func TestBreakerLifecycle(t *testing.T) {
 	if ok, _ := b.admit(now); !ok {
 		t.Fatal("probe rejected after second cooldown")
 	}
-	b.noteAdmitted()
+	b.noteAdmitted(now)
 	b.report(now, true)
 	if b.current(now) != BreakerClosed {
 		t.Fatalf("state after good probe = %s, want closed", b.current(now))

@@ -33,6 +33,13 @@ type Options[T any] struct {
 	// Recorder receives qos-admit / qos-shed flight-recorder events
 	// (nil = tracing off, one pointer check per event).
 	Recorder *trace.Recorder
+	// TraceOf extracts a queued value's own flight recorder so Push can
+	// record the qos-admit event under the scheduler lock — before any
+	// worker can pop the job — with the accurate post-admit depth. A nil
+	// callback or a nil recorder disables per-job admission events. The
+	// callback runs under the scheduler lock and must not call back into
+	// the scheduler.
+	TraceOf func(v T) *trace.Recorder
 }
 
 // item is one queued job with its scheduling coordinates.
@@ -47,6 +54,7 @@ type item[T any] struct {
 type tenantState[T any] struct {
 	name       string
 	cfg        TenantConfig
+	dynamic    bool // not named in the config; counts against MaxTenants
 	bucket     bucket
 	brk        breaker
 	queues     [numClasses][]item[T]
@@ -76,6 +84,7 @@ type Scheduler[T any] struct {
 	closed   bool
 	tenants  map[string]*tenantState[T]
 	names    []string // sorted; deterministic iteration for WFQ ties
+	dynamics int      // live tenantStates not named in the config
 	bands    [numClasses]band
 	total    int
 }
@@ -101,8 +110,9 @@ func New[T any](cfg Config, opt Options[T]) (*Scheduler[T], error) {
 		tenants: make(map[string]*tenantState[T]),
 	}
 	s.nonEmpty = sync.NewCond(&s.mu)
+	now := opt.Now()
 	for _, name := range cfg.TenantNames() {
-		s.tenantLocked(name)
+		s.tenantLocked(name, now)
 	}
 	return s, nil
 }
@@ -111,28 +121,69 @@ func New[T any](cfg Config, opt Options[T]) (*Scheduler[T], error) {
 func (s *Scheduler[T]) Metrics() *Metrics { return s.met }
 
 // tenantLocked finds or creates a tenant's state. Callers hold s.mu
-// (or, from New, exclusive access).
-func (s *Scheduler[T]) tenantLocked(name string) *tenantState[T] {
+// (or, from New, exclusive access). Tenant names come from the
+// unauthenticated X-Tenant header, so tenants not named in the config
+// ("dynamic") are bounded by cfg.MaxTenants: at the cap an idle dynamic
+// tenant is evicted to make room, and when none is evictable the new
+// name shares the default tenant's state so a client cycling fresh
+// names cannot grow scheduler memory or metric cardinality without
+// limit.
+func (s *Scheduler[T]) tenantLocked(name string, now time.Time) *tenantState[T] {
 	if ts := s.tenants[name]; ts != nil {
 		return ts
 	}
-	tc, ok := s.cfg.Tenants[name]
-	if !ok {
+	tc, configured := s.cfg.Tenants[name]
+	if !configured {
 		tc = s.cfg.Default
+	}
+	dynamic := !configured && name != DefaultTenant
+	if dynamic && s.cfg.MaxTenants >= 0 && s.dynamics >= s.cfg.MaxTenants && !s.evictLocked(now) {
+		return s.tenantLocked(DefaultTenant, now)
 	}
 	tc = tc.withDefaults(s.cfg)
 	ts := &tenantState[T]{
-		name:   name,
-		cfg:    tc,
-		bucket: newBucket(tc.Rate, tc.Burst),
-		brk:    newBreaker(s.cfg.BreakerThreshold, time.Duration(s.cfg.BreakerCooldown)),
+		name:    name,
+		cfg:     tc,
+		dynamic: dynamic,
+		bucket:  newBucket(tc.Rate, tc.Burst),
+		brk:     newBreaker(s.cfg.BreakerThreshold, time.Duration(s.cfg.BreakerCooldown)),
 	}
 	s.tenants[name] = ts
+	if dynamic {
+		s.dynamics++
+	}
 	i := sort.SearchStrings(s.names, name)
 	s.names = append(s.names, "")
 	copy(s.names[i+1:], s.names[i:])
 	s.names[i] = name
 	return ts
+}
+
+// evictLocked recycles one idle dynamic tenant — empty queues, a quiet
+// closed breaker, and a full token bucket, so eviction can never be
+// abused to reset a rate limit or forget a trip. Its metrics series go
+// with it, keeping /metrics cardinality bounded alongside scheduler
+// state. Reports whether a slot was freed.
+func (s *Scheduler[T]) evictLocked(now time.Time) bool {
+	for _, name := range s.names {
+		ts := s.tenants[name]
+		if !ts.dynamic || ts.queued > 0 {
+			continue
+		}
+		if ts.brk.state != BreakerClosed || ts.brk.consecutive > 0 || ts.brk.probe {
+			continue
+		}
+		if ts.bucket.level(now) < ts.bucket.burst {
+			continue
+		}
+		delete(s.tenants, name)
+		i := sort.SearchStrings(s.names, name)
+		s.names = append(s.names[:i], s.names[i+1:]...)
+		s.dynamics--
+		s.met.Drop(name)
+		return true
+	}
+	return false
 }
 
 // estWaitLocked estimates how long a job admitted now would wait for a
@@ -169,7 +220,11 @@ func (s *Scheduler[T]) Push(tenant string, class Class, deadline time.Duration, 
 		s.mu.Unlock()
 		return ErrClosed
 	}
-	ts := s.tenantLocked(tenant)
+	ts := s.tenantLocked(tenant, now)
+	// At the dynamic-tenant cap an unlisted name collapses into the
+	// default tenant's state; account it under the name whose limits
+	// actually apply.
+	tenant = ts.name
 	shed := func(reason Reason, retry time.Duration) error {
 		s.mu.Unlock()
 		s.met.Shed(tenant, reason)
@@ -196,7 +251,7 @@ func (s *Scheduler[T]) Push(tenant string, class Class, deadline time.Duration, 
 	if ok, retry := ts.bucket.take(now); !ok {
 		return shed(ReasonThrottled, retry)
 	}
-	ts.brk.noteAdmitted()
+	ts.brk.noteAdmitted(now)
 
 	b := &s.bands[class]
 	start := b.vtime
@@ -213,6 +268,11 @@ func (s *Scheduler[T]) Push(tenant string, class Class, deadline time.Duration, 
 	ts.queued++
 	s.total++
 	depth := s.total
+	if s.opt.TraceOf != nil {
+		// Under the lock: the job's qos-admit event lands on its trace
+		// before any worker can pop it and record run events.
+		s.opt.TraceOf(v).QoSAdmit(tenant, class.String(), depth)
+	}
 	s.nonEmpty.Signal()
 	s.mu.Unlock()
 
@@ -357,7 +417,24 @@ func (s *Scheduler[T]) ReportOutcome(tenant string, ok bool) {
 	}
 	now := s.opt.Now()
 	s.mu.Lock()
-	s.tenantLocked(tenant).brk.report(now, ok)
+	s.tenantLocked(tenant, now).brk.report(now, ok)
+	s.mu.Unlock()
+}
+
+// ReleaseProbe frees a tenant's half-open probe slot when an admitted
+// job died without ever producing an outcome — canceled while queued,
+// or shed because its deadline expired in the queue. Without it a lost
+// probe would reject the tenant's every future job until the breaker's
+// probe timeout (one cooldown) elapsed. Unknown tenants are a no-op:
+// their breakers hold no probe.
+func (s *Scheduler[T]) ReleaseProbe(tenant string) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	s.mu.Lock()
+	if ts := s.tenants[tenant]; ts != nil {
+		ts.brk.releaseProbe()
+	}
 	s.mu.Unlock()
 }
 

@@ -305,6 +305,168 @@ func TestBreakerShedsAfterBadRun(t *testing.T) {
 	}
 }
 
+// TestBreakerProbeReleasedWhenLost is the lockout regression: the
+// half-open probe job dies without ever reporting an outcome (canceled
+// while queued, expired in queue) and ReleaseProbe frees the slot so the
+// tenant is not rejected forever.
+func TestBreakerProbeReleasedWhenLost(t *testing.T) {
+	clk := newFakeClock()
+	s := mustScheduler(t, Config{
+		QueueDepth:       10,
+		BreakerThreshold: 1,
+		BreakerCooldown:  Duration(10 * time.Second),
+	}, Options[int]{Now: clk.Now})
+
+	s.ReportOutcome("t", false)
+	clk.Advance(10 * time.Second)
+	mustPush(t, s, "t", Batch, 0, 1) // claims the probe slot
+	if se := shedReason(t, s.Push("t", Batch, 0, 2)); se.Reason != ReasonBreaker {
+		t.Fatalf("probe slot not held: reason = %s", se.Reason)
+	}
+	// The probe dies without an outcome; releasing the slot lets the next
+	// job probe instead.
+	s.ReleaseProbe("t")
+	mustPush(t, s, "t", Batch, 0, 3)
+	// An unknown tenant holds no probe: no-op, no new state.
+	s.ReleaseProbe("stranger")
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+// TestBreakerProbeTimeoutBackstop: even without an explicit release, a
+// probe outstanding for a whole cooldown is presumed lost and its slot
+// is reclaimed by the next admission attempt.
+func TestBreakerProbeTimeoutBackstop(t *testing.T) {
+	clk := newFakeClock()
+	s := mustScheduler(t, Config{
+		QueueDepth:       10,
+		BreakerThreshold: 1,
+		BreakerCooldown:  Duration(10 * time.Second),
+	}, Options[int]{Now: clk.Now})
+
+	s.ReportOutcome("t", false)
+	clk.Advance(10 * time.Second)
+	mustPush(t, s, "t", Batch, 0, 1) // probe claimed, never reported
+	clk.Advance(5 * time.Second)
+	if se := shedReason(t, s.Push("t", Batch, 0, 2)); se.RetryAfter != 5*time.Second {
+		t.Fatalf("retry = %v, want the probe's remaining 5s", se.RetryAfter)
+	}
+	clk.Advance(5 * time.Second) // probe out a full cooldown: presumed lost
+	mustPush(t, s, "t", Batch, 0, 3)
+}
+
+// TestBreakerIgnoresPreTripSuccess: a job admitted before the trip that
+// completes fine must not close an open breaker or end a half-open probe
+// it never was — otherwise interleaved successes and failures (the common
+// partial-failure case) would keep the breaker from ever holding open.
+func TestBreakerIgnoresPreTripSuccess(t *testing.T) {
+	clk := newFakeClock()
+	s := mustScheduler(t, Config{
+		QueueDepth:       10,
+		BreakerThreshold: 2,
+		BreakerCooldown:  Duration(10 * time.Second),
+	}, Options[int]{Now: clk.Now})
+
+	s.ReportOutcome("t", false)
+	s.ReportOutcome("t", false)
+	// Open; a pre-trip in-flight job reporting success must not close it.
+	s.ReportOutcome("t", true)
+	if se := shedReason(t, s.Push("t", Batch, 0, 1)); se.Reason != ReasonBreaker {
+		t.Fatalf("open breaker closed by pre-trip success: reason = %s", se.Reason)
+	}
+	// Half-open with no probe claimed: a straggler success still must not
+	// close it — the next push is the one probe, the one after is shed.
+	clk.Advance(10 * time.Second)
+	s.ReportOutcome("t", true)
+	mustPush(t, s, "t", Batch, 0, 2)
+	if se := shedReason(t, s.Push("t", Batch, 0, 3)); se.Reason != ReasonBreaker {
+		t.Fatalf("half-open closed by straggler success: reason = %s", se.Reason)
+	}
+	// The probe's own success closes it.
+	s.ReportOutcome("t", true)
+	mustPush(t, s, "t", Batch, 0, 4)
+	mustPush(t, s, "t", Batch, 0, 5)
+}
+
+// TestDynamicTenantCapEvictsAndCollapses bounds the damage of a client
+// cycling fresh X-Tenant names: unlisted tenants beyond max_tenants
+// recycle an idle slot when one exists (dropping its metrics series) and
+// otherwise share the default tenant's state.
+func TestDynamicTenantCapEvictsAndCollapses(t *testing.T) {
+	clk := newFakeClock()
+	s := mustScheduler(t, Config{QueueDepth: 10, MaxTenants: 1}, Options[int]{Now: clk.Now})
+
+	mustPush(t, s, "a", Batch, 0, 1)
+	// "a" is busy (queued job): a second dynamic name cannot evict it and
+	// collapses into the default tenant's state and accounting.
+	mustPush(t, s, "b", Batch, 0, 2)
+	if got := s.Metrics().Snapshot(DefaultTenant); got["admitted"] != 1 {
+		t.Fatalf("collapsed admit not on default: %v", got)
+	}
+	names := func() []string {
+		var out []string
+		for _, st := range s.State() {
+			out = append(out, st.Tenant)
+		}
+		return out
+	}
+	if got := names(); len(got) != 2 || got[0] != "a" || got[1] != DefaultTenant {
+		t.Fatalf("tenants = %v, want [a default]", got)
+	}
+
+	// Drain; "a" goes idle and the next fresh name evicts it, metrics
+	// series included.
+	s.Pop()
+	s.Pop()
+	mustPush(t, s, "c", Batch, 0, 3)
+	if got := names(); len(got) != 2 || got[0] != "c" || got[1] != DefaultTenant {
+		t.Fatalf("tenants after evict = %v, want [c default]", got)
+	}
+	if got := s.Metrics().Snapshot("a"); len(got) != 0 {
+		t.Fatalf("evicted tenant a still has metrics: %v", got)
+	}
+	s.Pop()
+
+	// Eviction never resets a rate limit: with its bucket not yet
+	// refilled, "c" is not evictable, so "d" collapses; after the refill
+	// it is.
+	s2 := mustScheduler(t, Config{
+		QueueDepth: 10, MaxTenants: 1,
+		Default: TenantConfig{Rate: 1, Burst: 1},
+	}, Options[int]{Now: clk.Now})
+	mustPush(t, s2, "c", Batch, 0, 1)
+	s2.Pop()
+	mustPush(t, s2, "d", Batch, 0, 2) // c's bucket empty: collapses to default
+	se := shedReason(t, s2.Push("d", Batch, 0, 3))
+	if se.Tenant != DefaultTenant || se.Reason != ReasonThrottled {
+		t.Fatalf("collapsed shed = %+v, want default throttled", se)
+	}
+	clk.Advance(time.Second) // c refills; the next fresh name evicts it
+	mustPush(t, s2, "e", Batch, 0, 4)
+	found := false
+	for _, st := range s2.State() {
+		if st.Tenant == "c" {
+			found = true
+		}
+	}
+	if found {
+		t.Fatal("refilled idle tenant c not evicted at the cap")
+	}
+}
+
+// TestDynamicTenantCapUnbounded: a negative max_tenants disables the cap.
+func TestDynamicTenantCapUnbounded(t *testing.T) {
+	clk := newFakeClock()
+	s := mustScheduler(t, Config{QueueDepth: 10, MaxTenants: -1}, Options[int]{Now: clk.Now})
+	for _, name := range []string{"a", "b", "c", "d"} {
+		mustPush(t, s, name, Batch, 0, 1)
+	}
+	if got := len(s.State()); got != 4 {
+		t.Fatalf("tenants = %d, want 4 (cap disabled)", got)
+	}
+}
+
 func TestPushAfterCloseAndDrain(t *testing.T) {
 	clk := newFakeClock()
 	s := mustScheduler(t, Config{QueueDepth: 10}, Options[int]{Now: clk.Now})

@@ -159,6 +159,11 @@ func NewEngine(cfg Config) *Engine {
 			Workers:     cfg.Workers,
 			ServiceTime: cfg.Metrics.MeanServiceTime,
 			OnShed:      e.shedExpired,
+			TraceOf: func(j *Job) *trace.Recorder {
+				j.mu.Lock()
+				defer j.mu.Unlock()
+				return j.trace
+			},
 		})
 		if err != nil {
 			panic(fmt.Sprintf("service: invalid QoS config: %v", err))
@@ -301,12 +306,11 @@ func (e *Engine) enqueue(j *Job) error {
 		j.trace = tr
 		j.mu.Unlock()
 	}
+	// The scheduler records the qos-admit event itself (via the TraceOf
+	// hook, under its lock) so it lands on the trace before any worker
+	// can pop the job and record run events.
 	spec := &j.spec
-	if err := e.sched.Push(spec.Tenant, spec.QoSClass(), spec.Deadline(), j); err != nil {
-		return err
-	}
-	tr.QoSAdmit(qosTenant(spec), spec.QoSClass().String(), e.sched.Len())
-	return nil
+	return e.sched.Push(spec.Tenant, spec.QoSClass(), spec.Deadline(), j)
 }
 
 // qosTenant is the spec's tenant as the scheduler accounts it.
@@ -320,6 +324,10 @@ func qosTenant(spec *JobSpec) string {
 // shedExpired is the scheduler's OnShed callback: the job's deadline
 // expired while it was queued, and it will never reach a worker.
 func (e *Engine) shedExpired(tenant string, j *Job) {
+	// The job dies without reporting an outcome; free the half-open probe
+	// slot it may hold before it turns visibly terminal, or a lost probe
+	// would lock the tenant out.
+	e.sched.ReleaseProbe(tenant)
 	j.mu.Lock()
 	if j.state.Terminal() { // e.g. canceled while queued; already retired
 		j.mu.Unlock()
@@ -484,6 +492,11 @@ func (e *Engine) run(j *Job, pool *kernel.Pool) {
 	j.mu.Lock()
 	if j.state.Terminal() { // canceled while queued; already retired
 		j.mu.Unlock()
+		if e.sched != nil {
+			// The admitted job dies without running, so it will never
+			// report an outcome; free the probe slot it may hold.
+			e.sched.ReleaseProbe(qosTenant(&j.spec))
+		}
 		return
 	}
 	ctx, cancel := context.WithTimeout(e.baseCtx, e.budget(&j.spec))

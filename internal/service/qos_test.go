@@ -249,6 +249,178 @@ func TestEngineQoSBreakerTripsOnPanics(t *testing.T) {
 	}
 }
 
+// waitRunning polls until a job reaches StateRunning.
+func waitRunning(t *testing.T, e *Engine, id string, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if v, ok := e.Job(id); ok && v.State == StateRunning {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s not running within %v", id, within)
+}
+
+// probeRunner panics on matrix N == 7 and gates on N == 9; everything
+// else completes instantly.
+func probeRunner(gate chan struct{}) Runner {
+	return func(ctx context.Context, spec *JobSpec, _ *trace.Recorder, _ *kernel.Pool) (*SolveRecord, error) {
+		switch spec.Matrix.N {
+		case 7:
+			panic("hostile guest")
+		case 9:
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return &SolveRecord{Problem: "stub", Solver: spec.SolverKind(), Converged: true}, nil
+	}
+}
+
+// tripHostileBreaker runs one panicking "hostile" job so the tenant's
+// threshold-1 breaker opens.
+func tripHostileBreaker(t *testing.T, e *Engine) {
+	t.Helper()
+	spec := PoissonJob(7)
+	spec.Tenant = "hostile"
+	v, err := e.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitTerminal(t, e, v.ID, 5*time.Second); got.State != StateFailed {
+		t.Fatalf("panicking job state = %s, want failed", got.State)
+	}
+}
+
+// TestEngineQoSProbeCanceledWhileQueuedReleasesSlot is the tenant-lockout
+// regression: the half-open probe job is canceled while queued, the
+// worker skips it at dequeue without reporting an outcome, and the probe
+// slot must be released so the tenant's next job can probe instead of
+// being breaker-shed forever.
+func TestEngineQoSProbeCanceledWhileQueuedReleasesSlot(t *testing.T) {
+	clk := newQoSClock()
+	gate := make(chan struct{})
+	e := NewEngine(Config{
+		Workers:  1,
+		QoS:      &qos.Config{BreakerThreshold: 1, BreakerCooldown: qos.Duration(time.Hour)},
+		QoSClock: clk.Now,
+		Runner:   probeRunner(gate),
+	})
+	e.Start()
+	defer e.Shutdown(context.Background())
+
+	tripHostileBreaker(t, e)
+	clk.Advance(time.Hour) // cooldown over: half-open
+
+	// Saturate the worker, then queue the hostile probe behind it and
+	// cancel it before it runs.
+	gateJob, err := e.Submit(PoissonJob(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, e, gateJob.ID, 5*time.Second)
+	probe, err := e.Submit(tenantJob("hostile"))
+	if err != nil {
+		t.Fatalf("probe not admitted: %v", err)
+	}
+	if _, err := e.Cancel(probe.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	waitTerminal(t, e, gateJob.ID, 5*time.Second)
+	// A friendly job behind the canceled probe proves the worker passed
+	// the skip path (and its release) before we re-probe.
+	after, err := e.Submit(tenantJob("friendly"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, e, after.ID, 5*time.Second)
+
+	if _, err := e.Submit(tenantJob("hostile")); err != nil {
+		t.Fatalf("probe slot leaked: tenant locked out: %v", err)
+	}
+}
+
+// TestEngineQoSProbeExpiredInQueueReleasesSlot: same lockout regression
+// through the other no-outcome path — the probe's deadline expires while
+// queued and the shed callback must release the slot.
+func TestEngineQoSProbeExpiredInQueueReleasesSlot(t *testing.T) {
+	clk := newQoSClock()
+	gate := make(chan struct{})
+	e := NewEngine(Config{
+		Workers:  1,
+		QoS:      &qos.Config{BreakerThreshold: 1, BreakerCooldown: qos.Duration(time.Hour)},
+		QoSClock: clk.Now,
+		Runner:   probeRunner(gate),
+	})
+	e.Start()
+	defer e.Shutdown(context.Background())
+
+	tripHostileBreaker(t, e)
+	clk.Advance(time.Hour) // cooldown over: half-open
+
+	gateJob, err := e.Submit(PoissonJob(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, e, gateJob.ID, 5*time.Second)
+	spec := tenantJob("hostile")
+	spec.DeadlineMS = 50
+	probe, err := e.Submit(spec)
+	if err != nil {
+		t.Fatalf("probe not admitted: %v", err)
+	}
+	clk.Advance(100 * time.Millisecond) // the probe's deadline passes in the queue
+	close(gate)
+	waitTerminal(t, e, gateJob.ID, 5*time.Second)
+	if v := waitTerminal(t, e, probe.ID, 5*time.Second); v.State != StateShed {
+		t.Fatalf("probe state = %s, want shed", v.State)
+	}
+
+	if _, err := e.Submit(tenantJob("hostile")); err != nil {
+		t.Fatalf("probe slot leaked: tenant locked out: %v", err)
+	}
+}
+
+// TestEngineQoSAdmitEventFirstInTrace: the qos-admit event is recorded
+// under the scheduler lock at admission, so it is always the job's first
+// trace event — never reordered after run/solve events by a fast worker.
+func TestEngineQoSAdmitEventFirstInTrace(t *testing.T) {
+	e := NewEngine(Config{
+		Workers:       1,
+		QoS:           &qos.Config{},
+		Runner:        stubRunner(-1, 0),
+		TraceCapacity: 64,
+	})
+	e.Start()
+	defer e.Shutdown(context.Background())
+
+	v, err := e.Submit(tenantJob("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, e, v.ID, 5*time.Second)
+	events, err := e.JobTrace(v.ID)
+	if err != nil {
+		t.Fatalf("JobTrace: %v", err)
+	}
+	if len(events) == 0 || events[0].Kind.String() != "qos-admit" {
+		t.Fatalf("first trace event = %+v, want qos-admit", events)
+	}
+	admits := 0
+	for _, ev := range events {
+		if ev.Kind.String() == "qos-admit" {
+			admits++
+		}
+	}
+	if admits != 1 {
+		t.Fatalf("qos-admit recorded %d times, want 1", admits)
+	}
+}
+
 // testCancelQueuedNeverRuns is the regression for DELETEd-while-queued
 // jobs: under a saturated pool the canceled job finishes as canceled
 // without ever occupying a worker. Runs against both queue paths.
