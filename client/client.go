@@ -1,0 +1,302 @@
+// Package client is the Go client for the solved daemon's v1 API. It
+// speaks the unified error envelope — every non-2xx response decodes into
+// a typed *APIError, and throttled responses (429) match the ErrThrottled
+// sentinel via errors.Is while carrying the server's retry advice:
+//
+//	view, err := cl.SubmitJob(ctx, spec)
+//	if errors.Is(err, ErrThrottled) {
+//	    time.Sleep(RetryDelay(err))
+//	    // resubmit
+//	}
+//
+// Paging follows the v1 limit/cursor convention: a results page carries a
+// NextCursor that the next QueryResults call echoes back verbatim.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/service"
+	"sdcgmres/internal/store"
+	"sdcgmres/internal/store/analyze"
+)
+
+// ErrThrottled matches (via errors.Is) any *APIError whose envelope code
+// is "throttled": QoS admission rejections, a full queue, or the
+// campaign-manager cap. Use RetryDelay to read the server's advice.
+var ErrThrottled = errors.New("client: throttled")
+
+// APIError is a decoded v1 error envelope plus its HTTP status.
+type APIError struct {
+	// StatusCode is the HTTP status of the response.
+	StatusCode int
+	// Code is the envelope's machine-readable code ("invalid_request",
+	// "not_found", "conflict", "payload_too_large", "throttled",
+	// "unavailable", "internal"); empty when the body was not an envelope.
+	Code string
+	// Message is the envelope's human-readable message (or the raw body
+	// when the response carried no envelope).
+	Message string
+	// RetryAfter is the server's advice on throttled responses (zero
+	// otherwise), read from the envelope with the Retry-After header as
+	// fallback.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Code == "" {
+		return fmt.Sprintf("solved: HTTP %d: %s", e.StatusCode, e.Message)
+	}
+	return fmt.Sprintf("solved: %s: %s", e.Code, e.Message)
+}
+
+// Is makes errors.Is(err, ErrThrottled) true for throttled envelopes.
+func (e *APIError) Is(target error) bool {
+	return target == ErrThrottled && e.Code == "throttled"
+}
+
+// RetryDelay extracts the server's Retry-After advice from an error
+// returned by this package (zero when err carries none).
+func RetryDelay(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
+}
+
+// Client talks to one solved daemon. The zero value is not usable; call
+// New.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8080"). A nil httpClient uses http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// SubmitJob submits one solve job and returns its accepted view (already
+// terminal when the daemon answered it from the solve cache).
+func (c *Client) SubmitJob(ctx context.Context, spec service.JobSpec) (service.JobView, error) {
+	var view service.JobView
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &view)
+	return view, err
+}
+
+// GetJob fetches one job by ID.
+func (c *Client) GetJob(ctx context.Context, id string) (service.JobView, error) {
+	var view service.JobView
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &view)
+	return view, err
+}
+
+// CancelJob cancels one job and returns its view.
+func (c *Client) CancelJob(ctx context.Context, id string) (service.JobView, error) {
+	var view service.JobView
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &view)
+	return view, err
+}
+
+// WaitJob polls a job until it reaches a terminal state or ctx ends.
+// poll <= 0 defaults to 100ms.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (service.JobView, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		view, err := c.GetJob(ctx, id)
+		if err != nil {
+			return view, err
+		}
+		if view.State.Terminal() {
+			return view, nil
+		}
+		select {
+		case <-ctx.Done():
+			return view, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// SubmitCampaign submits a campaign manifest.
+func (c *Client) SubmitCampaign(ctx context.Context, man campaign.Manifest) (service.CampaignView, error) {
+	var view service.CampaignView
+	err := c.do(ctx, http.MethodPost, "/v1/campaigns", man, &view)
+	return view, err
+}
+
+// GetCampaign fetches one campaign by ID.
+func (c *Client) GetCampaign(ctx context.Context, id string) (service.CampaignView, error) {
+	var view service.CampaignView
+	err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+url.PathEscape(id), nil, &view)
+	return view, err
+}
+
+// WaitCampaign polls a campaign until it reaches a terminal state
+// ("done", "failed" or "canceled") or ctx ends. poll <= 0 defaults to
+// 100ms.
+func (c *Client) WaitCampaign(ctx context.Context, id string, poll time.Duration) (service.CampaignView, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		view, err := c.GetCampaign(ctx, id)
+		if err != nil {
+			return view, err
+		}
+		switch view.State {
+		case service.CampaignDone, service.CampaignFailed, service.CampaignCanceled:
+			return view, nil
+		}
+		select {
+		case <-ctx.Done():
+			return view, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// CampaignStats is the GET /v1/campaigns/{id}/stats payload: the paper
+// statistics, plus a baseline comparison when one was requested.
+type CampaignStats struct {
+	Stats *analyze.CampaignStats `json:"stats"`
+	Diff  *analyze.Diff          `json:"diff,omitempty"`
+}
+
+// CampaignStats fetches the server-side paper statistics for one
+// campaign. diffBaseline, when non-empty, also requests a statistical
+// comparison against that campaign.
+func (c *Client) CampaignStats(ctx context.Context, id, diffBaseline string) (CampaignStats, error) {
+	path := "/v1/campaigns/" + url.PathEscape(id) + "/stats"
+	if diffBaseline != "" {
+		path += "?diff=" + url.QueryEscape(diffBaseline)
+	}
+	var stats CampaignStats
+	err := c.do(ctx, http.MethodGet, path, nil, &stats)
+	return stats, err
+}
+
+// ResultsQuery is a results-warehouse query: store.Query filters plus the
+// v1 cursor. Leave Cursor empty for the first page and echo a page's
+// NextCursor to fetch the next.
+type ResultsQuery struct {
+	store.Query
+	Cursor string `json:"cursor,omitempty"`
+}
+
+// ResultsPage is one page of warehouse records. NextCursor is empty on
+// the last page.
+type ResultsPage struct {
+	store.QueryResult
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// QueryResults runs one warehouse query page.
+func (c *Client) QueryResults(ctx context.Context, q ResultsQuery) (ResultsPage, error) {
+	var page ResultsPage
+	err := c.do(ctx, http.MethodPost, "/v1/results/query", q, &page)
+	return page, err
+}
+
+// Healthz fetches the daemon's health document.
+func (c *Client) Healthz(ctx context.Context) (map[string]json.RawMessage, error) {
+	var body map[string]json.RawMessage
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &body)
+	return body, err
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", apiError(resp, raw)
+	}
+	return string(raw), nil
+}
+
+// do runs one JSON round-trip: in (when non-nil) is the request body, out
+// (when non-nil) receives the decoded 2xx response, and any non-2xx
+// becomes a typed *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp, raw)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// apiError decodes a non-2xx body into an *APIError, falling back to the
+// raw body when it is not a v1 envelope.
+func apiError(resp *http.Response, raw []byte) error {
+	ae := &APIError{StatusCode: resp.StatusCode}
+	var env service.ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Code != "" {
+		ae.Code = env.Code
+		ae.Message = env.Message
+		ae.RetryAfter = time.Duration(env.RetryAfterSeconds) * time.Second
+	} else {
+		ae.Message = strings.TrimSpace(string(raw))
+	}
+	if ae.RetryAfter == 0 {
+		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+			ae.RetryAfter = time.Duration(sec) * time.Second
+		}
+	}
+	return ae
+}

@@ -1,0 +1,132 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sdcgmres/internal/service"
+)
+
+// startDaemon runs the production HTTP surface (real engine, real server)
+// on an httptest listener.
+func startDaemon(t *testing.T) *Client {
+	t.Helper()
+	engine := service.NewEngine(service.Config{Workers: 2, QueueDepth: 8})
+	engine.Start()
+	t.Cleanup(func() { _ = engine.Shutdown(context.Background()) })
+	srv := httptest.NewServer(service.NewServer(engine, service.ServerOptions{}))
+	t.Cleanup(srv.Close)
+	return New(srv.URL, srv.Client())
+}
+
+func TestSubmitWaitGetJob(t *testing.T) {
+	cl := startDaemon(t)
+	ctx := context.Background()
+	spec := service.JobSpec{
+		Matrix: service.MatrixSpec{Kind: "poisson", N: 16},
+		Solver: service.SolverSpec{Kind: "gmres"},
+	}
+	view, err := cl.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if view.ID == "" {
+		t.Fatal("SubmitJob returned no ID")
+	}
+	done, err := cl.WaitJob(ctx, view.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if done.State != service.StateDone {
+		t.Fatalf("state = %q (error %q), want done", done.State, done.Error)
+	}
+	if done.Result == nil || !done.Result.Converged {
+		t.Fatalf("job finished without a converged result: %+v", done.Result)
+	}
+	got, err := cl.GetJob(ctx, view.ID)
+	if err != nil {
+		t.Fatalf("GetJob: %v", err)
+	}
+	if got.ID != view.ID {
+		t.Fatalf("GetJob ID = %q, want %q", got.ID, view.ID)
+	}
+}
+
+func TestNotFoundEnvelope(t *testing.T) {
+	cl := startDaemon(t)
+	_, err := cl.GetJob(context.Background(), "job-does-not-exist")
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("GetJob error = %T %v, want *APIError", err, err)
+	}
+	if ae.StatusCode != http.StatusNotFound || ae.Code != "not_found" {
+		t.Fatalf("got status %d code %q, want 404 not_found", ae.StatusCode, ae.Code)
+	}
+	if errors.Is(err, ErrThrottled) {
+		t.Fatal("not_found must not match ErrThrottled")
+	}
+}
+
+func TestInvalidSpecEnvelope(t *testing.T) {
+	cl := startDaemon(t)
+	_, err := cl.SubmitJob(context.Background(), service.JobSpec{})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("SubmitJob error = %T %v, want *APIError", err, err)
+	}
+	if ae.Code != "invalid_request" {
+		t.Fatalf("code = %q, want invalid_request", ae.Code)
+	}
+}
+
+func TestThrottledEnvelope(t *testing.T) {
+	// A canned throttled response exercises the exact wire shape the
+	// daemon emits (envelope body plus Retry-After header).
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"code":"throttled","message":"queue full","retry_after_seconds":7}`))
+	}))
+	defer srv.Close()
+	cl := New(srv.URL, srv.Client())
+	_, err := cl.SubmitJob(context.Background(), service.JobSpec{})
+	if !errors.Is(err, ErrThrottled) {
+		t.Fatalf("err = %v, want ErrThrottled match", err)
+	}
+	if d := RetryDelay(err); d != 7*time.Second {
+		t.Fatalf("RetryDelay = %v, want 7s", d)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Message != "queue full" {
+		t.Fatalf("envelope message lost: %v", err)
+	}
+}
+
+func TestRetryAfterHeaderFallback(t *testing.T) {
+	// A throttling proxy may answer with a bare body; the header still
+	// carries the delay.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte("slow down"))
+	}))
+	defer srv.Close()
+	cl := New(srv.URL, srv.Client())
+	_, err := cl.SubmitJob(context.Background(), service.JobSpec{})
+	if d := RetryDelay(err); d != 3*time.Second {
+		t.Fatalf("RetryDelay = %v, want 3s", d)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || !strings.Contains(ae.Message, "slow down") {
+		t.Fatalf("raw body lost: %v", err)
+	}
+	if errors.Is(err, ErrThrottled) {
+		t.Fatal("non-envelope 429 has no code; must not match ErrThrottled")
+	}
+}

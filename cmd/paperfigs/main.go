@@ -54,6 +54,7 @@ import (
 	"sdcgmres/internal/fault"
 	"sdcgmres/internal/gallery"
 	"sdcgmres/internal/krylov"
+	"sdcgmres/internal/memo"
 	"sdcgmres/internal/sparse"
 	"sdcgmres/internal/textplot"
 	"sdcgmres/internal/trace"
@@ -90,6 +91,7 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "distributed lease time-to-live")
 	fleetBatch := flag.Int("fleet-batch", 4, "units per distributed lease")
 	traceDir := flag.String("trace-dir", "", "also record one representative traced FT-GMRES solve and write its timeline (JSONL + Chrome trace) here")
+	memoBytes := flag.Int64("memo-bytes", 0, "content-addressed solve cache byte budget shared by every sweep in this run; repeated units are answered from the cache with byte-identical records (0 = off)")
 	flag.Parse()
 
 	prof, ok := profiles[*profName]
@@ -138,6 +140,9 @@ func main() {
 	if needPoisson || needCircuit {
 		sw = openSweeper(*outdir, prof, *resume, *workers, *kernelWorkers,
 			resumeCommand(prof, *only, *outdir, *stride, *workers, *fleet))
+		if *memoBytes > 0 {
+			sw.memo = memo.New(memo.Config{MaxBytes: *memoBytes})
+		}
 		if *fleet >= 0 {
 			sw.startFleet(fleetOptions{workers: *fleet, addr: *fleetAddr, leaseTTL: *leaseTTL, batch: *fleetBatch})
 		}
@@ -349,6 +354,9 @@ type sweeper struct {
 	kernelWorkers int
 	resumeCmd     string
 	fleet         *fleetRuntime
+	// memo is the run-wide solve cache (nil = off): sweeps sharing units
+	// across figures reuse each other's records instead of re-solving.
+	memo *memo.Cache
 }
 
 // resumeCommand reconstructs the exact invocation that continues this run.
@@ -525,6 +533,7 @@ func (s *sweeper) sweep(ctx context.Context, name string, spec campaign.ProblemS
 		fresh, runErr := s.fleet.host.RunCampaign(ctx, c, s.journal, s.have, dist.CoordinatorConfig{
 			LeaseTTL:  s.fleet.leaseTTL,
 			BatchSize: s.fleet.batch,
+			Memo:      s.memo,
 		})
 		for id, rec := range fresh {
 			s.have[id] = rec
@@ -538,7 +547,7 @@ func (s *sweeper) sweep(ctx context.Context, name string, spec campaign.ProblemS
 		prog.Executed = len(fresh)
 		prog.Done = prog.Skipped + prog.Executed
 	} else {
-		r := campaign.NewRunner(c, s.journal, s.have, campaign.Options{Workers: s.workers, KernelWorkers: s.kernelWorkers, UnitBudget: time.Hour})
+		r := campaign.NewRunner(c, s.journal, s.have, campaign.Options{Workers: s.workers, KernelWorkers: s.kernelWorkers, UnitBudget: time.Hour, Memo: s.memo})
 		runErr := r.Run(ctx)
 		for id, rec := range r.Records() {
 			s.have[id] = rec

@@ -37,6 +37,7 @@ import (
 	"sdcgmres/internal/gallery"
 	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/krylov"
+	"sdcgmres/internal/memo"
 	"sdcgmres/internal/service"
 	"sdcgmres/internal/sparse"
 	"sdcgmres/internal/vec"
@@ -60,10 +61,11 @@ func main() {
 	campaignFile := flag.String("campaign", "", "run a campaign manifest JSON through the durable engine instead of a single experiment")
 	journalPath := flag.String("journal", "", "campaign journal path (default <name>-<hash>.jsonl beside the manifest)")
 	workers := flag.Int("workers", 0, "shared-memory kernel workers for the solve (campaign mode: total kernel budget split across unit workers); results are byte-identical for every value (0 = sequential)")
+	memoBytes := flag.Int64("memo-bytes", 0, "campaign mode: content-addressed solve cache byte budget; repeated units within the run are answered from the cache with byte-identical records (0 = off)")
 	flag.Parse()
 
 	if *campaignFile != "" {
-		runCampaign(*campaignFile, *journalPath, *jsonOut, *workers)
+		runCampaign(*campaignFile, *journalPath, *jsonOut, *workers, *memoBytes)
 		return
 	}
 
@@ -192,7 +194,7 @@ func exitForSolve(res *core.Result) {
 // experiments are skipped, an interrupt keeps the journal, and rerunning the
 // same command resumes. Output is the Section VII-E summary table per
 // completed series (or the full progress + summaries as JSON).
-func runCampaign(manifestPath, journalPath string, jsonOut bool, kernelWorkers int) {
+func runCampaign(manifestPath, journalPath string, jsonOut bool, kernelWorkers int, memoBytes int64) {
 	raw, err := os.ReadFile(manifestPath)
 	if err != nil {
 		fatal(err)
@@ -223,7 +225,11 @@ func runCampaign(manifestPath, journalPath string, jsonOut bool, kernelWorkers i
 		fmt.Printf("journal:  %s (%d experiments already done)\n\n", journalPath, len(have))
 	}
 
-	r := campaign.NewRunner(c, j, have, campaign.Options{KernelWorkers: kernelWorkers})
+	var cache *memo.Cache
+	if memoBytes > 0 {
+		cache = memo.New(memo.Config{MaxBytes: memoBytes})
+	}
+	r := campaign.NewRunner(c, j, have, campaign.Options{KernelWorkers: kernelWorkers, Memo: cache})
 	runErr := r.Run(ctx)
 	for id, rec := range r.Records() {
 		have[id] = rec

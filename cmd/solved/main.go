@@ -9,7 +9,15 @@
 //	solved [-addr :8080] [-workers N] [-queue 64] [-budget 30s]
 //	       [-max-budget 5m] [-retain 1024] [-drain-timeout 30s] [-pprof]
 //	       [-campaign-dir DIR] [-store-dir DIR] [-qos-config qos.json]
-//	       [-max-campaigns N]
+//	       [-max-campaigns N] [-memo-bytes N] [-memo-warm]
+//
+// With -memo-bytes set, the daemon keeps an in-process content-addressed
+// solve cache (internal/memo): a repeated job spec or campaign unit is
+// answered from the cache — before QoS admission, spending no queue slot,
+// token or worker — with a byte-identical record; concurrent identical
+// jobs collapse to one execution. -memo-warm preloads the cache from the
+// -store-dir warehouse on startup. /metrics gains the solved_memo_*
+// series and /healthz a "memo" block. Without the flag nothing changes.
 //
 // With -qos-config set, the engine's flat FIFO becomes the internal/qos
 // multi-tenant scheduler: per-tenant token-bucket rate limits, weighted-fair
@@ -86,6 +94,7 @@ import (
 
 	"sdcgmres/internal/campaign"
 	"sdcgmres/internal/dist"
+	"sdcgmres/internal/memo"
 	"sdcgmres/internal/qos"
 	"sdcgmres/internal/service"
 	"sdcgmres/internal/store"
@@ -123,6 +132,31 @@ type cliConfig struct {
 	// qos is the parsed -qos-config document (nil = flat FIFO). Resolved
 	// by loadQoS before setup; tests may set it directly.
 	qos *qos.Config
+
+	// Content-addressed solve cache (internal/memo).
+	memoBytes int64
+	memoWarm  bool
+	// memo is the cache built from -memo-bytes (nil = memoization off).
+	// Resolved by buildMemo before setup; tests may set it directly.
+	memo *memo.Cache
+}
+
+// buildMemo resolves -memo-bytes into cfg.memo. No flag, no cache: every
+// execution path keeps its single nil-pointer check.
+func (cfg *cliConfig) buildMemo() {
+	if cfg.memoBytes > 0 && cfg.memo == nil {
+		cfg.memo = memo.New(memo.Config{MaxBytes: cfg.memoBytes})
+	}
+}
+
+// warmMemo preloads the cache from the results warehouse when both are
+// configured and -memo-warm is set.
+func (cfg *cliConfig) warmMemo(st *store.Store) {
+	if !cfg.memoWarm || cfg.memo == nil || st == nil {
+		return
+	}
+	n := st.WarmMemo(cfg.memo)
+	log.Printf("solved: memo warmed with %d records from %s", n, cfg.storeDir)
 }
 
 // loadQoS resolves -qos-config into cfg.qos. No flag, no scheduler: the
@@ -163,6 +197,8 @@ func parseFlags(args []string) (cliConfig, error) {
 	fs.StringVar(&cfg.storeDir, "store-dir", "", "results warehouse directory; enables /v1/results/query and /v1/campaigns/{id}/stats (empty = store off)")
 	fs.StringVar(&cfg.qosConfig, "qos-config", "", "multi-tenant QoS config file (JSON): per-tenant rate limits, weighted-fair queuing, priority classes, deadline shedding, circuit breakers; empty keeps the single flat FIFO")
 	fs.IntVar(&cfg.maxCampaigns, "max-campaigns", 0, "concurrently active campaigns before POST /v1/campaigns answers 429 (0 = unlimited)")
+	fs.Int64Var(&cfg.memoBytes, "memo-bytes", 0, "content-addressed solve cache byte budget; repeated jobs and campaign units are answered from the cache with byte-identical records (0 = memoization off)")
+	fs.BoolVar(&cfg.memoWarm, "memo-warm", false, "preload the solve cache from the -store-dir warehouse on startup (requires -memo-bytes and -store-dir)")
 	err := fs.Parse(args)
 	return cfg, err
 }
@@ -202,6 +238,7 @@ func setupDist(cfg cliConfig, host *dist.Host, st *store.Store) (*service.Engine
 		TraceCapacity: cfg.traceCap,
 		KernelWorkers: cfg.kernelWorkers,
 		QoS:           cfg.qos,
+		Memo:          cfg.memo,
 	})
 	campaigns := service.NewCampaignManager(service.CampaignManagerConfig{
 		Dir:           cfg.campaignDir,
@@ -211,6 +248,7 @@ func setupDist(cfg cliConfig, host *dist.Host, st *store.Store) (*service.Engine
 		TraceCapacity: cfg.traceCap,
 		Store:         st,
 		MaxActive:     cfg.maxCampaigns,
+		Memo:          cfg.memo,
 	})
 	opts := service.ServerOptions{
 		EnablePprof: cfg.pprof,
@@ -257,10 +295,15 @@ func runDaemon(ctx context.Context, stop context.CancelFunc, cfg cliConfig) {
 	if err := cfg.loadQoS(); err != nil {
 		log.Fatalf("solved: load qos config: %v", err)
 	}
+	cfg.buildMemo()
+	cfg.warmMemo(st)
 	engine, campaigns, handler := setupDist(cfg, nil, st)
 	engine.Start()
 	if st != nil {
 		log.Printf("solved: results store on %s", cfg.storeDir)
+	}
+	if cfg.memo != nil {
+		log.Printf("solved: solve memoization on (%d byte budget)", cfg.memoBytes)
 	}
 	if cfg.qos != nil {
 		log.Printf("solved: qos scheduler on (%s, %d named tenants)", cfg.qosConfig, len(cfg.qos.Tenants))
@@ -441,6 +484,8 @@ func runCoordinate(ctx context.Context, cfg cliConfig) error {
 	if err := cfg.loadQoS(); err != nil {
 		return fmt.Errorf("load qos config: %w", err)
 	}
+	cfg.buildMemo()
+	cfg.warmMemo(st)
 	if st != nil {
 		defer st.Close()
 		// Backfill resumed units so the warehouse matches the journal from
@@ -472,6 +517,7 @@ func runCoordinate(ctx context.Context, cfg cliConfig) error {
 	distCfg := dist.CoordinatorConfig{
 		LeaseTTL:  cfg.leaseTTL,
 		BatchSize: cfg.batch,
+		Memo:      cfg.memo,
 	}
 	if st != nil {
 		distCfg.OnRecord = func(rec campaign.Record) {

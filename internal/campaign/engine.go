@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 
 	"sdcgmres/internal/expt"
 	"sdcgmres/internal/kernel"
+	"sdcgmres/internal/memo"
 	"sdcgmres/internal/sandbox"
 	"sdcgmres/internal/trace"
 )
@@ -40,6 +42,18 @@ type Options struct {
 	// Kernels are bitwise deterministic: records and aggregate CSVs are
 	// identical for every KernelWorkers value.
 	KernelWorkers int
+	// Memo, when non-nil, is the cross-campaign solve cache: units whose
+	// content-derived ID is cached are journaled from the cache instead
+	// of executing — the skip works across campaigns and journals, where
+	// the have map only covers same-journal resume. Fresh OK records are
+	// published back. Cached records are byte-identical to fresh ones
+	// (bit-deterministic kernels), so journals and aggregate CSVs do not
+	// change; nil costs one pointer check per unit.
+	Memo *memo.Cache
+	// OnMemo, when non-nil, observes every unit satisfied from the memo
+	// cache (these records are journaled but fire neither OnRecord nor
+	// OnSkip). Called from worker goroutines.
+	OnMemo func(Record)
 }
 
 // Progress is a point-in-time snapshot of a run.
@@ -51,6 +65,10 @@ type Progress struct {
 	// Skipped counts units satisfied by the journal at startup — the
 	// resume path's savings.
 	Skipped int `json:"skipped"`
+	// Memoized counts units satisfied by the cross-campaign solve cache
+	// (journaled without executing). Omitted when zero, so runs without
+	// a cache serialize exactly as before.
+	Memoized int `json:"memoized,omitempty"`
 	// Executed counts units this run actually ran.
 	Executed int `json:"executed"`
 	// Failed counts executed units whose experiment errored or panicked.
@@ -81,6 +99,7 @@ type Runner struct {
 	started  atomic.Int64 // unix nanos; 0 until Run begins
 	done     atomic.Int64
 	skipped  atomic.Int64
+	memoized atomic.Int64
 	executed atomic.Int64
 	failed   atomic.Int64
 	timedOut atomic.Int64
@@ -133,6 +152,7 @@ func (r *Runner) Progress() Progress {
 		Total:    len(r.compiled.Units),
 		Done:     int(r.done.Load()),
 		Skipped:  int(r.skipped.Load()),
+		Memoized: int(r.memoized.Load()),
 		Executed: int(r.executed.Load()),
 		Failed:   int(r.failed.Load()),
 		TimedOut: int(r.timedOut.Load()),
@@ -211,6 +231,17 @@ func (r *Runner) Run(ctx context.Context) error {
 					}
 					continue
 				}
+				if r.opts.Memo != nil {
+					if rec, ok := r.memoRecord(u); ok {
+						if err := r.journal.Append(rec); err != nil {
+							journalErr.Store(err)
+							cancelAbort()
+							return
+						}
+						r.recordMemo(rec)
+						continue
+					}
+				}
 				rec, ran := r.runUnit(abort, u, pool)
 				if !ran {
 					continue // canceled mid-unit: not journaled, rerun on resume
@@ -234,7 +265,8 @@ func (r *Runner) Run(ctx context.Context) error {
 	return ctx.Err()
 }
 
-// record books a freshly journaled record into the counters.
+// record books a freshly journaled record into the counters and, for OK
+// outcomes, publishes it to the cross-campaign solve cache.
 func (r *Runner) record(rec Record) {
 	r.executed.Add(1)
 	r.done.Add(1)
@@ -249,8 +281,48 @@ func (r *Runner) record(rec Record) {
 	r.mu.Lock()
 	r.newRecords[rec.ID] = rec
 	r.mu.Unlock()
+	if r.opts.Memo != nil && rec.Outcome == OutcomeOK {
+		// Only OK records are cached: a timeout or failure is an artifact
+		// of this machine and budget, not of the unit's content, and must
+		// not short-circuit retries elsewhere.
+		if b, err := json.Marshal(rec); err == nil {
+			r.opts.Memo.Put(memo.UnitKey(rec.ID), b)
+		}
+	}
 	if r.opts.OnRecord != nil {
 		r.opts.OnRecord(rec)
+	}
+}
+
+// memoRecord resolves a unit from the cross-campaign solve cache. A
+// payload is trusted only if it decodes to a record carrying exactly
+// this unit (same content-derived ID and coordinates) with an OK
+// outcome; anything else is treated as a miss and the unit executes.
+func (r *Runner) memoRecord(u Unit) (Record, bool) {
+	raw, ok := r.opts.Memo.Get(memo.UnitKey(u.ID))
+	if !ok {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(raw, &rec); err != nil ||
+		rec.ID != u.ID || rec.Unit != u || rec.Outcome != OutcomeOK {
+		return Record{}, false
+	}
+	r.opts.Recorder.MemoHit(memo.UnitKey(u.ID), "hit", len(raw))
+	return rec, true
+}
+
+// recordMemo books a cache-satisfied unit: done, but neither executed
+// nor journal-skipped. It fires OnMemo instead of OnRecord/OnSkip so
+// observers can account the three paths separately.
+func (r *Runner) recordMemo(rec Record) {
+	r.memoized.Add(1)
+	r.done.Add(1)
+	r.mu.Lock()
+	r.newRecords[rec.ID] = rec
+	r.mu.Unlock()
+	if r.opts.OnMemo != nil {
+		r.opts.OnMemo(rec)
 	}
 }
 

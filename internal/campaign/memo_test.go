@@ -1,0 +1,107 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+
+	"sdcgmres/internal/memo"
+)
+
+// runWithMemo executes the test campaign into a fresh journal with the
+// given (possibly nil) cache and returns its records, progress and
+// aggregated CSV.
+func runWithMemo(t *testing.T, c *Compiled, journal string, cache *memo.Cache) (map[string]Record, Progress, []byte) {
+	t.Helper()
+	j, have, err := OpenJournal(journal)
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	defer j.Close()
+	r := NewRunner(c, j, have, Options{Workers: 2, Memo: cache})
+	if err := r.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	recs := map[string]Record{}
+	for id, rec := range have {
+		recs[id] = rec
+	}
+	for id, rec := range r.Records() {
+		recs[id] = rec
+	}
+	series, err := c.Aggregate(recs)
+	if err != nil {
+		t.Fatalf("aggregate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := series[0].WriteCSV(&buf); err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	return recs, r.Progress(), buf.Bytes()
+}
+
+// TestMemoCrossCampaignByteIdentity runs the same units through two
+// independent journals sharing one cache: the second run must execute
+// nothing, satisfy every unit from the cache, and aggregate to a
+// byte-identical CSV.
+func TestMemoCrossCampaignByteIdentity(t *testing.T) {
+	c := compileTest(t)
+	dir := t.TempDir()
+	cache := memo.New(memo.Config{})
+
+	recsA, progA, csvA := runWithMemo(t, c, filepath.Join(dir, "a.jsonl"), cache)
+	if progA.Executed != len(c.Units) || progA.Memoized != 0 {
+		t.Fatalf("first run: executed %d memoized %d, want %d/0", progA.Executed, progA.Memoized, len(c.Units))
+	}
+
+	recsB, progB, csvB := runWithMemo(t, c, filepath.Join(dir, "b.jsonl"), cache)
+	if progB.Memoized != len(c.Units) || progB.Executed != 0 {
+		t.Fatalf("second run: executed %d memoized %d, want 0/%d", progB.Executed, progB.Memoized, len(c.Units))
+	}
+	if !bytes.Equal(csvA, csvB) {
+		t.Fatalf("memoized CSV differs from fresh CSV:\n%s\nvs\n%s", csvA, csvB)
+	}
+	for id, a := range recsA {
+		b, ok := recsB[id]
+		if !ok {
+			t.Fatalf("memoized run lost record %s", id)
+		}
+		if a != b {
+			t.Fatalf("record %s differs:\nfresh: %+v\nmemo:  %+v", id, a, b)
+		}
+	}
+	st := cache.Stats()
+	if st.Hits < int64(len(c.Units)) {
+		t.Fatalf("cache hits = %d, want >= %d", st.Hits, len(c.Units))
+	}
+}
+
+// TestMemoNilCacheByteIdentity proves a nil cache changes nothing: same
+// records, same CSV, zero memoized units.
+func TestMemoNilCacheByteIdentity(t *testing.T) {
+	c := compileTest(t)
+	dir := t.TempDir()
+	_, progA, csvA := runWithMemo(t, c, filepath.Join(dir, "plain.jsonl"), nil)
+	if progA.Memoized != 0 {
+		t.Fatalf("nil cache memoized %d units", progA.Memoized)
+	}
+	_, _, csvB := runWithMemo(t, c, filepath.Join(dir, "cached.jsonl"), memo.New(memo.Config{}))
+	if !bytes.Equal(csvA, csvB) {
+		t.Fatal("cache-enabled run's CSV differs from the nil-cache run's")
+	}
+}
+
+// TestMemoRejectsForeignPayload plants a mismatched record under a unit's
+// key: the runner must treat it as a miss and execute the unit.
+func TestMemoRejectsForeignPayload(t *testing.T) {
+	c := compileTest(t)
+	cache := memo.New(memo.Config{})
+	u := c.Units[0]
+	cache.Put(memo.UnitKey(u.ID), []byte(`{"id":"someone-else","outcome":"ok"}`))
+
+	_, prog, _ := runWithMemo(t, c, filepath.Join(t.TempDir(), "j.jsonl"), cache)
+	if prog.Executed != len(c.Units) {
+		t.Fatalf("executed %d of %d; a foreign payload must not satisfy a unit", prog.Executed, len(c.Units))
+	}
+}

@@ -1,11 +1,13 @@
 package dist
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
 
 	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/memo"
 	"sdcgmres/internal/trace"
 )
 
@@ -30,6 +32,13 @@ type CoordinatorConfig struct {
 	OnRecord func(campaign.Record)
 	// Now is the clock (default time.Now; tests substitute a fake).
 	Now func() time.Time
+	// Memo, when non-nil, is the cross-campaign solve cache: pending
+	// units whose content-derived ID is cached are journaled at claim
+	// time and filtered out of lease batches before any worker sees
+	// them, and records accepted from workers are published back.
+	// Cached records pass the same trust-boundary checks as worker
+	// records. Nil changes nothing.
+	Memo *memo.Cache
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -184,17 +193,34 @@ func (co *Coordinator) sweepLocked(now time.Time) {
 // after a backoff.
 func (co *Coordinator) Claim(worker string, max int) (_ *Lease, done bool, err error) {
 	co.mu.Lock()
-	defer co.mu.Unlock()
+	lease, done, absorbed, err := co.claimLocked(worker, max)
+	co.mu.Unlock()
+	// Surface memo-absorbed records outside the lock, mirroring Complete.
+	if co.cfg.OnRecord != nil {
+		for _, rec := range absorbed {
+			co.cfg.OnRecord(rec)
+		}
+	}
+	return lease, done, err
+}
+
+// claimLocked does Claim's work under co.mu and returns the records the
+// memo cache satisfied during this claim.
+func (co *Coordinator) claimLocked(worker string, max int) (_ *Lease, done bool, absorbed []campaign.Record, err error) {
 	if co.journalErr != nil {
-		return nil, false, co.journalErr
+		return nil, false, nil, co.journalErr
 	}
 	now := co.cfg.Now()
 	co.sweepLocked(now)
+	absorbed, err = co.absorbMemoLocked()
+	if err != nil {
+		return nil, false, absorbed, err
+	}
 	if co.remaining == 0 {
-		return nil, true, nil
+		return nil, true, absorbed, nil
 	}
 	if co.draining || len(co.pending) == 0 {
-		return nil, false, nil
+		return nil, false, absorbed, nil
 	}
 	n := co.cfg.BatchSize
 	if max > 0 && max < n {
@@ -226,7 +252,56 @@ func (co *Coordinator) Claim(worker string, max int) (_ *Lease, done bool, err e
 		Units:     units,
 		TTLMS:     co.cfg.LeaseTTL.Milliseconds(),
 		Remaining: len(co.pending),
-	}, false, nil
+	}, false, absorbed, nil
+}
+
+// absorbMemoLocked satisfies pending units from the cross-campaign solve
+// cache before they can be leased: each cached unit's record is decoded,
+// held to the same trust-boundary checks as a worker record, journaled,
+// and removed from the queue — so memoized work never costs a lease, a
+// network round-trip, or a worker execution. Returns the records it
+// journaled (surfaced to OnRecord outside the lock by the caller).
+func (co *Coordinator) absorbMemoLocked() ([]campaign.Record, error) {
+	if co.cfg.Memo == nil || len(co.pending) == 0 {
+		return nil, nil
+	}
+	var absorbed []campaign.Record
+	kept := co.pending[:0]
+	for i, u := range co.pending {
+		raw, ok := co.cfg.Memo.Get(memo.UnitKey(u.ID))
+		if !ok {
+			kept = append(kept, u)
+			continue
+		}
+		var rec campaign.Record
+		if err := json.Unmarshal(raw, &rec); err != nil ||
+			rec.Unit != u || rec.Outcome != campaign.OutcomeOK || !co.validLocked(rec) {
+			kept = append(kept, u)
+			continue
+		}
+		if err := co.journal.Append(rec); err != nil {
+			co.pending = append(kept, co.pending[i:]...)
+			co.journalErr = err
+			close(co.failed)
+			return absorbed, err
+		}
+		co.have[rec.ID] = rec
+		co.fresh[rec.ID] = rec
+		co.remaining--
+		absorbed = append(absorbed, rec)
+		co.cfg.Metrics.UnitsMemoized.Inc()
+		co.cfg.Recorder.MemoHit(memo.UnitKey(u.ID), "hit", len(raw))
+	}
+	co.pending = kept
+	if co.remaining == 0 {
+		if err := co.journal.Sync(); err != nil {
+			co.journalErr = fmt.Errorf("dist: sync journal: %w", err)
+			close(co.failed)
+			return absorbed, co.journalErr
+		}
+		co.once.Do(func() { close(co.done) })
+	}
+	return absorbed, nil
 }
 
 // Heartbeat renews a lease's TTL. ErrLeaseGone means the lease expired (its
@@ -273,6 +348,18 @@ func (co *Coordinator) Complete(leaseID, worker string, recs []campaign.Record) 
 	co.mu.Lock()
 	resp, accepted, err := co.completeLocked(leaseID, worker, recs)
 	co.mu.Unlock()
+	// Publish accepted OK records to the solve cache outside the lock, so
+	// later claims (and other campaigns sharing the cache) skip them.
+	if co.cfg.Memo != nil {
+		for _, rec := range accepted {
+			if rec.Outcome != campaign.OutcomeOK {
+				continue
+			}
+			if b, merr := json.Marshal(rec); merr == nil {
+				co.cfg.Memo.Put(memo.UnitKey(rec.ID), b)
+			}
+		}
+	}
 	// Surface newly journaled records outside the lock, so an ingest hook
 	// (which may hit its own disk) never stalls claims and heartbeats.
 	if co.cfg.OnRecord != nil {

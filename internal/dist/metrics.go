@@ -22,6 +22,9 @@ type Metrics struct {
 	// Unit flow.
 	UnitsCompleted service.Counter
 	UnitsRequeued  service.Counter
+	// UnitsMemoized counts units satisfied from the solve cache before
+	// they could be leased to a worker.
+	UnitsMemoized service.Counter
 	// Trust boundary.
 	RecordsRejected  service.Counter
 	RecordsDuplicate service.Counter
@@ -76,6 +79,7 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"leases_renewed":    m.LeasesRenewed.Value(),
 		"units_completed":   m.UnitsCompleted.Value(),
 		"units_requeued":    m.UnitsRequeued.Value(),
+		"units_memoized":    m.UnitsMemoized.Value(),
 		"records_rejected":  m.RecordsRejected.Value(),
 		"records_duplicate": m.RecordsDuplicate.Value(),
 	}
@@ -95,6 +99,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		{"dist_leases_renewed_total", "Lease heartbeat renewals.", &m.LeasesRenewed},
 		{"dist_units_completed_total", "Units journaled from worker reports.", &m.UnitsCompleted},
 		{"dist_units_requeued_total", "Units requeued from expired leases.", &m.UnitsRequeued},
+		{"dist_units_memoized_total", "Units satisfied from the solve cache before leasing.", &m.UnitsMemoized},
 		{"dist_records_rejected_total", "Worker records rejected at the trust boundary.", &m.RecordsRejected},
 		{"dist_records_duplicate_total", "Duplicate records acknowledged without re-journaling.", &m.RecordsDuplicate},
 	}

@@ -1,0 +1,66 @@
+package memo
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkMemoLookup measures the hit path: one mutex round trip, a
+// map probe, and an LRU touch. This is the cost a memoized solve pays
+// instead of a full GMRES execution (milliseconds), so the recorded
+// number is the numerator of the hit-path speedup in BENCH_memo.json.
+func BenchmarkMemoLookup(b *testing.B) {
+	c := New(Config{MaxBytes: 64 << 20})
+	const entries = 4096
+	keys := make([]string, entries)
+	payload := make([]byte, 512) // typical marshaled SolveRecord size
+	for i := range keys {
+		keys[i] = UnitKey(fmt.Sprintf("%016x", i))
+		c.Put(keys[i], payload)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(keys[i%entries]); !ok {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+// BenchmarkMemoMiss measures the miss path (probe + counter).
+func BenchmarkMemoMiss(b *testing.B) {
+	c := New(Config{MaxBytes: 64 << 20})
+	key := UnitKey("ffffffffffffffff")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(key); ok {
+			b.Fatal("unexpected hit")
+		}
+	}
+}
+
+// BenchmarkMemoPut measures steady-state insert+evict churn at a full
+// budget.
+func BenchmarkMemoPut(b *testing.B) {
+	c := New(Config{MaxBytes: 1 << 20})
+	payload := make([]byte, 512)
+	keys := make([]string, 8192)
+	for i := range keys {
+		keys[i] = UnitKey(fmt.Sprintf("%016x", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(keys[i%len(keys)], payload)
+	}
+}
+
+// BenchmarkNilCacheGet proves the disabled path is a pointer check.
+func BenchmarkNilCacheGet(b *testing.B) {
+	var c *Cache
+	key := UnitKey("0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(key); ok {
+			b.Fatal("nil cache hit")
+		}
+	}
+}

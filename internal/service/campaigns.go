@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/memo"
 	"sdcgmres/internal/store"
 	"sdcgmres/internal/trace"
 )
@@ -132,6 +133,11 @@ type CampaignManagerConfig struct {
 	// MaxActive bounds concurrently non-terminal campaigns; Submit returns
 	// ErrBusy beyond it (0 = unlimited, today's behavior).
 	MaxActive int
+	// Memo, when non-nil, is the cross-campaign solve cache shared with
+	// the job engine: units whose content-derived ID is cached are
+	// journaled from the cache instead of executing, and fresh OK
+	// records are published back. Nil changes nothing.
+	Memo *memo.Cache
 }
 
 // CampaignManager runs durable fault-injection campaigns inside the daemon:
@@ -290,7 +296,16 @@ func (m *CampaignManager) execute(ctx context.Context, c *managedCampaign) {
 				}
 			}
 		},
-		OnSkip:   func(campaign.Unit) { met.CampaignUnitsSkipped.Inc() },
+		OnSkip: func(campaign.Unit) { met.CampaignUnitsSkipped.Inc() },
+		Memo:   m.cfg.Memo,
+		OnMemo: func(rec campaign.Record) {
+			met.CampaignUnitsMemoized.Inc()
+			if m.cfg.Store != nil {
+				if _, err := m.cfg.Store.Ingest(storeName, rec); err != nil {
+					met.StoreIngestErrors.Inc()
+				}
+			}
+		},
 		Recorder: c.trace,
 	})
 	c.mu.Lock()

@@ -1,0 +1,32 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Page cursors are opaque resume tokens: the server hands one out
+// (next_cursor in a results page, X-Next-Cursor on a trace page) and the
+// client echoes it back verbatim in the next request's cursor parameter.
+// Today a cursor encodes a position offset, but clients must not parse
+// it — the encoding may change.
+const cursorPrefix = "o"
+
+// encodeCursor builds the resume token for a position.
+func encodeCursor(pos int) string {
+	return cursorPrefix + strconv.Itoa(pos)
+}
+
+// parseCursor decodes a client-echoed resume token.
+func parseCursor(s string) (int, error) {
+	rest, ok := strings.CutPrefix(s, cursorPrefix)
+	if !ok {
+		return 0, fmt.Errorf("malformed cursor %q", s)
+	}
+	pos, err := strconv.Atoi(rest)
+	if err != nil || pos < 0 {
+		return 0, fmt.Errorf("malformed cursor %q", s)
+	}
+	return pos, nil
+}

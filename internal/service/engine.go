@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"sdcgmres/internal/kernel"
+	"sdcgmres/internal/memo"
 	"sdcgmres/internal/qos"
 	"sdcgmres/internal/sandbox"
 	"sdcgmres/internal/trace"
@@ -84,6 +86,14 @@ type Config struct {
 	// QoSClock injects the scheduler's clock (nil = time.Now). Tests use
 	// a deterministic clock so scheduling assertions never sleep.
 	QoSClock func() time.Time
+	// Memo, when non-nil, is the content-addressed solve cache. The
+	// engine consults it at submission — before any QoS admission, so a
+	// hit never spends a token-bucket token or a worker — and collapses
+	// concurrent identical in-flight jobs onto one execution via its
+	// singleflight. Nil disables memoization at the cost of one pointer
+	// check per submit; every output is byte-for-byte what it was
+	// without a cache.
+	Memo *memo.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -268,9 +278,21 @@ func (e *Engine) Submit(spec JobSpec) (JobView, error) {
 	if err := spec.Validate(); err != nil {
 		return JobView{}, err
 	}
+	// Cache lookup precedes every admission decision: a memoized solve
+	// is served without touching the FIFO or the QoS scheduler.
+	var memoKey string
+	if e.cfg.Memo != nil {
+		memoKey = memo.JobKey(SpecDigest(&spec))
+		if raw, ok := e.cfg.Memo.Get(memoKey); ok {
+			if view, done := e.completeFromMemo(spec, memoKey, raw); done {
+				return view, nil
+			}
+		}
+	}
 	j := &Job{
 		id:        fmt.Sprintf("job-%06d", e.nextID.Add(1)),
 		spec:      spec,
+		memoKey:   memoKey,
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
@@ -518,17 +540,55 @@ func (e *Engine) run(j *Job, pool *kernel.Pool) {
 	}
 
 	var rec *SolveRecord
-	rep := sandbox.RunCtx(ctx, 0, func() error {
-		r, err := e.cfg.Runner(ctx, &j.spec, tr, pool)
-		if err != nil {
-			return err
+	var rep sandbox.Report
+	executed := false
+	exec := func() ([]byte, error) {
+		executed = true
+		rep = sandbox.RunCtx(ctx, 0, func() error {
+			r, err := e.cfg.Runner(ctx, &j.spec, tr, pool)
+			if err != nil {
+				return err
+			}
+			rec = r
+			return nil
+		})
+		if rep.Outcome == sandbox.OK && rec != nil {
+			return json.Marshal(rec)
 		}
-		rec = r
-		return nil
-	})
+		if rep.Err != nil {
+			return nil, rep.Err
+		}
+		return nil, errNoResult
+	}
+	fromMemo := false
+	if e.cfg.Memo != nil && j.memoKey != "" {
+		// Singleflight: identical jobs already in flight on another
+		// worker become one execution; followers wait on the leader's
+		// result instead of recomputing it. Only a successful leader is
+		// shared — if it fails, each follower takes its own turn (the
+		// exec closure runs, and the classification below sees its own
+		// sandbox report). A follower's wait is bounded by the leader's
+		// wall-clock budget.
+		raw, how, _ := e.cfg.Memo.Do(j.memoKey, exec)
+		if !executed {
+			cached := new(SolveRecord)
+			if err := json.Unmarshal(raw, cached); err == nil {
+				rec = cached
+				rep = sandbox.Report{Outcome: sandbox.OK}
+				fromMemo = true
+				tr.MemoHit(j.memoKey, memoHow(how), len(raw))
+			} else {
+				// Undecodable payload (defensive): run fresh.
+				exec()
+			}
+		}
+	} else {
+		exec()
+	}
 
 	j.mu.Lock()
 	j.cancel = nil
+	j.fromMemo = fromMemo
 	j.finished = time.Now()
 	elapsed := j.finished.Sub(j.started)
 	switch {
@@ -557,11 +617,17 @@ func (e *Engine) run(j *Job, pool *kernel.Pool) {
 	switch state {
 	case StateDone:
 		m.JobsCompleted.Inc()
-		m.ObserveSolve(j.spec.SolverKind(), elapsed)
-		m.DetectorFirings.Add(int64(rec.Detections))
-		m.SandboxFailures.Add(int64(rec.SandboxFailures))
-		if rec.FaultFired {
-			m.FaultInjections.Inc()
+		// Memo-satisfied jobs skip the latency histograms (no solve ran
+		// here, and Retry-After must keep estimating real executions)
+		// and the detector/fault aggregates (that work happened in the
+		// execution that populated the cache).
+		if !fromMemo {
+			m.ObserveSolve(j.spec.SolverKind(), elapsed)
+			m.DetectorFirings.Add(int64(rec.Detections))
+			m.SandboxFailures.Add(int64(rec.SandboxFailures))
+			if rec.FaultFired {
+				m.FaultInjections.Inc()
+			}
 		}
 	case StateTimedOut:
 		m.JobsTimedOut.Inc()
@@ -594,3 +660,7 @@ func (e *Engine) retire(j *Job) {
 
 func isDeadline(err error) bool { return errors.Is(err, context.DeadlineExceeded) }
 func isCancel(err error) bool   { return errors.Is(err, context.Canceled) }
+
+// errNoResult marks an OK sandbox report with no record (a guest that
+// lied); it keeps such runs out of the memo cache.
+var errNoResult = errors.New("service: runner returned no result")

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// ErrorEnvelope is the unified v1 error body: every non-2xx response
+// from cmd/solved carries exactly this shape, so clients branch on one
+// stable machine-readable code instead of parsing prose.
+//
+//	{"code": "throttled", "message": "...", "retry_after_seconds": 3}
+//
+// Codes by status: 400 invalid_request, 404 not_found, 409 conflict,
+// 413 payload_too_large, 429 throttled, 503 unavailable, 5xx internal.
+// RetryAfterSeconds is set only on throttled responses and mirrors the
+// Retry-After header (which is kept for plain HTTP clients).
+type ErrorEnvelope struct {
+	Code              string `json:"code"`
+	Message           string `json:"message"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
+}
+
+// Error implements error so clients can surface a decoded envelope
+// directly.
+func (e *ErrorEnvelope) Error() string { return e.Code + ": " + e.Message }
+
+// errorCode maps an HTTP status to its stable envelope code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusTooManyRequests:
+		return "throttled"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	}
+	if status >= 500 {
+		return "internal"
+	}
+	return "error"
+}
+
+// writeError emits the unified error envelope for a non-2xx status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorEnvelope{Code: errorCode(status), Message: msg})
+}
+
+// writeThrottled emits a 429 envelope carrying the retry advice in both
+// the Retry-After header (for plain HTTP clients) and the body (for
+// envelope-aware ones).
+func writeThrottled(w http.ResponseWriter, retryAfterSec int, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+	writeJSON(w, http.StatusTooManyRequests, ErrorEnvelope{
+		Code:              "throttled",
+		Message:           msg,
+		RetryAfterSeconds: retryAfterSec,
+	})
+}

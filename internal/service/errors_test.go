@@ -1,0 +1,277 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sdcgmres/internal/store"
+)
+
+// decodeEnvelope requires resp to carry a v1 error envelope with the
+// expected status and code and a non-empty message, and returns it.
+func decodeEnvelope(t *testing.T, resp *http.Response, wantStatus int, wantCode string) ErrorEnvelope {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, wantStatus)
+	}
+	var env ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("body is not an error envelope: %v", err)
+	}
+	if env.Code != wantCode {
+		t.Fatalf("code = %q, want %q (message %q)", env.Code, wantCode, env.Message)
+	}
+	if env.Message == "" {
+		t.Fatal("envelope has an empty message")
+	}
+	return env
+}
+
+// TestErrorEnvelopeEveryHandler drives every non-2xx path the server can
+// produce and requires the unified envelope from each one.
+func TestErrorEnvelopeEveryHandler(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	defer st.Close()
+
+	engine := NewEngine(Config{Workers: 1, QueueDepth: 1, DefaultBudget: time.Minute,
+		Runner: stubRunner(9, 0), TraceCapacity: 64})
+	engine.Start()
+	defer engine.Shutdown(context.Background())
+	campaigns := NewCampaignManager(CampaignManagerConfig{Dir: dir, Metrics: engine.Metrics()})
+	ts := httptest.NewServer(NewServer(engine, ServerOptions{
+		Campaigns:    campaigns,
+		Store:        st,
+		MaxBodyBytes: 1 << 20,
+	}))
+	defer ts.Close()
+
+	post := func(path, body string, hdr map[string]string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+path, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		return resp
+	}
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp
+	}
+	del := func(path string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("DELETE %s: %v", path, err)
+		}
+		return resp
+	}
+
+	// 400 invalid_request: undecodable job spec.
+	decodeEnvelope(t, post("/v1/jobs", "{not json", nil), http.StatusBadRequest, "invalid_request")
+	// 400 invalid_request: decodable but invalid spec.
+	decodeEnvelope(t, post("/v1/jobs", "{}", nil), http.StatusBadRequest, "invalid_request")
+	// 404 not_found: unknown job, unknown trace, unknown campaign, unknown stats.
+	decodeEnvelope(t, get("/v1/jobs/job-404"), http.StatusNotFound, "not_found")
+	decodeEnvelope(t, get("/v1/jobs/job-404/trace"), http.StatusNotFound, "not_found")
+	decodeEnvelope(t, get("/v1/campaigns/cmp-404"), http.StatusNotFound, "not_found")
+	decodeEnvelope(t, get("/v1/campaigns/cmp-404/trace"), http.StatusNotFound, "not_found")
+	decodeEnvelope(t, get("/v1/campaigns/cmp-404/stats"), http.StatusNotFound, "not_found")
+	decodeEnvelope(t, del("/v1/jobs/job-404"), http.StatusNotFound, "not_found")
+	decodeEnvelope(t, del("/v1/campaigns/cmp-404"), http.StatusNotFound, "not_found")
+	// 400 invalid_request: bad campaign manifest, bad results cursor.
+	decodeEnvelope(t, post("/v1/campaigns", "{}", nil), http.StatusBadRequest, "invalid_request")
+	decodeEnvelope(t, post("/v1/results/query", `{"cursor":"garbage"}`, nil), http.StatusBadRequest, "invalid_request")
+
+	// Fill the engine: one hanging job on the worker, one in the queue.
+	spec := `{"matrix":{"kind":"poisson","n":9},"solver":{"kind":"gmres"}}`
+	var running JobView
+	if resp := post("/v1/jobs", spec, nil); true {
+		if err := json.NewDecoder(resp.Body).Decode(&running); err != nil {
+			t.Fatalf("decode accepted job: %v", err)
+		}
+		resp.Body.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := engine.Job(running.ID); ok && v.State == StateRunning {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	post("/v1/jobs", spec, nil).Body.Close() // occupies the queue slot
+
+	// 429 throttled: the queue is full; advice must appear in both the
+	// Retry-After header and the envelope body, and agree.
+	resp := post("/v1/jobs", spec, nil)
+	retryHeader := resp.Header.Get("Retry-After")
+	env := decodeEnvelope(t, resp, http.StatusTooManyRequests, "throttled")
+	if retryHeader == "" {
+		t.Fatal("429 lost its Retry-After header")
+	}
+	if sec, err := strconv.Atoi(retryHeader); err != nil || sec != env.RetryAfterSeconds {
+		t.Fatalf("Retry-After header %q disagrees with envelope retry_after_seconds %d", retryHeader, env.RetryAfterSeconds)
+	}
+	if env.RetryAfterSeconds < 1 {
+		t.Fatalf("retry_after_seconds = %d, want >= 1", env.RetryAfterSeconds)
+	}
+
+	// 409 conflict: cancel the running job once, then cancel again.
+	if resp := del("/v1/jobs/" + running.ID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first cancel status = %d", resp.StatusCode)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := engine.Job(running.ID); ok && v.State.Terminal() {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	decodeEnvelope(t, del("/v1/jobs/"+running.ID), http.StatusConflict, "conflict")
+
+	// 413 payload_too_large: a body over MaxBodyBytes.
+	big := strings.Repeat("x", 2<<20)
+	decodeEnvelope(t, post("/v1/jobs", `{"pad":"`+big+`"}`, nil),
+		http.StatusRequestEntityTooLarge, "payload_too_large")
+
+	// Cancel whatever still hangs so the deferred drain returns promptly.
+	for _, v := range engine.Jobs() {
+		if !v.State.Terminal() {
+			_, _ = engine.Cancel(v.ID)
+		}
+	}
+}
+
+// TestErrorEnvelopeDraining covers the 503 unavailable path: a drained
+// engine refuses new work with the envelope.
+func TestErrorEnvelopeDraining(t *testing.T) {
+	engine := NewEngine(Config{Workers: 1, Runner: stubRunner(-1, 0)})
+	engine.Start()
+	if err := engine.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	ts := httptest.NewServer(NewServer(engine, ServerOptions{}))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"matrix":{"kind":"poisson","n":8},"solver":{"kind":"gmres"}}`))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	decodeEnvelope(t, resp, http.StatusServiceUnavailable, "unavailable")
+}
+
+// TestTracePageLimitCursor pins the v1 paging convention on the trace
+// endpoints: opt-in limit, X-Next-Cursor resume, envelope on bad input.
+func TestTracePageLimitCursor(t *testing.T) {
+	// The real runner: a stub emits no trace events to page through.
+	engine := NewEngine(Config{Workers: 1, TraceCapacity: 256})
+	engine.Start()
+	defer engine.Shutdown(context.Background())
+	ts := httptest.NewServer(NewServer(engine, ServerOptions{}))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"matrix":{"kind":"poisson","n":8},"solver":{"kind":"gmres"}}`))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	waitTerminal(t, engine, view.ID, 5*time.Second)
+
+	full := fetchLines(t, ts.URL+"/v1/jobs/"+view.ID+"/trace")
+	if len(full) < 2 {
+		t.Fatalf("trace too short to page: %d events", len(full))
+	}
+
+	// Page through with limit=1 and require the concatenation to equal
+	// the full stream.
+	var paged []string
+	cursor := ""
+	for {
+		u := ts.URL + "/v1/jobs/" + view.ID + "/trace?limit=1"
+		if cursor != "" {
+			u += "&cursor=" + cursor
+		}
+		r, err := http.Get(u)
+		if err != nil {
+			t.Fatalf("get page: %v", err)
+		}
+		var page []string
+		for _, line := range fetchBodyLines(t, r) {
+			page = append(page, line)
+		}
+		if len(page) > 1 {
+			t.Fatalf("limit=1 page carried %d events", len(page))
+		}
+		paged = append(paged, page...)
+		cursor = r.Header.Get("X-Next-Cursor")
+		if cursor == "" {
+			break
+		}
+	}
+	if strings.Join(paged, "\n") != strings.Join(full, "\n") {
+		t.Fatalf("paged stream differs from full stream (%d vs %d events)", len(paged), len(full))
+	}
+
+	// Malformed paging inputs answer with the envelope.
+	for _, q := range []string{"?limit=abc", "?limit=0", "?cursor=nope"} {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + view.ID + "/trace" + q)
+		if err != nil {
+			t.Fatalf("get %s: %v", q, err)
+		}
+		decodeEnvelope(t, r, http.StatusBadRequest, "invalid_request")
+	}
+}
+
+func fetchLines(t *testing.T, url string) []string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("get %s: %v", url, err)
+	}
+	return fetchBodyLines(t, resp)
+}
+
+func fetchBodyLines(t *testing.T, resp *http.Response) []string {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	var lines []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.TrimSpace(line) != "" {
+			lines = append(lines, line)
+		}
+	}
+	return lines
+}

@@ -47,10 +47,17 @@ func (s State) Terminal() bool {
 type Job struct {
 	id   string
 	spec JobSpec
+	// memoKey is the job's content-addressed cache key ("" when the
+	// engine runs without a memo cache). Set before the job is
+	// published, immutable afterwards.
+	memoKey string
 
-	mu        sync.Mutex
-	state     State
-	err       string
+	mu    sync.Mutex
+	state State
+	err   string
+	// fromMemo marks a job satisfied from the solve cache (at
+	// submission or via singleflight) instead of a fresh execution.
+	fromMemo  bool
 	result    *SolveRecord
 	submitted time.Time
 	started   time.Time
@@ -72,12 +79,17 @@ type JobView struct {
 	State State  `json:"state"`
 	// Budget is the effective wall-clock budget in milliseconds (0 until
 	// the engine resolves the default at start).
-	Spec        JobSpec      `json:"spec"`
-	Error       string       `json:"error,omitempty"`
-	Result      *SolveRecord `json:"result,omitempty"`
-	SubmittedAt time.Time    `json:"submitted_at"`
-	StartedAt   *time.Time   `json:"started_at,omitempty"`
-	FinishedAt  *time.Time   `json:"finished_at,omitempty"`
+	Spec   JobSpec      `json:"spec"`
+	Error  string       `json:"error,omitempty"`
+	Result *SolveRecord `json:"result,omitempty"`
+	// FromMemo marks a result served from the content-addressed solve
+	// cache; the record is byte-identical to a fresh execution's.
+	// Absent (false) whenever the daemon runs without a cache, keeping
+	// the wire form unchanged.
+	FromMemo    bool       `json:"from_memo,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 }
 
 // View snapshots the job under its lock.
@@ -90,6 +102,7 @@ func (j *Job) View() JobView {
 		Spec:        j.spec,
 		Error:       j.err,
 		Result:      j.result,
+		FromMemo:    j.fromMemo,
 		SubmittedAt: j.submitted,
 	}
 	if !j.started.IsZero() {

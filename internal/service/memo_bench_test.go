@@ -1,0 +1,71 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sdcgmres/internal/memo"
+)
+
+// benchSpec is the same small solve the memo tests use; big enough to be
+// a real GMRES run, small enough to benchmark.
+func benchSpec() JobSpec {
+	return JobSpec{
+		Matrix: MatrixSpec{Kind: "poisson", N: 12},
+		Solver: SolverSpec{Kind: "gmres", InnerIters: 8, MaxOuter: 20},
+	}
+}
+
+// BenchmarkFreshSolve is the denominator of the hit-path speedup in
+// BENCH_memo.json: one full solver execution of the benchmark spec.
+func BenchmarkFreshSolve(b *testing.B) {
+	spec := benchSpec()
+	if err := spec.Validate(); err != nil {
+		b.Fatalf("validate: %v", err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSpec(context.Background(), &spec, nil, nil); err != nil {
+			b.Fatalf("solve: %v", err)
+		}
+	}
+}
+
+// BenchmarkMemoHitSubmit is the numerator: the same spec served through
+// the full Submit path against a warm cache — digest, lookup, unmarshal,
+// terminal JobView. No queue, no worker, no solver.
+func BenchmarkMemoHitSubmit(b *testing.B) {
+	e := NewEngine(Config{Workers: 1, Memo: memo.New(memo.Config{})})
+	e.Start()
+	defer e.Shutdown(context.Background())
+	v, err := e.Submit(benchSpec())
+	if err != nil {
+		b.Fatalf("submit: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		done, ok := e.Job(v.ID)
+		if ok && done.State.Terminal() {
+			if done.State != StateDone {
+				b.Fatalf("warm-up job ended %s: %s", done.State, done.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("warm-up job never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hit, err := e.Submit(benchSpec())
+		if err != nil {
+			b.Fatalf("submit: %v", err)
+		}
+		if !hit.FromMemo {
+			b.Fatal("benchmark submit missed the cache")
+		}
+	}
+}

@@ -132,6 +132,9 @@ type Metrics struct {
 	// Campaign unit activity.
 	CampaignUnitsExecuted Counter
 	CampaignUnitsSkipped  Counter
+	// CampaignUnitsMemoized counts units satisfied by the cross-campaign
+	// solve cache (journaled without executing).
+	CampaignUnitsMemoized Counter
 	CampaignUnitsFailed   Counter
 	// StoreIngestErrors counts records the results store failed to absorb
 	// (the journal stays authoritative; these flag warehouse divergence).
@@ -210,6 +213,7 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"campaigns_canceled":      m.CampaignsCanceled.Value(),
 		"campaign_units_executed": m.CampaignUnitsExecuted.Value(),
 		"campaign_units_skipped":  m.CampaignUnitsSkipped.Value(),
+		"campaign_units_memoized": m.CampaignUnitsMemoized.Value(),
 		"campaign_units_failed":   m.CampaignUnitsFailed.Value(),
 		"store_ingest_errors":     m.StoreIngestErrors.Value(),
 	}
@@ -238,6 +242,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		{"solved_campaigns_canceled_total", "Campaigns canceled by the caller or by shutdown.", &m.CampaignsCanceled},
 		{"solved_campaign_units_executed_total", "Campaign units executed (not resumed from a journal).", &m.CampaignUnitsExecuted},
 		{"solved_campaign_units_skipped_total", "Campaign units satisfied by a journal on resume.", &m.CampaignUnitsSkipped},
+		{"solved_campaign_units_memoized_total", "Campaign units satisfied by the cross-campaign solve cache.", &m.CampaignUnitsMemoized},
 		{"solved_campaign_units_failed_total", "Campaign units journaled as failed or timed out.", &m.CampaignUnitsFailed},
 		{"solved_store_ingest_errors_total", "Records the results store failed to absorb.", &m.StoreIngestErrors},
 	}

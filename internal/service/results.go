@@ -69,12 +69,42 @@ func (s *Server) resolveCampaignName(id string) string {
 	return id
 }
 
-// handleResultsQuery serves POST /v1/results/query: a store.Query in, a
-// snapshot-consistent page of records out.
+// resultsQueryRequest is the POST /v1/results/query body: a store.Query
+// plus the v1 paging convention. Cursor resumes the page a previous
+// response's next_cursor named and wins over the query's offset field
+// when both are present.
+//
+// Deprecated paging: the offset field is accepted for one release;
+// clients should switch to cursor.
+type resultsQueryRequest struct {
+	store.Query
+	Cursor string `json:"cursor,omitempty"`
+}
+
+// resultsQueryResponse is a results page. NextCursor resumes after this
+// page and is absent on the last one.
+type resultsQueryResponse struct {
+	store.QueryResult
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// handleResultsQuery serves POST /v1/results/query: a filtered,
+// snapshot-consistent page of records. Paging follows the v1 limit/cursor
+// convention (limit defaults to 1000, capped at 10000; page with the
+// response's next_cursor).
 func (s *Server) handleResultsQuery(w http.ResponseWriter, r *http.Request) {
-	var q store.Query
-	if !s.decodeBody(w, r, "results query", &q) {
+	var req resultsQueryRequest
+	if !s.decodeBody(w, r, "results query", &req) {
 		return
+	}
+	q := req.Query
+	if req.Cursor != "" {
+		pos, err := parseCursor(req.Cursor)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		q.Offset = pos
 	}
 	if q.Limit <= 0 {
 		q.Limit = defaultQueryLimit
@@ -85,9 +115,14 @@ func (s *Server) handleResultsQuery(w http.ResponseWriter, r *http.Request) {
 	if q.Campaign != "" {
 		q.Campaign = s.resolveCampaignName(q.Campaign)
 	}
+	res := s.opts.Store.Snapshot().Query(q)
+	resp := resultsQueryResponse{QueryResult: res}
+	if next := q.Offset + len(res.Records); next < res.Total {
+		resp.NextCursor = encodeCursor(next)
+	}
 	gw, finish := negotiateGzip(w, r)
 	defer finish()
-	writeJSON(gw, http.StatusOK, s.opts.Store.Snapshot().Query(q))
+	writeJSON(gw, http.StatusOK, resp)
 }
 
 // campaignStatsResponse is the GET /v1/campaigns/{id}/stats payload.

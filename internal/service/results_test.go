@@ -5,6 +5,7 @@ import (
 	"compress/gzip"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -431,5 +432,77 @@ func TestTraceGzipEncoding(t *testing.T) {
 	events, err := trace.ReadJSONL(bytes.NewReader(plain))
 	if err != nil || len(events) == 0 {
 		t.Fatalf("gunzipped trace unparseable: %v (%d events)", err, len(events))
+	}
+}
+
+// postQueryPage POSTs a raw results-query body and decodes the full v1
+// page shape (records plus next_cursor).
+func postQueryPage(t *testing.T, url, body string) resultsQueryResponse {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/results/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("query: status %d: %s", resp.StatusCode, raw)
+	}
+	var page resultsQueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	return page
+}
+
+// TestResultsQueryCursor pins the v1 limit/cursor convention: follow
+// next_cursor to exhaustion and recover exactly the full result set, in
+// order; the deprecated offset field keeps working for one release.
+func TestResultsQueryCursor(t *testing.T) {
+	ts, _ := resultsServer(t)
+	c := resultsCompiled(t)
+
+	full := postQuery(t, ts.URL, store.Query{Campaign: "results-test"})
+	var paged []store.Rec
+	body := `{"campaign":"results-test","limit":3}`
+	for {
+		page := postQueryPage(t, ts.URL, body)
+		if len(page.Records) > 3 {
+			t.Fatalf("limit=3 page carried %d records", len(page.Records))
+		}
+		if page.Total != len(c.Units) {
+			t.Fatalf("page total %d, want %d", page.Total, len(c.Units))
+		}
+		paged = append(paged, page.Records...)
+		if page.NextCursor == "" {
+			break
+		}
+		body = fmt.Sprintf(`{"campaign":"results-test","limit":3,"cursor":%q}`, page.NextCursor)
+	}
+	if len(paged) != len(full.Records) {
+		t.Fatalf("cursor walk got %d records, want %d", len(paged), len(full.Records))
+	}
+	for i := range paged {
+		if paged[i].Record.ID != full.Records[i].Record.ID {
+			t.Fatalf("cursor walk out of order at %d", i)
+		}
+	}
+
+	// The last page must not hand out a cursor.
+	last := postQueryPage(t, ts.URL, `{"campaign":"results-test","limit":100000}`)
+	if last.NextCursor != "" {
+		t.Fatalf("exhausted page still carries next_cursor %q", last.NextCursor)
+	}
+
+	// Deprecated offset still pages (one-release compatibility window).
+	offsetPage := postQueryPage(t, ts.URL, `{"campaign":"results-test","offset":3,"limit":3}`)
+	if len(offsetPage.Records) == 0 || offsetPage.Records[0].Record.ID != full.Records[3].Record.ID {
+		t.Fatal("deprecated offset paging broke")
+	}
+
+	// Cursor wins over offset when both are present.
+	both := postQueryPage(t, ts.URL, fmt.Sprintf(`{"campaign":"results-test","offset":99,"limit":3,"cursor":%q}`, "o3"))
+	if len(both.Records) == 0 || both.Records[0].Record.ID != full.Records[3].Record.ID {
+		t.Fatal("cursor did not win over offset")
 	}
 }

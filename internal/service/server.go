@@ -159,11 +159,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.As(err, &shed):
-		w.Header().Set("Retry-After", strconv.Itoa(shed.RetryAfterSeconds()))
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		writeThrottled(w, shed.RetryAfterSeconds(), err.Error())
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(s.engine.RetryAfter()))
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		writeThrottled(w, s.engine.RetryAfter(), err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, err.Error())
 	}
@@ -190,7 +188,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrUnknownJob):
 		writeError(w, http.StatusNotFound, err.Error())
 	case errors.Is(err, ErrNotCancelable):
-		writeJSON(w, http.StatusConflict, view)
+		writeError(w, http.StatusConflict, err.Error())
 	default:
 		writeError(w, http.StatusInternalServerError, err.Error())
 	}
@@ -219,6 +217,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.engine.QoSEnabled() {
 		body["qos"] = s.engine.QoSState()
 	}
+	if s.engine.MemoEnabled() {
+		body["memo"] = s.engine.MemoStats()
+	}
 	writeJSON(w, status, body)
 }
 
@@ -234,8 +235,7 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, ErrBusy):
-		w.Header().Set("Retry-After", strconv.Itoa(s.engine.RetryAfter()))
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		writeThrottled(w, s.engine.RetryAfter(), err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, err.Error())
 	}
@@ -262,7 +262,7 @@ func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrUnknownCampaign):
 		writeError(w, http.StatusNotFound, err.Error())
 	case errors.Is(err, ErrCampaignTerminal):
-		writeJSON(w, http.StatusConflict, view)
+		writeError(w, http.StatusConflict, err.Error())
 	default:
 		writeError(w, http.StatusInternalServerError, err.Error())
 	}
@@ -285,6 +285,11 @@ func (s *Server) handleCampaignTrace(w http.ResponseWriter, r *http.Request) {
 // writeTrace serves a flight-recorder stream. ?format=jsonl (the default)
 // streams one event per line; ?format=chrome emits a Chrome trace_event
 // document loadable in about://tracing or Perfetto.
+//
+// Paging follows the v1 limit/cursor convention, opt-in so the default
+// stays a complete stream: ?limit=N caps the page and a truncated
+// response carries an X-Next-Cursor header whose value resumes the
+// stream via ?cursor=.
 func writeTrace(w http.ResponseWriter, r *http.Request, events []trace.Event, err error) {
 	switch {
 	case err == nil:
@@ -294,6 +299,28 @@ func writeTrace(w http.ResponseWriter, r *http.Request, events []trace.Event, er
 	default:
 		writeError(w, http.StatusNotFound, err.Error())
 		return
+	}
+	q := r.URL.Query()
+	start := 0
+	if c := q.Get("cursor"); c != "" {
+		pos, cerr := parseCursor(c)
+		if cerr != nil {
+			writeError(w, http.StatusBadRequest, cerr.Error())
+			return
+		}
+		start = min(pos, len(events))
+	}
+	events = events[start:]
+	if l := q.Get("limit"); l != "" {
+		n, lerr := strconv.Atoi(l)
+		if lerr != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed limit %q (want a positive integer)", l))
+			return
+		}
+		if n < len(events) {
+			events = events[:n]
+			w.Header().Set("X-Next-Cursor", encodeCursor(start+n))
+		}
 	}
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "jsonl":
@@ -312,6 +339,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.engine.Metrics().WritePrometheus(w)
 	writeKernelMetrics(w, s.engine.KernelStats())
 	s.engine.WriteQoSMetrics(w)
+	s.engine.WriteMemoMetrics(w)
 	if s.opts.Store != nil {
 		s.opts.Store.WritePrometheus(w)
 	}
@@ -326,8 +354,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
 }

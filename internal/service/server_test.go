@@ -325,9 +325,7 @@ func TestServerOversizedBody413(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var body struct {
-			Error string `json:"error"`
-		}
+		var body ErrorEnvelope
 		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 			t.Fatal(err)
 		}
@@ -335,8 +333,11 @@ func TestServerOversizedBody413(t *testing.T) {
 		if resp.StatusCode != http.StatusRequestEntityTooLarge {
 			t.Fatalf("POST %s oversized: status %d, want 413", path, resp.StatusCode)
 		}
-		if !strings.Contains(body.Error, "256 byte limit") {
-			t.Fatalf("POST %s oversized: error %q does not name the limit", path, body.Error)
+		if body.Code != "payload_too_large" {
+			t.Fatalf("POST %s oversized: code %q, want payload_too_large", path, body.Code)
+		}
+		if !strings.Contains(body.Message, "256 byte limit") {
+			t.Fatalf("POST %s oversized: message %q does not name the limit", path, body.Message)
 		}
 	}
 

@@ -1,0 +1,48 @@
+package store
+
+import (
+	"encoding/json"
+
+	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/memo"
+)
+
+// WarmMemo replays the warehouse's successful records into a solve cache,
+// so a restarted daemon serves memo hits for everything it has already
+// computed. Only OutcomeOK records are loaded — failures and timeouts are
+// machine or budget artifacts, not properties of the unit's content. Each
+// distinct unit ID is warmed once even when several campaigns share it
+// (the payload is identical by construction: unit IDs are content
+// digests). Returns the number of records offered to the cache; the
+// cache's own byte budget decides what stays. No-op on a nil cache.
+func (s *Store) WarmMemo(c *memo.Cache) int {
+	if c == nil {
+		return 0
+	}
+	s.mu.RLock()
+	recs := make([]campaign.Record, 0, len(s.byKey))
+	seen := make(map[string]struct{}, len(s.byKey))
+	for _, pos := range s.byKey {
+		rec := s.recs[pos].Record
+		if rec.Outcome != campaign.OutcomeOK {
+			continue
+		}
+		if _, dup := seen[rec.ID]; dup {
+			continue
+		}
+		seen[rec.ID] = struct{}{}
+		recs = append(recs, rec)
+	}
+	s.mu.RUnlock()
+
+	warmed := 0
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			continue
+		}
+		c.Warm(memo.UnitKey(rec.ID), b)
+		warmed++
+	}
+	return warmed
+}

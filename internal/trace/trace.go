@@ -79,6 +79,12 @@ const (
 	// in milliseconds (0 for admission-time sheds), Value the advised
 	// retry-after in seconds.
 	KindQoSShed
+	// KindMemoHit is one solve satisfied from the content-addressed memo
+	// cache instead of a fresh execution: Label the cache key
+	// ("unit:<id>" or "job:<digest>"), Note how it was satisfied ("hit"
+	// for a cached payload, "shared" for a singleflight collapse onto a
+	// concurrent identical execution), Inner the payload size in bytes.
+	KindMemoHit
 )
 
 var kindNames = map[Kind]string{
@@ -98,6 +104,7 @@ var kindNames = map[Kind]string{
 	KindKernelOp:        "kernel-op",
 	KindQoSAdmit:        "qos-admit",
 	KindQoSShed:         "qos-shed",
+	KindMemoHit:         "memo-hit",
 }
 
 var kindByName = func() map[string]Kind {
@@ -396,4 +403,15 @@ func (r *Recorder) QoSShed(tenant, reason string, waitedMS, retryAfterSec float6
 		return
 	}
 	r.Emit(Event{Kind: KindQoSShed, Label: tenant, Note: reason, Aux: waitedMS, Value: retryAfterSec})
+}
+
+// MemoHit records a solve satisfied from the content-addressed memo
+// cache: the cache key, how it was satisfied ("hit" from a cached
+// payload, "shared" via singleflight collapse), and the payload size in
+// bytes.
+func (r *Recorder) MemoHit(key, how string, size int) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindMemoHit, Label: key, Note: how, Inner: size})
 }
