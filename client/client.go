@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/obs"
 	"sdcgmres/internal/service"
 	"sdcgmres/internal/store"
 	"sdcgmres/internal/store/analyze"
@@ -221,6 +222,58 @@ func (c *Client) Healthz(ctx context.Context) (map[string]json.RawMessage, error
 	var body map[string]json.RawMessage
 	err := c.do(ctx, http.MethodGet, "/healthz", nil, &body)
 	return body, err
+}
+
+// DebugStatus fetches the daemon's runtime self-report — build info,
+// runtime gauges, subsystem snapshots, and the last tailLogs log records
+// (0 = the server default).
+func (c *Client) DebugStatus(ctx context.Context, tailLogs int) (obs.Status, error) {
+	path := "/v1/debug/status"
+	if tailLogs > 0 {
+		path += "?logs=" + strconv.Itoa(tailLogs)
+	}
+	var st obs.Status
+	err := c.do(ctx, http.MethodGet, path, nil, &st)
+	return st, err
+}
+
+// DebugLogsQuery filters GET /v1/debug/logs.
+type DebugLogsQuery struct {
+	// CID, Job and Campaign filter records by correlation coordinate
+	// (empty = no filter).
+	CID, Job, Campaign string
+	// After returns only records with a sequence number greater than it —
+	// pass the previous page's NextSeq to poll forward (solvectl tail).
+	After int64
+	// Limit caps the records returned (0 = server default).
+	Limit int
+}
+
+// DebugLogs pages the daemon's in-memory log ring.
+func (c *Client) DebugLogs(ctx context.Context, q DebugLogsQuery) (service.LogsPage, error) {
+	v := url.Values{}
+	if q.CID != "" {
+		v.Set("cid", q.CID)
+	}
+	if q.Job != "" {
+		v.Set("job", q.Job)
+	}
+	if q.Campaign != "" {
+		v.Set("campaign", q.Campaign)
+	}
+	if q.After > 0 {
+		v.Set("after", strconv.FormatInt(q.After, 10))
+	}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	path := "/v1/debug/logs"
+	if enc := v.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var page service.LogsPage
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
 }
 
 // Metrics fetches the raw Prometheus exposition text.

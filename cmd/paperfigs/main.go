@@ -446,7 +446,7 @@ func (s *sweeper) startFleet(opts fleetOptions) {
 		fatal(fmt.Errorf("fleet: listen %s: %w", opts.addr, err))
 	}
 	f := &fleetRuntime{
-		host:     dist.NewHost(nil),
+		host:     dist.NewHost(nil, nil),
 		url:      "http://" + ln.Addr().String(),
 		cache:    dist.NewProblemCache(),
 		leaseTTL: opts.leaseTTL,

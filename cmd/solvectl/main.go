@@ -18,7 +18,10 @@
 //	stats <id> [-diff baseline]                  server-side paper statistics
 //	query [-q json] [-all]                       query the results warehouse (filters from -q or stdin)
 //	health                                       daemon health document
-//	metrics                                      raw Prometheus metrics text
+//	metrics [-lint]                              raw Prometheus metrics text (-lint validates the exposition)
+//	status [-logs N]                             runtime self-report: build, runtime gauges, subsystem snapshots
+//	tail [-cid ID] [-job ID] [-campaign ID]      stream the daemon's log ring, newest first resumed
+//	     [-follow] [-poll 2s] [-limit N]         by sequence number; -follow polls forever
 //
 // Exit status: 0 on success, 1 on any API or transport error, 3 when the
 // daemon throttled the request (stderr carries the Retry-After advice).
@@ -33,11 +36,14 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"sdcgmres/client"
 	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/obs"
 	"sdcgmres/internal/service"
 )
 
@@ -48,7 +54,7 @@ func main() {
 	_ = fs.Parse(os.Args[1:])
 	args := fs.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "solvectl: no command (want submit | job | wait | cancel | campaign | campaign-status | stats | query | health | metrics)")
+		fmt.Fprintln(os.Stderr, "solvectl: no command (want submit | job | wait | cancel | campaign | campaign-status | stats | query | health | metrics | status | tail)")
 		os.Exit(2)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -82,10 +88,11 @@ func main() {
 			err = emit(body)
 		}
 	case "metrics":
-		var text string
-		if text, err = cl.Metrics(ctx); err == nil {
-			fmt.Print(text)
-		}
+		err = cmdMetrics(ctx, cl, rest)
+	case "status":
+		err = cmdStatus(ctx, cl, rest)
+	case "tail":
+		err = cmdTail(ctx, cl, rest)
 	default:
 		fmt.Fprintf(os.Stderr, "solvectl: unknown command %q\n", cmd)
 		os.Exit(2)
@@ -225,6 +232,97 @@ func cmdStats(ctx context.Context, cl *client.Client, args []string) error {
 		return err
 	}
 	return emit(stats)
+}
+
+func cmdMetrics(ctx context.Context, cl *client.Client, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	lint := fs.Bool("lint", false, "validate the exposition with the strict text-format parser instead of printing it")
+	_ = fs.Parse(args)
+	text, err := cl.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	if !*lint {
+		fmt.Print(text)
+		return nil
+	}
+	if errs := obs.LintPrometheusString(text); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "solvectl: metrics lint: %v\n", e)
+		}
+		return fmt.Errorf("%d exposition-format problems", len(errs))
+	}
+	fmt.Println("metrics exposition OK")
+	return nil
+}
+
+func cmdStatus(ctx context.Context, cl *client.Client, args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	logs := fs.Int("logs", 0, "recent log records to include (0 = server default)")
+	_ = fs.Parse(args)
+	st, err := cl.DebugStatus(ctx, *logs)
+	if err != nil {
+		return err
+	}
+	return emit(st)
+}
+
+func cmdTail(ctx context.Context, cl *client.Client, args []string) error {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	cid := fs.String("cid", "", "only records carrying this correlation ID")
+	job := fs.String("job", "", "only records for this job ID")
+	camp := fs.String("campaign", "", "only records for this campaign ID")
+	follow := fs.Bool("follow", false, "keep polling for new records until interrupted")
+	poll := fs.Duration("poll", 2*time.Second, "poll interval with -follow")
+	limit := fs.Int("limit", 0, "records per page (0 = server default)")
+	_ = fs.Parse(args)
+	q := client.DebugLogsQuery{CID: *cid, Job: *job, Campaign: *camp, Limit: *limit}
+	for {
+		page, err := cl.DebugLogs(ctx, q)
+		if err != nil {
+			return err
+		}
+		for _, rec := range page.Records {
+			printRecord(rec)
+		}
+		if page.NextSeq > q.After {
+			q.After = page.NextSeq
+		}
+		if !*follow {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*poll):
+		}
+	}
+}
+
+// printRecord renders one ring record as a logfmt-style line: timestamp,
+// level, message, then the correlation coordinates and remaining
+// attributes (sorted for stable output).
+func printRecord(rec obs.LogRecord) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %-5s %s", rec.Time.Format(time.RFC3339), rec.Level, rec.Msg)
+	for _, kv := range [...][2]string{
+		{"cid", rec.CID}, {"job", rec.Job}, {"campaign", rec.Campaign},
+		{"unit", rec.Unit}, {"lease", rec.Lease}, {"tenant", rec.Tenant},
+		{"worker", rec.Worker},
+	} {
+		if kv[1] != "" {
+			fmt.Fprintf(&sb, " %s=%s", kv[0], kv[1])
+		}
+	}
+	keys := make([]string, 0, len(rec.Attrs))
+	for k := range rec.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, " %s=%s", k, rec.Attrs[k])
+	}
+	fmt.Println(sb.String())
 }
 
 func cmdQuery(ctx context.Context, cl *client.Client, args []string) error {

@@ -10,6 +10,15 @@
 //	       [-max-budget 5m] [-retain 1024] [-drain-timeout 30s] [-pprof]
 //	       [-campaign-dir DIR] [-store-dir DIR] [-qos-config qos.json]
 //	       [-max-campaigns N] [-memo-bytes N] [-memo-warm]
+//	       [-log-level info] [-log-format text] [-log-ring 1024]
+//
+// Every mode logs through the internal/obs structured logger: records
+// carry a correlation ID minted (or adopted from X-Correlation-ID) at the
+// service boundary, every /v1/* route feeds RED metrics on /metrics, and
+// GET /v1/debug/status serves a JSON self-report — build info, runtime
+// gauges, subsystem snapshots, and the last -log-ring log records (also
+// queryable by correlation ID via GET /v1/debug/logs, which is what
+// `solvectl tail` polls).
 //
 // With -memo-bytes set, the daemon keeps an in-process content-addressed
 // solve cache (internal/memo): a repeated job spec or campaign unit is
@@ -82,7 +91,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -95,6 +103,7 @@ import (
 	"sdcgmres/internal/campaign"
 	"sdcgmres/internal/dist"
 	"sdcgmres/internal/memo"
+	"sdcgmres/internal/obs"
 	"sdcgmres/internal/qos"
 	"sdcgmres/internal/service"
 	"sdcgmres/internal/store"
@@ -139,6 +148,40 @@ type cliConfig struct {
 	// memo is the cache built from -memo-bytes (nil = memoization off).
 	// Resolved by buildMemo before setup; tests may set it directly.
 	memo *memo.Cache
+
+	// Observability (internal/obs).
+	logLevel  string
+	logFormat string
+	logRing   int
+	// log and intro are resolved by buildObs before setup; tests that
+	// call setup directly get a nil logger (logging disabled) and no
+	// introspector, which every path tolerates.
+	log   *obs.Logger
+	intro *obs.Introspector
+}
+
+// buildObs resolves the -log-* flags into the process logger and runtime
+// introspector. The introspector's background sampler is started by the
+// run mode that owns the process lifetime.
+func (cfg *cliConfig) buildObs() error {
+	lvl, err := obs.ParseLevel(cfg.logLevel)
+	if err != nil {
+		return err
+	}
+	cfg.log = obs.NewLogger(obs.Options{Level: lvl, Format: cfg.logFormat, Ring: cfg.logRing})
+	cfg.intro = obs.NewIntrospector(cfg.log)
+	return nil
+}
+
+// fatal logs one error record and exits. The logger may be nil (flag
+// parsing failed before buildObs ran): fall back to stderr.
+func (cfg *cliConfig) fatal(msg string, err error) {
+	if cfg.log != nil {
+		cfg.log.Error(context.Background(), msg, "error", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "solved: %s: %v\n", msg, err)
+	}
+	os.Exit(1)
 }
 
 // buildMemo resolves -memo-bytes into cfg.memo. No flag, no cache: every
@@ -156,7 +199,8 @@ func (cfg *cliConfig) warmMemo(st *store.Store) {
 		return
 	}
 	n := st.WarmMemo(cfg.memo)
-	log.Printf("solved: memo warmed with %d records from %s", n, cfg.storeDir)
+	cfg.log.Info(context.Background(), "memo warmed from store",
+		"records", n, "dir", cfg.storeDir)
 }
 
 // loadQoS resolves -qos-config into cfg.qos. No flag, no scheduler: the
@@ -199,6 +243,9 @@ func parseFlags(args []string) (cliConfig, error) {
 	fs.IntVar(&cfg.maxCampaigns, "max-campaigns", 0, "concurrently active campaigns before POST /v1/campaigns answers 429 (0 = unlimited)")
 	fs.Int64Var(&cfg.memoBytes, "memo-bytes", 0, "content-addressed solve cache byte budget; repeated jobs and campaign units are answered from the cache with byte-identical records (0 = memoization off)")
 	fs.BoolVar(&cfg.memoWarm, "memo-warm", false, "preload the solve cache from the -store-dir warehouse on startup (requires -memo-bytes and -store-dir)")
+	fs.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug|info|warn|error")
+	fs.StringVar(&cfg.logFormat, "log-format", "text", "log rendering: text|json")
+	fs.IntVar(&cfg.logRing, "log-ring", 1024, "log records kept in memory for GET /v1/debug/logs and solvectl tail (0 = ring off)")
 	err := fs.Parse(args)
 	return cfg, err
 }
@@ -239,6 +286,7 @@ func setupDist(cfg cliConfig, host *dist.Host, st *store.Store) (*service.Engine
 		KernelWorkers: cfg.kernelWorkers,
 		QoS:           cfg.qos,
 		Memo:          cfg.memo,
+		Log:           cfg.log,
 	})
 	campaigns := service.NewCampaignManager(service.CampaignManagerConfig{
 		Dir:           cfg.campaignDir,
@@ -249,20 +297,60 @@ func setupDist(cfg cliConfig, host *dist.Host, st *store.Store) (*service.Engine
 		Store:         st,
 		MaxActive:     cfg.maxCampaigns,
 		Memo:          cfg.memo,
+		Log:           cfg.log,
 	})
 	opts := service.ServerOptions{
-		EnablePprof: cfg.pprof,
-		Campaigns:   campaigns,
-		Store:       st,
+		EnablePprof:  cfg.pprof,
+		Campaigns:    campaigns,
+		Store:        st,
+		Log:          cfg.log,
+		Introspector: cfg.intro,
 	}
 	if host != nil {
 		opts.Mode = "coordinator"
 		opts.Dist = host
 		opts.LeaseBacklog = host.Backlog
-		opts.ExtraMetrics = []func(io.Writer){host.Metrics().WritePrometheus}
+		opts.ExtraMetrics = []func(io.Writer){host.Metrics().WritePrometheus, host.RED().WritePrometheus}
 	}
+	registerSections(cfg.intro, engine, st, host)
 	handler := service.NewServer(engine, opts)
 	return engine, campaigns, handler
+}
+
+// registerSections wires the daemon's subsystems into the runtime
+// introspector: each snapshot becomes a section of GET /v1/debug/status
+// and the depth gauges join the /metrics exposition.
+func registerSections(intro *obs.Introspector, engine *service.Engine, st *store.Store, host *dist.Host) {
+	if intro == nil {
+		return
+	}
+	intro.Register("engine", func() any {
+		return map[string]any{
+			"workers":  engine.Workers(),
+			"queue":    engine.QueueLen(),
+			"draining": engine.Draining(),
+			"counters": engine.Metrics().Snapshot(),
+		}
+	})
+	intro.Register("kernel", func() any { return engine.KernelStats() })
+	if engine.QoSEnabled() {
+		intro.Register("qos", func() any { return engine.QoSState() })
+	}
+	if engine.MemoEnabled() {
+		intro.Register("memo", func() any { return engine.MemoStats() })
+	}
+	if st != nil {
+		intro.Register("store", func() any { return st.Stats() })
+	}
+	if host != nil {
+		intro.Register("leases", func() any { return host.Status() })
+	}
+	intro.RegisterGauge("solved_queue_depth",
+		"Jobs waiting in the admission queue.",
+		func() float64 { return float64(engine.QueueLen()) })
+	intro.RegisterGauge("solved_worker_pool_size",
+		"Solve worker pool size.",
+		func() float64 { return float64(engine.Workers()) })
 }
 
 func main() {
@@ -270,17 +358,22 @@ func main() {
 	if err != nil {
 		os.Exit(2)
 	}
+	if err := cfg.buildObs(); err != nil {
+		cfg.fatal("bad log flags", err)
+	}
+	cfg.intro.Start(0)
+	defer cfg.intro.Stop()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	switch {
 	case cfg.worker:
 		if err := runWorker(ctx, cfg); err != nil && ctx.Err() == nil {
-			log.Fatalf("solved: worker: %v", err)
+			cfg.fatal("worker failed", err)
 		}
 		return
 	case cfg.coordinate != "":
 		if err := runCoordinate(ctx, cfg); err != nil && ctx.Err() == nil {
-			log.Fatalf("solved: coordinate: %v", err)
+			cfg.fatal("coordinate failed", err)
 		}
 		return
 	}
@@ -288,25 +381,27 @@ func main() {
 }
 
 func runDaemon(ctx context.Context, stop context.CancelFunc, cfg cliConfig) {
+	lg := cfg.log.Named("solved")
+	bg := context.Background()
 	st, err := openStore(cfg)
 	if err != nil {
-		log.Fatalf("solved: open store: %v", err)
+		cfg.fatal("open store", err)
 	}
 	if err := cfg.loadQoS(); err != nil {
-		log.Fatalf("solved: load qos config: %v", err)
+		cfg.fatal("load qos config", err)
 	}
 	cfg.buildMemo()
 	cfg.warmMemo(st)
 	engine, campaigns, handler := setupDist(cfg, nil, st)
 	engine.Start()
 	if st != nil {
-		log.Printf("solved: results store on %s", cfg.storeDir)
+		lg.Info(bg, "results store open", "dir", cfg.storeDir)
 	}
 	if cfg.memo != nil {
-		log.Printf("solved: solve memoization on (%d byte budget)", cfg.memoBytes)
+		lg.Info(bg, "solve memoization on", "budget_bytes", cfg.memoBytes)
 	}
 	if cfg.qos != nil {
-		log.Printf("solved: qos scheduler on (%s, %d named tenants)", cfg.qosConfig, len(cfg.qos.Tenants))
+		lg.Info(bg, "qos scheduler on", "config", cfg.qosConfig, "tenants", len(cfg.qos.Tenants))
 	}
 
 	srv := &http.Server{
@@ -317,35 +412,37 @@ func runDaemon(ctx context.Context, stop context.CancelFunc, cfg cliConfig) {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("solved: listening on %s (%d workers, queue %d, budget %v)",
-		cfg.addr, engine.Workers(), cfg.queueDepth, cfg.budget)
+	b := obs.BuildInfo()
+	lg.Info(bg, "listening", "addr", cfg.addr, "workers", engine.Workers(),
+		"queue", cfg.queueDepth, "budget", cfg.budget.String(),
+		"version", b.Version, "revision", b.Revision, "go", b.GoVersion)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("solved: server failed: %v", err)
+		cfg.fatal("server failed", err)
 	case <-ctx.Done():
 	}
 	stop()
 
-	log.Printf("solved: draining (%v budget, %d queued)...", cfg.drainTimeout, engine.QueueLen())
+	lg.Info(bg, "draining", "budget", cfg.drainTimeout.String(), "queued", engine.QueueLen())
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := campaigns.Shutdown(drainCtx); err != nil {
-		log.Printf("solved: campaign drain incomplete (journals retain finished units): %v", err)
+		lg.Warn(bg, "campaign drain incomplete (journals retain finished units)", "error", err)
 	}
 	if err := engine.Shutdown(drainCtx); err != nil {
-		log.Printf("solved: drain incomplete, running jobs aborted: %v", err)
+		lg.Warn(bg, "drain incomplete, running jobs aborted", "error", err)
 	} else {
-		log.Printf("solved: drained cleanly")
+		lg.Info(bg, "drained cleanly")
 	}
 	httpCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := srv.Shutdown(httpCtx); err != nil {
-		log.Printf("solved: http shutdown: %v", err)
+		lg.Warn(bg, "http shutdown", "error", err)
 	}
 	if st != nil {
 		if err := st.Close(); err != nil {
-			log.Printf("solved: store close: %v", err)
+			lg.Warn(bg, "store close", "error", err)
 		}
 	}
 	fmt.Println("solved: bye")
@@ -374,16 +471,24 @@ func newFleetWorker(cfg cliConfig) (*dist.Worker, string, error) {
 		Name:          name,
 		Concurrency:   conc,
 		KernelWorkers: cfg.kernelWorkers,
-		Logf:          log.Printf,
+		Log:           cfg.log,
 	})
 	return w, name, nil
 }
 
 // workerHandler is the worker-mode observability surface: /healthz reports
-// the mode and identity, /metrics the worker's lifetime counters.
-func workerHandler(w *dist.Worker, name, coordinator string) http.Handler {
+// the mode and identity, /metrics the worker's lifetime counters plus the
+// build gauge and runtime gauges, and /v1/debug/status the same
+// introspector self-report the daemon serves. All routes run through the
+// standard telemetry middleware, so even a bare worker propagates
+// correlation IDs and exports worker_http_* RED families.
+func workerHandler(w *dist.Worker, name, coordinator string, cfg cliConfig) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+	red := obs.NewRED("worker")
+	handle := func(pattern, route string, hf http.HandlerFunc) {
+		mux.Handle(pattern, obs.Instrument(red, cfg.log, route, hf))
+	}
+	handle("GET /healthz", "/healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(rw).Encode(map[string]any{
 			"status":      "ok",
@@ -391,24 +496,37 @@ func workerHandler(w *dist.Worker, name, coordinator string) http.Handler {
 			"worker":      name,
 			"coordinator": coordinator,
 			"stats":       w.Stats(),
+			"build":       obs.BuildInfo(),
 		})
 	})
-	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, _ *http.Request) {
+	handle("GET /metrics", "/metrics", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s := w.Stats()
 		counters := []struct {
-			name string
-			v    int64
+			name, help string
+			v          int64
 		}{
-			{"dist_worker_leases_claimed_total", s.LeasesClaimed},
-			{"dist_worker_leases_lost_total", s.LeasesLost},
-			{"dist_worker_units_executed_total", s.UnitsExecuted},
-			{"dist_worker_records_posted_total", s.RecordsPosted},
-			{"dist_worker_retries_total", s.Retries},
+			{"dist_worker_leases_claimed_total", "Leases claimed by this worker.", s.LeasesClaimed},
+			{"dist_worker_leases_lost_total", "Leases lost to heartbeat expiry.", s.LeasesLost},
+			{"dist_worker_units_executed_total", "Campaign units executed.", s.UnitsExecuted},
+			{"dist_worker_records_posted_total", "Records accepted by the coordinator.", s.RecordsPosted},
+			{"dist_worker_retries_total", "Coordinator round-trip retries.", s.Retries},
 		}
 		for _, c := range counters {
-			fmt.Fprintf(rw, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.v)
+			fmt.Fprintf(rw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
 		}
+		red.WritePrometheus(rw)
+		cfg.intro.WritePrometheus(rw)
+		obs.WriteBuildMetric(rw)
+	})
+	handle("GET /v1/debug/status", "/v1/debug/status", func(rw http.ResponseWriter, r *http.Request) {
+		n := 50
+		if v := r.URL.Query().Get("logs"); v != "" {
+			fmt.Sscanf(v, "%d", &n)
+		}
+		st := cfg.intro.Status(n)
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(st)
 	})
 	return mux
 }
@@ -417,22 +535,27 @@ func workerHandler(w *dist.Worker, name, coordinator string) http.Handler {
 // process is signaled; a signal drains gracefully (finished units of the
 // current lease are still reported).
 func runWorker(ctx context.Context, cfg cliConfig) error {
+	lg := cfg.log.Named("solved")
+	bg := context.Background()
 	w, name, err := newFleetWorker(cfg)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Addr: cfg.addr, Handler: workerHandler(w, name, cfg.coordinator), ReadHeaderTimeout: 10 * time.Second}
+	if cfg.intro != nil {
+		cfg.intro.Register("worker", func() any { return w.Stats() })
+	}
+	srv := &http.Server{Addr: cfg.addr, Handler: workerHandler(w, name, cfg.coordinator, cfg), ReadHeaderTimeout: 10 * time.Second}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			log.Printf("solved: worker http: %v", err)
+			lg.Warn(bg, "worker http server failed", "error", err)
 		}
 	}()
 	defer srv.Close()
-	log.Printf("solved: worker joining %s (observability on %s)", cfg.coordinator, cfg.addr)
+	lg.Info(bg, "worker joining fleet", "coordinator", cfg.coordinator, "addr", cfg.addr, "worker", name)
 	err = w.Run(ctx)
 	s := w.Stats()
-	log.Printf("solved: worker done: %d leases, %d units executed, %d records posted, %d retries",
-		s.LeasesClaimed, s.UnitsExecuted, s.RecordsPosted, s.Retries)
+	lg.Info(bg, "worker done", "leases", s.LeasesClaimed, "units", s.UnitsExecuted,
+		"records", s.RecordsPosted, "retries", s.Retries)
 	if ctx.Err() != nil {
 		return nil // signaled: the drain already reported finished work
 	}
@@ -445,6 +568,8 @@ func runWorker(ctx context.Context, cfg cliConfig) error {
 // protocol through the full service server, blocks until the fleet finishes
 // every unit, writes each series CSV, and exits.
 func runCoordinate(ctx context.Context, cfg cliConfig) error {
+	lg := cfg.log.Named("solved")
+	bg := context.Background()
 	raw, err := os.ReadFile(cfg.coordinate)
 	if err != nil {
 		return err
@@ -456,7 +581,7 @@ func runCoordinate(ctx context.Context, cfg cliConfig) error {
 	if man.Name == "" {
 		return fmt.Errorf("manifest %s has no name", cfg.coordinate)
 	}
-	log.Printf("solved: coordinating campaign %q (calibrating problems)...", man.Name)
+	lg.Info(bg, "coordinating campaign, calibrating problems", "campaign", man.Name)
 	compiled, err := dist.NewProblemCache().Compile(man)
 	if err != nil {
 		return err
@@ -474,7 +599,7 @@ func runCoordinate(ctx context.Context, cfg cliConfig) error {
 	}
 	defer journal.Close()
 	if len(have) > 0 {
-		log.Printf("solved: resuming, journal holds %d of %d units", len(have), len(compiled.Units))
+		lg.Info(bg, "resuming from journal", "have", len(have), "total", len(compiled.Units))
 	}
 
 	st, err := openStore(cfg)
@@ -491,12 +616,12 @@ func runCoordinate(ctx context.Context, cfg cliConfig) error {
 		// Backfill resumed units so the warehouse matches the journal from
 		// the start; content-derived IDs make replays a no-op.
 		if _, err := st.IngestAll(man.Name, have); err != nil {
-			log.Printf("solved: store backfill: %v", err)
+			lg.Warn(bg, "store backfill failed", "error", err)
 		}
-		log.Printf("solved: results store on %s", cfg.storeDir)
+		lg.Info(bg, "results store open", "dir", cfg.storeDir)
 	}
 
-	host := dist.NewHost(nil)
+	host := dist.NewHost(nil, cfg.log)
 	engine, campaigns, handler := setupDist(cfg, host, st)
 	engine.Start()
 	defer engine.Shutdown(context.Background())
@@ -504,7 +629,7 @@ func runCoordinate(ctx context.Context, cfg cliConfig) error {
 	srv := &http.Server{Addr: cfg.addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			log.Printf("solved: coordinator http: %v", err)
+			lg.Warn(bg, "coordinator http server failed", "error", err)
 		}
 	}()
 	defer srv.Close()
@@ -512,7 +637,8 @@ func runCoordinate(ctx context.Context, cfg cliConfig) error {
 	if strings.HasPrefix(join, ":") {
 		join = "<this-host>" + join
 	}
-	log.Printf("solved: coordinator on %s — join workers with: solved -worker -coordinator=http://%s", cfg.addr, join)
+	lg.Info(bg, "coordinator up", "addr", cfg.addr,
+		"join", "solved -worker -coordinator=http://"+join)
 
 	distCfg := dist.CoordinatorConfig{
 		LeaseTTL:  cfg.leaseTTL,
@@ -522,7 +648,7 @@ func runCoordinate(ctx context.Context, cfg cliConfig) error {
 	if st != nil {
 		distCfg.OnRecord = func(rec campaign.Record) {
 			if _, err := st.Ingest(man.Name, rec); err != nil {
-				log.Printf("solved: store ingest %s: %v", rec.ID, err)
+				lg.Warn(bg, "store ingest failed", "record", rec.ID, "error", err)
 			}
 		}
 	}
@@ -532,8 +658,9 @@ func runCoordinate(ctx context.Context, cfg cliConfig) error {
 		have[id] = rec
 	}
 	snap := host.Metrics().Snapshot()
-	log.Printf("solved: fleet stats: %d leases granted, %d completed, %d expired, %d units requeued",
-		snap["leases_granted"], snap["leases_completed"], snap["leases_expired"], snap["units_requeued"])
+	lg.Info(bg, "fleet stats", "granted", snap["leases_granted"],
+		"completed", snap["leases_completed"], "expired", snap["leases_expired"],
+		"requeued", snap["units_requeued"])
 	if runErr != nil {
 		return fmt.Errorf("campaign %q: %w (journal %s resumes it)", man.Name, runErr, journal.Path())
 	}
@@ -553,7 +680,7 @@ func runCoordinate(ctx context.Context, cfg cliConfig) error {
 			return err
 		}
 		f.Close()
-		log.Printf("solved: wrote %s", filepath.Join(outdir, name))
+		lg.Info(bg, "wrote series CSV", "path", filepath.Join(outdir, name))
 	}
 	return nil
 }

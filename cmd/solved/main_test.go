@@ -16,6 +16,7 @@ import (
 
 	"sdcgmres/internal/campaign"
 	"sdcgmres/internal/dist"
+	"sdcgmres/internal/obs"
 	"sdcgmres/internal/service"
 )
 
@@ -258,7 +259,7 @@ func TestCoordinatorWiring(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	host := dist.NewHost(nil)
+	host := dist.NewHost(nil, nil)
 	engine, campaigns, handler := setupDist(cfg, host, nil)
 	engine.Start()
 	ts := httptest.NewServer(handler)
@@ -349,7 +350,7 @@ func TestWorkerHandler(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(workerHandler(w, name, "http://c:1"))
+	ts := httptest.NewServer(workerHandler(w, name, "http://c:1", cliConfig{}))
 	defer ts.Close()
 	var hz map[string]any
 	hr, err := http.Get(ts.URL + "/healthz")
@@ -374,5 +375,23 @@ func TestWorkerHandler(t *testing.T) {
 	}
 	if !strings.Contains(string(expo), "dist_worker_units_executed_total 0") {
 		t.Fatalf("worker metrics:\n%s", expo)
+	}
+	if errs := obs.LintPrometheusString(string(expo)); len(errs) > 0 {
+		t.Fatalf("worker /metrics fails exposition lint: %v", errs)
+	}
+	if mr.Header.Get(obs.Header) == "" {
+		t.Fatal("worker /metrics response lacks a correlation ID echo")
+	}
+	sr, err := http.Get(ts.URL + "/v1/debug/status?logs=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st obs.Status
+	if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sr.Body.Close()
+	if st.Build.GoVersion == "" {
+		t.Fatalf("worker debug status lacks build info: %+v", st)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"sdcgmres/internal/expt"
@@ -57,6 +58,11 @@ type Journal struct {
 // boundary. Corruption anywhere else is reported, since it means the file
 // is not our journal.
 func OpenJournal(path string) (*Journal, map[string]Record, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("campaign: journal dir: %w", err)
+		}
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("campaign: open journal: %w", err)

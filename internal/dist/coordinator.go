@@ -1,13 +1,16 @@
 package dist
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"sdcgmres/internal/campaign"
 	"sdcgmres/internal/memo"
+	"sdcgmres/internal/obs"
 	"sdcgmres/internal/trace"
 )
 
@@ -32,6 +35,13 @@ type CoordinatorConfig struct {
 	OnRecord func(campaign.Record)
 	// Now is the clock (default time.Now; tests substitute a fake).
 	Now func() time.Time
+	// Log receives lease-lifecycle records (nil = disabled, free). Every
+	// record carries CID so fleet-wide log joins land on one ID.
+	Log *obs.Logger
+	// CID is the campaign's correlation ID, stamped on log records and
+	// served to workers via GET /v1/dist/campaign. Host.RunCampaign mints
+	// one when empty.
+	CID string
 	// Memo, when non-nil, is the cross-campaign solve cache: pending
 	// units whose content-derived ID is cached are journaled at claim
 	// time and filtered out of lease batches before any worker sees
@@ -80,6 +90,7 @@ type Coordinator struct {
 	cfg      CoordinatorConfig
 	compiled *campaign.Compiled
 	journal  *campaign.Journal
+	lctx     context.Context // carries the campaign correlation for log records
 
 	mu         sync.Mutex
 	units      map[string]campaign.Unit // campaign membership by unit ID
@@ -106,6 +117,7 @@ func NewCoordinator(c *campaign.Compiled, j *campaign.Journal, have map[string]c
 		cfg:      cfg,
 		compiled: c,
 		journal:  j,
+		lctx:     obs.With(context.Background(), obs.Correlation{ID: cfg.CID}),
 		units:    make(map[string]campaign.Unit, len(c.Units)),
 		have:     make(map[string]campaign.Record, len(have)),
 		fresh:    make(map[string]campaign.Record),
@@ -122,10 +134,21 @@ func NewCoordinator(c *campaign.Compiled, j *campaign.Journal, have map[string]c
 		co.pending = append(co.pending, u)
 	}
 	co.remaining = len(co.pending)
+	co.cfg.Recorder.Correlate(cfg.CID)
+	co.cfg.Log.Info(co.lctx, "coordinator open",
+		"units", len(c.Units), "resumed", len(co.have), "pending", co.remaining)
 	if co.remaining == 0 {
-		co.once.Do(func() { close(co.done) })
+		co.markDoneLocked()
 	}
 	return co
+}
+
+// markDoneLocked closes done exactly once, logging the completion.
+func (co *Coordinator) markDoneLocked() {
+	co.once.Do(func() {
+		close(co.done)
+		co.cfg.Log.Info(co.lctx, "campaign complete", "units", len(co.compiled.Units))
+	})
 }
 
 // Metrics returns the coordinator's registry.
@@ -183,6 +206,8 @@ func (co *Coordinator) sweepLocked(now time.Time) {
 		co.cfg.Metrics.LeasesExpired.Inc()
 		co.cfg.Metrics.UnitsRequeued.Add(int64(len(back)))
 		co.cfg.Recorder.LeaseExpired(id, l.worker, len(back))
+		co.cfg.Log.Warn(co.lctx, "lease expired",
+			"lease", id, "worker", l.worker, "requeued", len(back))
 	}
 }
 
@@ -247,6 +272,8 @@ func (co *Coordinator) claimLocked(worker string, max int) (_ *Lease, done bool,
 	co.leases[l.id] = l
 	co.cfg.Metrics.LeasesGranted.Inc()
 	co.cfg.Recorder.LeaseGranted(l.id, worker, len(units))
+	co.cfg.Log.Debug(co.lctx, "lease granted",
+		"lease", l.id, "worker", worker, "units", n, "pending", len(co.pending))
 	return &Lease{
 		ID:        l.id,
 		Units:     units,
@@ -299,7 +326,7 @@ func (co *Coordinator) absorbMemoLocked() ([]campaign.Record, error) {
 			close(co.failed)
 			return absorbed, co.journalErr
 		}
-		co.once.Do(func() { close(co.done) })
+		co.markDoneLocked()
 	}
 	return absorbed, nil
 }
@@ -367,6 +394,10 @@ func (co *Coordinator) Complete(leaseID, worker string, recs []campaign.Record) 
 			co.cfg.OnRecord(rec)
 		}
 	}
+	if len(recs) > 0 && co.cfg.Log.Enabled(slog.LevelDebug) {
+		co.cfg.Log.Debug(obs.With(co.lctx, obs.Correlation{Lease: leaseID, Worker: worker}),
+			"records reported", "accepted", resp.Accepted, "rejected", resp.Rejected, "done", resp.Done)
+	}
 	return resp, err
 }
 
@@ -418,7 +449,7 @@ func (co *Coordinator) completeLocked(leaseID, worker string, recs []campaign.Re
 			close(co.failed)
 			return resp, accepted, co.journalErr
 		}
-		co.once.Do(func() { close(co.done) })
+		co.markDoneLocked()
 	}
 	return resp, accepted, nil
 }

@@ -85,6 +85,10 @@ type CampaignInfo struct {
 	Manifest *campaign.Manifest `json:"manifest,omitempty"`
 	// LeaseTTLMS is the heartbeat deadline workers must beat.
 	LeaseTTLMS int64 `json:"lease_ttl_ms,omitempty"`
+	// CorrelationID is the running campaign's fleet-wide correlation ID.
+	// Workers adopt it for their own logs, trace events and wire calls, so
+	// one ID follows the campaign across every process that touches it.
+	CorrelationID string `json:"correlation_id,omitempty"`
 }
 
 // ClaimRequest asks the coordinator for a lease of units.

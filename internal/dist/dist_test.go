@@ -80,7 +80,7 @@ func TestFleetByteIdenticalCSV(t *testing.T) {
 	want := aggregateCSV(t, c, haveA)
 
 	// Distributed run: real HTTP, two workers.
-	host := NewHost(nil)
+	host := NewHost(nil, nil)
 	ts := httptest.NewServer(host)
 	defer ts.Close()
 	workers, stop := startWorkers(t, ts.URL, 2)
@@ -129,7 +129,7 @@ func TestFleetByteIdenticalCSV(t *testing.T) {
 // with the lost units observably requeued.
 func TestFleetDeadWorkerRequeue(t *testing.T) {
 	c := compileTest(t)
-	host := NewHost(nil)
+	host := NewHost(nil, nil)
 	ts := httptest.NewServer(host)
 	defer ts.Close()
 
@@ -206,7 +206,7 @@ func TestFleetGenerations(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	host := NewHost(nil)
+	host := NewHost(nil, nil)
 	ts := httptest.NewServer(host)
 	defer ts.Close()
 	workers, stop := startWorkers(t, ts.URL, 1)
@@ -248,7 +248,7 @@ func TestFleetGenerations(t *testing.T) {
 // generations, unknown leases, malformed and oversized bodies, status.
 func TestHostWireValidation(t *testing.T) {
 	c := compileTest(t)
-	host := NewHost(nil)
+	host := NewHost(nil, nil)
 	ts := httptest.NewServer(host)
 	defer ts.Close()
 

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/obs"
 )
 
 // maxDistBodyBytes bounds the wire-protocol request bodies the host decodes.
@@ -25,31 +26,41 @@ const maxDistBodyBytes = 8 << 20
 type Host struct {
 	metrics *Metrics
 	mux     *http.ServeMux
+	log     *obs.Logger
+	red     *obs.RED
 
 	mu     sync.Mutex
 	gen    int
 	man    *campaign.Manifest
 	coord  *Coordinator
+	cid    string
 	closed bool
 }
 
 // NewHost builds an idle host. A nil metrics registry gets a fresh one;
 // passing a shared registry accumulates lease counters across campaigns,
-// which is what a multi-figure paperfigs run wants.
-func NewHost(m *Metrics) *Host {
+// which is what a multi-figure paperfigs run wants. log may be nil
+// (logging disabled); the wire-protocol routes are always wrapped in the
+// fleet's standard HTTP telemetry — correlation-ID propagation and RED
+// metrics under the "dist" prefix, so a coordinator mounted inside a
+// service.Server keeps its families distinct from the service's.
+func NewHost(m *Metrics, log *obs.Logger) *Host {
 	if m == nil {
 		m = NewMetrics()
 	}
-	h := &Host{metrics: m, mux: http.NewServeMux()}
-	h.mux.HandleFunc("GET /v1/dist/campaign", h.handleCampaign)
-	h.mux.HandleFunc("GET /v1/dist/status", h.handleStatus)
-	h.mux.HandleFunc("POST /v1/leases", h.handleClaim)
-	h.mux.HandleFunc("POST /v1/leases/{id}/heartbeat", h.handleHeartbeat)
-	h.mux.HandleFunc("POST /v1/leases/{id}/records", h.handleComplete)
+	h := &Host{metrics: m, mux: http.NewServeMux(), log: log.Named("dist"), red: obs.NewRED("dist")}
+	handle := func(pattern, route string, hf http.HandlerFunc) {
+		h.mux.Handle(pattern, obs.Instrument(h.red, h.log, route, hf))
+	}
+	handle("GET /v1/dist/campaign", "/v1/dist/campaign", h.handleCampaign)
+	handle("GET /v1/dist/status", "/v1/dist/status", h.handleStatus)
+	handle("POST /v1/leases", "/v1/leases", h.handleClaim)
+	handle("POST /v1/leases/{id}/heartbeat", "/v1/leases/{id}/heartbeat", h.handleHeartbeat)
+	handle("POST /v1/leases/{id}/records", "/v1/leases/{id}/records", h.handleComplete)
 	// Standalone-mount conveniences; a wrapping service.Server shadows both
 	// with its own richer handlers.
-	h.mux.HandleFunc("GET /metrics", h.handleMetrics)
-	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	handle("GET /metrics", "/metrics", h.handleMetrics)
+	handle("GET /healthz", "/healthz", h.handleHealthz)
 	return h
 }
 
@@ -60,6 +71,25 @@ func (h *Host) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Metrics returns the host's registry (for /metrics wiring and tests).
 func (h *Host) Metrics() *Metrics { return h.metrics }
+
+// RED returns the host's HTTP telemetry registry (dist_http_* families),
+// for embedding in a wrapping server's /metrics exposition.
+func (h *Host) RED() *obs.RED { return h.red }
+
+// Status snapshots the host the way GET /v1/dist/status reports it —
+// also the runtime introspector's "leases" section.
+func (h *Host) Status() StatusInfo {
+	gen, co, closed := h.snapshot()
+	info := StatusInfo{Generation: gen, State: StateIdle}
+	if closed {
+		info.State = StateClosed
+	}
+	if co != nil {
+		info.State = StateRunning
+		info.Stats = co.Stats()
+	}
+	return info
+}
 
 // Backlog reports the running campaign's incomplete-unit count (0 when
 // idle), matching service.ServerOptions.LeaseBacklog.
@@ -101,26 +131,45 @@ func (h *Host) RunCampaign(ctx context.Context, c *campaign.Compiled, j *campaig
 	if cfg.Metrics == nil {
 		cfg.Metrics = h.metrics
 	}
+	if cfg.Log == nil {
+		cfg.Log = h.log
+	}
+	if cfg.CID == "" {
+		// Adopt the submission's correlation ID when the caller threaded
+		// one through ctx (solved -coordinate does); mint otherwise.
+		if cfg.CID = obs.FromContext(ctx).ID; cfg.CID == "" {
+			cfg.CID = obs.NewID()
+		}
+	}
 	co := NewCoordinator(c, j, have, cfg)
 	h.gen++
 	h.man = &c.Manifest
 	h.coord = co
+	h.cid = cfg.CID
+	gen := h.gen
 	h.mu.Unlock()
+
+	lctx := obs.With(context.Background(), obs.Correlation{ID: cfg.CID})
+	h.log.Info(lctx, "campaign exposed to fleet", "generation", gen, "units", len(c.Units))
 
 	defer func() {
 		h.mu.Lock()
 		h.coord = nil
 		h.man = nil
+		h.cid = ""
 		h.mu.Unlock()
 	}()
 
 	select {
 	case <-co.Done():
+		h.log.Info(lctx, "campaign run finished", "generation", gen)
 		return co.NewRecords(), nil
 	case <-co.Failed():
+		h.log.Error(lctx, "campaign run failed", "generation", gen, "error", co.Err())
 		return co.NewRecords(), co.Err()
 	case <-ctx.Done():
 		co.Drain()
+		h.log.Warn(lctx, "campaign run canceled, draining", "generation", gen)
 		return co.NewRecords(), ctx.Err()
 	}
 }
@@ -140,6 +189,7 @@ func (h *Host) handleCampaign(w http.ResponseWriter, _ *http.Request) {
 		info.State = StateRunning
 		info.Manifest = h.man
 		info.LeaseTTLMS = h.coord.cfg.LeaseTTL.Milliseconds()
+		info.CorrelationID = h.cid
 	case h.closed:
 		info.State = StateClosed
 	}
@@ -148,16 +198,7 @@ func (h *Host) handleCampaign(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (h *Host) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	gen, co, closed := h.snapshot()
-	info := StatusInfo{Generation: gen, State: StateIdle}
-	if closed {
-		info.State = StateClosed
-	}
-	if co != nil {
-		info.State = StateRunning
-		info.Stats = co.Stats()
-	}
-	distJSON(w, http.StatusOK, info)
+	distJSON(w, http.StatusOK, h.Status())
 }
 
 func (h *Host) handleClaim(w http.ResponseWriter, r *http.Request) {
@@ -222,6 +263,8 @@ func (h *Host) handleComplete(w http.ResponseWriter, r *http.Request) {
 func (h *Host) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	h.metrics.WritePrometheus(w)
+	h.red.WritePrometheus(w)
+	obs.WriteBuildMetric(w)
 }
 
 func (h *Host) handleHealthz(w http.ResponseWriter, _ *http.Request) {

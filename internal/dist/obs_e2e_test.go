@@ -1,0 +1,255 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"sdcgmres/internal/kernel"
+	"sdcgmres/internal/obs"
+	"sdcgmres/internal/service"
+	"sdcgmres/internal/trace"
+)
+
+// ringHasCID reports whether any record in the ring carries cid, and
+// returns the first matching record for diagnostics.
+func ringHasCID(r *obs.Ring, cid string) (obs.LogRecord, bool) {
+	recs, _ := r.Since(0, 0, func(rec *obs.LogRecord) bool { return rec.CID == cid })
+	if len(recs) == 0 {
+		return obs.LogRecord{}, false
+	}
+	return recs[0], true
+}
+
+// traceHasCID reports whether the recorder's timeline carries a
+// correlation stamp with cid.
+func traceHasCID(r *trace.Recorder, cid string) bool {
+	for _, ev := range r.Events() {
+		if ev.Kind == trace.KindCorrelation && ev.Label == cid {
+			return true
+		}
+	}
+	return false
+}
+
+// TestEndToEndCorrelation is the observability acceptance gate: one
+// correlation ID, minted at the campaign boundary, must be observable in
+// all four places at once — the coordinator's structured logs, the
+// workers' structured logs (across the HTTP hop), the trace timelines on
+// both sides of the wire, and the daemon's /v1/debug/status self-report.
+func TestEndToEndCorrelation(t *testing.T) {
+	c := compileTest(t)
+
+	// Daemon-side observability: one ring-backed logger shared by the
+	// service mux, the dist host and the coordinator it spawns.
+	hostLog := obs.NewLogger(obs.Options{Writer: io.Discard, Level: slog.LevelDebug, Ring: 4096})
+	intro := obs.NewIntrospector(hostLog)
+	hostRec := trace.NewRecorder(4096)
+	host := NewHost(nil, hostLog)
+
+	engine := service.NewEngine(service.Config{Workers: 1, Runner: func(ctx context.Context, spec *service.JobSpec, _ *trace.Recorder, _ *kernel.Pool) (*service.SolveRecord, error) {
+		return &service.SolveRecord{}, nil
+	}})
+	defer engine.Shutdown(context.Background())
+	srv := service.NewServer(engine, service.ServerOptions{
+		Dist:         host,
+		Log:          hostLog,
+		Introspector: intro,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Worker-side observability: each worker gets its own ring and trace
+	// recorder, so cross-process adoption is observable per process.
+	type fleetWorker struct {
+		log *obs.Logger
+		rec *trace.Recorder
+		w   *Worker
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	wctx, wcancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	fleet := make([]fleetWorker, 2)
+	for i := range fleet {
+		fw := fleetWorker{
+			log: obs.NewLogger(obs.Options{Writer: io.Discard, Level: slog.LevelDebug, Ring: 1024}),
+			rec: trace.NewRecorder(4096),
+		}
+		fw.w = NewWorker(WorkerConfig{
+			Coordinator: ts.URL,
+			Name:        fmt.Sprintf("w%d", i+1),
+			Problems:    sharedCache,
+			Poll:        10 * time.Millisecond,
+			Backoff:     Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+			Log:         fw.log,
+			Recorder:    fw.rec,
+		})
+		fleet[i] = fw
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fw.w.Run(wctx); err != nil && wctx.Err() == nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	defer func() { wcancel(); wg.Wait() }()
+
+	// Mint the CID at the submission boundary and let RunCampaign adopt it
+	// from the context — the same path a service-layer campaign submission
+	// takes.
+	cid := obs.NewID()
+	j, have := openTestJournal(t)
+	fresh, err := host.RunCampaign(obs.With(ctx, obs.Correlation{ID: cid}), c, j, have,
+		CoordinatorConfig{BatchSize: 2, LeaseTTL: 10 * time.Second, Recorder: hostRec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != len(c.Units) {
+		t.Fatalf("campaign finished %d of %d units", len(fresh), len(c.Units))
+	}
+
+	// (1) Coordinator logs carry the CID.
+	if _, ok := ringHasCID(hostLog.Ring(), cid); !ok {
+		t.Fatalf("no coordinator log record carries cid %s", cid)
+	}
+	// The wire hop is visible too: the host middleware adopted the CID
+	// from X-Correlation-ID on worker requests and logged it with a route.
+	wireSeen := false
+	recs, _ := hostLog.Ring().Since(0, 0, func(rec *obs.LogRecord) bool {
+		return rec.CID == cid && rec.Attrs["route"] == "/v1/leases"
+	})
+	wireSeen = len(recs) > 0
+	if !wireSeen {
+		t.Fatalf("no /v1/leases request log carries cid %s (header not propagated?)", cid)
+	}
+
+	// (2) Worker logs on the far side of the HTTP hop carry the same CID.
+	for i, fw := range fleet {
+		if fw.w.Stats().UnitsExecuted == 0 {
+			continue // this worker never won a lease; nothing to assert
+		}
+		if rec, ok := ringHasCID(fw.log.Ring(), cid); !ok {
+			t.Fatalf("worker %d logs never adopted cid %s", i+1, cid)
+		} else if rec.Worker == "" {
+			t.Fatalf("worker %d record %+v lost its worker coordinate", i+1, rec)
+		}
+	}
+
+	// (3) Trace timelines on both sides carry the correlation stamp.
+	if !traceHasCID(hostRec, cid) {
+		t.Fatalf("coordinator trace has no correlation event for %s", cid)
+	}
+	for i, fw := range fleet {
+		if fw.w.Stats().UnitsExecuted > 0 && !traceHasCID(fw.rec, cid) {
+			t.Fatalf("worker %d trace has no correlation event for %s", i+1, cid)
+		}
+	}
+
+	// (4) The daemon's self-report surfaces the same records.
+	resp, err := http.Get(ts.URL + "/v1/debug/status?logs=4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/status: HTTP %d", resp.StatusCode)
+	}
+	var st obs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	statusSeen := false
+	for _, rec := range st.RecentLogs {
+		if rec.CID == cid {
+			statusSeen = true
+			break
+		}
+	}
+	if !statusSeen {
+		t.Fatalf("/v1/debug/status recent_logs (%d records) never mention cid %s", len(st.RecentLogs), cid)
+	}
+
+	// The daemon /metrics — engine registry, dist lease counters, RED
+	// families, introspector gauges, build info — must survive the strict
+	// exposition validator after real traffic.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := obs.LintPrometheusString(string(raw)); len(errs) > 0 {
+		t.Fatalf("daemon /metrics fails exposition lint after traffic: %v", errs)
+	}
+}
+
+// TestObservabilityDoesNotChangeResults runs the same campaign with
+// observability fully off (nil logger, no recorders) and fully on
+// (debug-level ring logger, trace recorders) and requires byte-identical
+// aggregated CSV output — telemetry must never leak into science.
+func TestObservabilityDoesNotChangeResults(t *testing.T) {
+	c := compileTest(t)
+
+	run := func(log *obs.Logger, rec *trace.Recorder) []byte {
+		host := NewHost(nil, log)
+		ts := httptest.NewServer(host)
+		defer ts.Close()
+
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		wctx, wcancel := context.WithCancel(ctx)
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			w := NewWorker(WorkerConfig{
+				Coordinator: ts.URL,
+				Name:        fmt.Sprintf("w%d", i+1),
+				Problems:    sharedCache,
+				Poll:        10 * time.Millisecond,
+				Backoff:     Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+				Log:         log,
+				Recorder:    rec,
+			})
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := w.Run(wctx); err != nil && wctx.Err() == nil {
+					t.Errorf("worker: %v", err)
+				}
+			}()
+		}
+		defer func() { wcancel(); wg.Wait() }()
+
+		j, have := openTestJournal(t)
+		fresh, err := host.RunCampaign(ctx, c, j, have,
+			CoordinatorConfig{BatchSize: 2, LeaseTTL: 10 * time.Second, Recorder: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, r := range fresh {
+			have[id] = r
+		}
+		return aggregateCSV(t, c, have)
+	}
+
+	off := run(nil, nil)
+	on := run(
+		obs.NewLogger(obs.Options{Writer: io.Discard, Level: slog.LevelDebug, Ring: 4096}),
+		trace.NewRecorder(4096),
+	)
+	if !bytes.Equal(off, on) {
+		t.Fatalf("observability changed campaign output:\n-- off --\n%s\n-- on --\n%s", off, on)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"sdcgmres/internal/campaign"
 	"sdcgmres/internal/expt"
 	"sdcgmres/internal/kernel"
+	"sdcgmres/internal/obs"
 	"sdcgmres/internal/service"
 	"sdcgmres/internal/trace"
 )
@@ -100,8 +102,11 @@ type WorkerConfig struct {
 	// bitwise deterministic: the records posted are identical for every
 	// KernelWorkers value.
 	KernelWorkers int
-	// Logf receives progress lines (default: discard).
-	Logf func(format string, args ...any)
+	// Log receives progress records (nil = disabled). Every record
+	// carries the worker name; once a campaign is adopted they also carry
+	// its correlation ID, joining this worker's lines to the
+	// coordinator's.
+	Log *obs.Logger
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -119,9 +124,6 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	}
 	if c.Problems == nil {
 		c.Problems = NewProblemCache()
-	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
 	}
 	c.Backoff = c.Backoff.withDefaults()
 	return c
@@ -143,6 +145,7 @@ type WorkerStats struct {
 // exits cleanly when the coordinator closes.
 type Worker struct {
 	cfg WorkerConfig
+	log *obs.Logger
 
 	leasesClaimed service.Counter
 	leasesLost    service.Counter
@@ -154,6 +157,12 @@ type Worker struct {
 	gen      int
 	compiled *campaign.Compiled
 
+	// cid is the adopted campaign correlation ID; lctx carries it (and
+	// the worker identity) for log records. Written only by Run's poll
+	// loop, read by the lease machinery it spawns.
+	cid  string
+	lctx context.Context
+
 	// pools holds one persistent kernel pool per execution slot (nil
 	// entries mean sequential kernels). Built by Run, closed when it
 	// returns.
@@ -162,7 +171,12 @@ type Worker struct {
 
 // NewWorker builds a worker. Run does the work.
 func NewWorker(cfg WorkerConfig) *Worker {
-	return &Worker{cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	return &Worker{
+		cfg:  cfg,
+		log:  cfg.Log.Named("worker"),
+		lctx: obs.With(context.Background(), obs.Correlation{Worker: cfg.Name}),
+	}
 }
 
 // Stats snapshots the worker's counters.
@@ -203,13 +217,23 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		switch {
 		case info.State == StateClosed:
-			w.cfg.Logf("worker %s: coordinator closed, exiting", w.cfg.Name)
+			w.log.Info(w.lctx, "coordinator closed, exiting")
 			return nil
 		case info.State != StateRunning || info.Manifest == nil:
 			if err := sleepCtx(ctx, w.cfg.Poll); err != nil {
 				return err
 			}
 			continue
+		}
+		// Adopt the campaign's correlation ID: stamp it on this worker's
+		// log records, outbound wire calls (X-Correlation-ID), and trace
+		// stream, so one ID joins the coordinator's and the fleet's view
+		// of the same campaign.
+		if info.CorrelationID != "" && info.CorrelationID != w.cid {
+			w.cid = info.CorrelationID
+			w.lctx = obs.With(context.Background(),
+				obs.Correlation{ID: w.cid, Worker: w.cfg.Name})
+			w.cfg.Recorder.Correlate(w.cid)
 		}
 		if w.compiled == nil || w.gen != info.Generation {
 			c, err := w.cfg.Problems.Compile(*info.Manifest)
@@ -218,7 +242,8 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			w.gen = info.Generation
 			w.compiled = c
-			w.cfg.Logf("worker %s: compiled generation %d (%d units)", w.cfg.Name, info.Generation, len(c.Units))
+			w.log.Info(w.lctx, "compiled campaign generation",
+				"generation", info.Generation, "units", len(c.Units))
 		}
 		if err := w.runGeneration(ctx, info); err != nil {
 			return err
@@ -287,7 +312,7 @@ func (w *Worker) executeLease(ctx context.Context, info CampaignInfo, l *Lease) 
 			err := w.call(hbCtx, http.MethodPost, "/v1/leases/"+l.ID+"/heartbeat", HeartbeatRequest{Worker: w.cfg.Name}, &resp)
 			if errors.Is(err, ErrLeaseGone) {
 				w.leasesLost.Inc()
-				w.cfg.Logf("worker %s: lease %s gone, abandoning batch", w.cfg.Name, l.ID)
+				w.log.Warn(w.lctx, "lease gone, abandoning batch", "lease", l.ID)
 				lost()
 				return
 			}
@@ -313,6 +338,10 @@ func (w *Worker) executeLease(ctx context.Context, info CampaignInfo, l *Lease) 
 					continue
 				}
 				w.unitsExecuted.Inc()
+				if w.log.Enabled(slog.LevelDebug) {
+					w.log.Debug(w.lctx, "unit executed",
+						"lease", l.ID, "unit", u.ID, "outcome", rec.Outcome, "elapsed_ms", rec.ElapsedMS)
+				}
 				mu.Lock()
 				recs = append(recs, rec)
 				mu.Unlock()
@@ -347,11 +376,12 @@ feed:
 	if err := w.callRetry(postCtx, http.MethodPost, "/v1/leases/"+l.ID+"/records", req, &resp); err != nil {
 		// The records are lost to this worker but not to the campaign:
 		// the lease expires and the units are requeued.
-		w.cfg.Logf("worker %s: report lease %s failed: %v", w.cfg.Name, l.ID, err)
+		w.log.Warn(w.lctx, "lease report failed", "lease", l.ID, "error", err)
 		return ctx.Err()
 	}
 	w.recordsPosted.Add(int64(resp.Accepted))
-	w.cfg.Logf("worker %s: lease %s reported %d records (%d rejected)", w.cfg.Name, l.ID, resp.Accepted, resp.Rejected)
+	w.log.Info(w.lctx, "lease reported",
+		"lease", l.ID, "accepted", resp.Accepted, "rejected", resp.Rejected)
 	return ctx.Err()
 }
 
@@ -393,6 +423,11 @@ func (w *Worker) call(ctx context.Context, method, path string, in, out any) err
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the adopted campaign correlation across the HTTP hop so
+	// the coordinator's request logs join this worker's under one ID.
+	if w.cid != "" {
+		req.Header.Set(obs.Header, w.cid)
+	}
 	resp, err := w.cfg.Client.Do(req)
 	if err != nil {
 		return err
@@ -433,7 +468,8 @@ func (w *Worker) callRetry(ctx context.Context, method, path string, in, out any
 		if !retryable(last) {
 			return last
 		}
-		w.cfg.Logf("worker %s: %s %s attempt %d: %v", w.cfg.Name, method, path, attempt+1, last)
+		w.log.Warn(w.lctx, "coordinator call failed, retrying",
+			"method", method, "path", path, "attempt", attempt+1, "error", last)
 	}
 	return last
 }

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// Build identifies the running binary: module path and version, VCS
+// revision and commit time when the binary was built from a checkout,
+// and the Go toolchain version. Fields the build info does not carry
+// (e.g. under plain `go test`) read "unknown".
+type Build struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	Revision  string `json:"revision"`
+	VCSTime   string `json:"vcs_time"`
+	GoVersion string `json:"go_version"`
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo Build
+)
+
+// BuildInfo reads the binary's embedded build information once and
+// caches it.
+func BuildInfo() Build {
+	buildOnce.Do(func() {
+		buildInfo = Build{
+			Module:    "unknown",
+			Version:   "unknown",
+			Revision:  "unknown",
+			VCSTime:   "unknown",
+			GoVersion: runtime.Version(),
+		}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Path != "" {
+			buildInfo.Module = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if s.Value != "" {
+					buildInfo.Revision = s.Value
+				}
+			case "vcs.time":
+				if s.Value != "" {
+					buildInfo.VCSTime = s.Value
+				}
+			case "vcs.modified":
+				buildInfo.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// WriteBuildMetric renders the solved_build_info gauge: constant value 1
+// with the build identity carried in labels, the Prometheus convention
+// for joining version metadata onto any other series.
+func WriteBuildMetric(w io.Writer) {
+	b := BuildInfo()
+	fmt.Fprintf(w, "# HELP solved_build_info Build and version information (constant 1; identity in labels).\n")
+	fmt.Fprintf(w, "# TYPE solved_build_info gauge\n")
+	fmt.Fprintf(w, "solved_build_info{module=%s,version=%s,revision=%s,vcs_time=%s,go_version=%s} 1\n",
+		promQuote(b.Module), promQuote(b.Version), promQuote(b.Revision), promQuote(b.VCSTime), promQuote(b.GoVersion))
+}
+
+// promQuote escapes a label value per the text exposition format.
+func promQuote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

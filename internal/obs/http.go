@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// redBuckets are the HTTP latency histogram bounds in seconds — tighter
+// at the low end than the solve buckets because API round-trips are
+// dominated by sub-millisecond handlers.
+var redBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// RED is a per-route RED-metrics registry (rate, errors, duration) with
+// consistent label conventions across every mux in the fleet:
+//
+//	<prefix>_http_requests_total{route,method}          counter
+//	<prefix>_http_errors_total{route,class}             counter (class ∈ 4xx, 5xx)
+//	<prefix>_http_request_duration_seconds{route}       histogram
+//
+// The service mux uses prefix "solved", the dist coordinator mux
+// "dist" — distinct families so both registries can share one /metrics
+// exposition without interleaving.
+type RED struct {
+	prefix string
+
+	mu   sync.Mutex
+	reqs map[[2]string]*Counter // route, method
+	errs map[[2]string]*Counter // route, class
+	lat  map[string]*Histogram  // route
+}
+
+// NewRED builds an empty registry whose families are named
+// <prefix>_http_*.
+func NewRED(prefix string) *RED {
+	return &RED{
+		prefix: prefix,
+		reqs:   make(map[[2]string]*Counter),
+		errs:   make(map[[2]string]*Counter),
+		lat:    make(map[string]*Histogram),
+	}
+}
+
+// Observe records one completed request. Nil receiver is a no-op.
+func (m *RED) Observe(route, method string, status int, elapsed time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	req := m.reqs[[2]string{route, method}]
+	if req == nil {
+		req = &Counter{}
+		m.reqs[[2]string{route, method}] = req
+	}
+	var errc *Counter
+	if status >= 400 {
+		class := "4xx"
+		if status >= 500 {
+			class = "5xx"
+		}
+		errc = m.errs[[2]string{route, class}]
+		if errc == nil {
+			errc = &Counter{}
+			m.errs[[2]string{route, class}] = errc
+		}
+	}
+	h := m.lat[route]
+	if h == nil {
+		h = NewHistogram(redBuckets...)
+		m.lat[route] = h
+	}
+	m.mu.Unlock()
+	req.Inc()
+	if errc != nil {
+		errc.Inc()
+	}
+	h.Observe(elapsed.Seconds())
+}
+
+// WritePrometheus renders the registry in the text exposition format.
+// Families appear as single uninterrupted groups with deterministic
+// (sorted) series order. Nil receiver writes nothing.
+func (m *RED) WritePrometheus(w io.Writer) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	type pair struct {
+		k [2]string
+		c *Counter
+	}
+	reqs := make([]pair, 0, len(m.reqs))
+	for k, c := range m.reqs {
+		reqs = append(reqs, pair{k, c})
+	}
+	errs := make([]pair, 0, len(m.errs))
+	for k, c := range m.errs {
+		errs = append(errs, pair{k, c})
+	}
+	routes := make([]string, 0, len(m.lat))
+	for r := range m.lat {
+		routes = append(routes, r)
+	}
+	hists := make(map[string]*Histogram, len(m.lat))
+	for r, h := range m.lat {
+		hists[r] = h
+	}
+	m.mu.Unlock()
+
+	byKey := func(p []pair) {
+		sort.Slice(p, func(i, j int) bool {
+			if p[i].k[0] != p[j].k[0] {
+				return p[i].k[0] < p[j].k[0]
+			}
+			return p[i].k[1] < p[j].k[1]
+		})
+	}
+	byKey(reqs)
+	byKey(errs)
+	sort.Strings(routes)
+
+	name := m.prefix + "_http_requests_total"
+	fmt.Fprintf(w, "# HELP %s HTTP requests served, by route and method.\n# TYPE %s counter\n", name, name)
+	for _, p := range reqs {
+		fmt.Fprintf(w, "%s{route=%q,method=%q} %d\n", name, p.k[0], p.k[1], p.c.Value())
+	}
+	name = m.prefix + "_http_errors_total"
+	fmt.Fprintf(w, "# HELP %s HTTP error responses, by route and status class.\n# TYPE %s counter\n", name, name)
+	for _, p := range errs {
+		fmt.Fprintf(w, "%s{route=%q,class=%q} %d\n", name, p.k[0], p.k[1], p.c.Value())
+	}
+	name = m.prefix + "_http_request_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s HTTP request latency, by route.\n# TYPE %s histogram\n", name, name)
+	for _, r := range routes {
+		hists[r].WritePrometheus(w, name, fmt.Sprintf("route=%q", r))
+	}
+}
+
+// statusWriter captures the response status for RED accounting while
+// passing Flush through for streaming handlers.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Instrument wraps next with the fleet's standard HTTP telemetry:
+//
+//   - adopts the request's X-Correlation-ID (minting one when absent),
+//     stores it in the request context, and echoes it on the response;
+//   - records RED metrics under the given route label (the registration
+//     pattern, not the raw URL, so path parameters do not explode
+//     cardinality);
+//   - logs one debug record per request (warn for 5xx responses).
+//
+// red and log may each be nil — correlation propagation still works.
+func Instrument(red *RED, log *Logger, route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cid := r.Header.Get(Header)
+		if cid == "" {
+			cid = NewID()
+		}
+		ctx := With(r.Context(), Correlation{ID: cid})
+		w.Header().Set(Header, cid)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		red.Observe(route, r.Method, sw.status, elapsed)
+		level := slog.LevelDebug
+		if sw.status >= 500 {
+			level = slog.LevelWarn
+		}
+		if log.Enabled(level) {
+			args := []any{"route", route, "method", r.Method, "status", sw.status,
+				"elapsed_us", elapsed.Microseconds()}
+			if level == slog.LevelWarn {
+				log.Warn(ctx, "http request failed", args...)
+			} else {
+				log.Debug(ctx, "http request", args...)
+			}
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"time"
+)
+
+// Options configures NewLogger.
+type Options struct {
+	// Writer receives the rendered log stream (os.Stderr when nil).
+	Writer io.Writer
+	// Level is the minimum level emitted (slog.LevelInfo is the zero
+	// value and the default).
+	Level slog.Level
+	// Format selects the rendering: "text" (default, logfmt-style) or
+	// "json" (one JSON object per line).
+	Format string
+	// Ring, when > 0, additionally captures the last Ring records in an
+	// in-memory ring buffer served by GET /v1/debug/status and
+	// /v1/debug/logs.
+	Ring int
+}
+
+// Logger is a leveled, correlation-aware structured logger. The nil
+// *Logger is a valid, permanently-disabled logger: every method returns
+// immediately behind a single pointer check, so call sites thread a
+// possibly-nil logger unconditionally — the same contract as
+// trace.Recorder. A non-nil Logger is safe for concurrent use.
+//
+// Hot-path call sites that must stay allocation-free when logging is
+// disabled use either no-argument calls or a pre-built argument slice
+// hoisted out of the loop (`l.Debug(ctx, "msg", attrs...)` forwards the
+// slice without copying); inline key-value literals allocate their
+// variadic slice at the call site regardless of the nil check.
+type Logger struct {
+	min  slog.Level
+	h    slog.Handler
+	ring *Ring
+}
+
+// NewLogger builds a logger from o. The returned logger is never nil;
+// pass a nil *Logger where logging should be disabled.
+func NewLogger(o Options) *Logger {
+	w := o.Writer
+	if w == nil {
+		w = os.Stderr
+	}
+	ho := &slog.HandlerOptions{Level: o.Level}
+	var h slog.Handler
+	if strings.EqualFold(o.Format, "json") {
+		h = slog.NewJSONHandler(w, ho)
+	} else {
+		h = slog.NewTextHandler(w, ho)
+	}
+	var ring *Ring
+	if o.Ring > 0 {
+		ring = NewRing(o.Ring)
+		h = &ringHandler{ring: ring, inner: h}
+	}
+	return &Logger{min: o.Level, h: h, ring: ring}
+}
+
+// ParseLevel maps a -log-level flag value to its slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// Ring returns the logger's ring buffer (nil when disabled or on a nil
+// logger).
+func (l *Logger) Ring() *Ring {
+	if l == nil {
+		return nil
+	}
+	return l.ring
+}
+
+// Enabled reports whether records at level would be emitted. False on a
+// nil logger — use it to guard log sites whose argument construction is
+// itself expensive.
+func (l *Logger) Enabled(level slog.Level) bool {
+	return l != nil && level >= l.min
+}
+
+// With returns a logger whose records all carry the given key-value
+// pairs (slog conventions). Nil in, nil out.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil || len(args) == 0 {
+		return l
+	}
+	return &Logger{min: l.min, h: l.h.WithAttrs(argsToAttrs(args)), ring: l.ring}
+}
+
+// Named returns a logger tagged with a component name — the conventional
+// way each subsystem (engine, campaigns, dist-host, worker) identifies
+// its records in the shared stream.
+func (l *Logger) Named(component string) *Logger {
+	return l.With("component", component)
+}
+
+// Debug emits a debug record. No-op on a nil logger.
+func (l *Logger) Debug(ctx context.Context, msg string, args ...any) {
+	if l == nil || slog.LevelDebug < l.min {
+		return
+	}
+	l.log(ctx, slog.LevelDebug, msg, args)
+}
+
+// Info emits an info record. No-op on a nil logger.
+func (l *Logger) Info(ctx context.Context, msg string, args ...any) {
+	if l == nil || slog.LevelInfo < l.min {
+		return
+	}
+	l.log(ctx, slog.LevelInfo, msg, args)
+}
+
+// Warn emits a warning record. No-op on a nil logger.
+func (l *Logger) Warn(ctx context.Context, msg string, args ...any) {
+	if l == nil || slog.LevelWarn < l.min {
+		return
+	}
+	l.log(ctx, slog.LevelWarn, msg, args)
+}
+
+// Error emits an error record. No-op on a nil logger.
+func (l *Logger) Error(ctx context.Context, msg string, args ...any) {
+	if l == nil || slog.LevelError < l.min {
+		return
+	}
+	l.log(ctx, slog.LevelError, msg, args)
+}
+
+// log stamps the context's correlation onto the record ahead of the call
+// arguments and hands it to the handler chain.
+func (l *Logger) log(ctx context.Context, level slog.Level, msg string, args []any) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := slog.NewRecord(time.Now(), level, msg, 0)
+	if c := FromContext(ctx); !c.IsZero() {
+		var buf [7]slog.Attr
+		r.AddAttrs(c.appendAttrs(buf[:0])...)
+	}
+	r.Add(args...)
+	_ = l.h.Handle(ctx, r)
+}
+
+// argsToAttrs converts slog-convention key-value pairs into attrs,
+// reusing slog.Record's own pairing rules (bad pairs become !BADKEY).
+func argsToAttrs(args []any) []slog.Attr {
+	var r slog.Record
+	r.Add(args...)
+	attrs := make([]slog.Attr, 0, r.NumAttrs())
+	r.Attrs(func(a slog.Attr) bool {
+		attrs = append(attrs, a)
+		return true
+	})
+	return attrs
+}

@@ -1,0 +1,135 @@
+// Package obs is the unified observability core for the solver fleet:
+// structured logging on log/slog with a context-carried correlation
+// identity, RED (rate / errors / duration) HTTP telemetry, a runtime
+// introspector behind GET /v1/debug/status, and a strict Prometheus
+// text-exposition validator.
+//
+// The design contract mirrors the trace recorder's "free when off" rule:
+// every method on *Logger returns immediately on a nil receiver, so call
+// sites thread a possibly-nil logger through unconditionally and the
+// disabled path costs one pointer check — no allocation, no interface
+// boxing, no branch on a separate "enabled" flag.
+//
+// Correlation identity travels inside context.Context. It is minted once
+// at the service boundary (or adopted from the X-Correlation-ID request
+// header), stamped onto every log record and onto the trace recorder via
+// trace.Recorder.Correlate, and propagated over the dist coordinator ↔
+// worker HTTP hop in both the campaign document and the request headers —
+// so a single grep for one ID joins daemon logs, worker logs, the trace
+// JSONL and the debug self-report.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+)
+
+// Header is the HTTP header that carries the correlation ID across
+// process boundaries: minted at the service edge when absent, echoed on
+// every response, and attached by workers to every coordinator call.
+const Header = "X-Correlation-ID"
+
+// NewID mints a fresh correlation ID: 16 hex characters of entropy,
+// prefixed so IDs are visually distinct from job and lease IDs in mixed
+// log output.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a degenerate ID
+		// keeps the pipeline alive if it somehow does.
+		return "cid-0000000000000000"
+	}
+	return "cid-" + hex.EncodeToString(b[:])
+}
+
+// Correlation is the identity a log record or trace event is attributed
+// to. Zero fields are omitted from log output; With merges non-empty
+// fields over whatever the context already carries, so identity
+// accumulates as a request descends through layers (service → engine →
+// campaign unit → dist lease).
+type Correlation struct {
+	ID       string `json:"cid,omitempty"`
+	Job      string `json:"job,omitempty"`
+	Campaign string `json:"campaign,omitempty"`
+	Unit     string `json:"unit,omitempty"`
+	Lease    string `json:"lease,omitempty"`
+	Tenant   string `json:"tenant,omitempty"`
+	Worker   string `json:"worker,omitempty"`
+}
+
+// IsZero reports whether no field is set.
+func (c Correlation) IsZero() bool { return c == Correlation{} }
+
+// merge overlays c's non-empty fields onto base.
+func (c Correlation) merge(base Correlation) Correlation {
+	if c.ID != "" {
+		base.ID = c.ID
+	}
+	if c.Job != "" {
+		base.Job = c.Job
+	}
+	if c.Campaign != "" {
+		base.Campaign = c.Campaign
+	}
+	if c.Unit != "" {
+		base.Unit = c.Unit
+	}
+	if c.Lease != "" {
+		base.Lease = c.Lease
+	}
+	if c.Tenant != "" {
+		base.Tenant = c.Tenant
+	}
+	if c.Worker != "" {
+		base.Worker = c.Worker
+	}
+	return base
+}
+
+// appendAttrs appends the non-empty fields as slog attrs under the
+// canonical keys ("cid", "job", "campaign", "unit", "lease", "tenant",
+// "worker") that the ring buffer and solvectl tail key on.
+func (c Correlation) appendAttrs(dst []slog.Attr) []slog.Attr {
+	if c.ID != "" {
+		dst = append(dst, slog.String("cid", c.ID))
+	}
+	if c.Job != "" {
+		dst = append(dst, slog.String("job", c.Job))
+	}
+	if c.Campaign != "" {
+		dst = append(dst, slog.String("campaign", c.Campaign))
+	}
+	if c.Unit != "" {
+		dst = append(dst, slog.String("unit", c.Unit))
+	}
+	if c.Lease != "" {
+		dst = append(dst, slog.String("lease", c.Lease))
+	}
+	if c.Tenant != "" {
+		dst = append(dst, slog.String("tenant", c.Tenant))
+	}
+	if c.Worker != "" {
+		dst = append(dst, slog.String("worker", c.Worker))
+	}
+	return dst
+}
+
+type ctxKey struct{}
+
+// With returns a context carrying base's correlation overlaid with c's
+// non-empty fields.
+func With(ctx context.Context, c Correlation) context.Context {
+	return context.WithValue(ctx, ctxKey{}, c.merge(FromContext(ctx)))
+}
+
+// FromContext returns the correlation carried by ctx (zero when none).
+// Safe on a nil context.
+func FromContext(ctx context.Context) Correlation {
+	if ctx == nil {
+		return Correlation{}
+	}
+	c, _ := ctx.Value(ctxKey{}).(Correlation)
+	return c
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// LogRecord is one captured log line in structured form: the correlation
+// fields are lifted out of the attribute soup so /v1/debug/logs can
+// filter on them without string matching, and Seq is a monotonically
+// increasing cursor for poll-based tailing.
+type LogRecord struct {
+	Seq      int64             `json:"seq"`
+	Time     time.Time         `json:"time"`
+	Level    string            `json:"level"`
+	Msg      string            `json:"msg"`
+	CID      string            `json:"cid,omitempty"`
+	Job      string            `json:"job,omitempty"`
+	Campaign string            `json:"campaign,omitempty"`
+	Unit     string            `json:"unit,omitempty"`
+	Lease    string            `json:"lease,omitempty"`
+	Tenant   string            `json:"tenant,omitempty"`
+	Worker   string            `json:"worker,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Ring is a fixed-capacity buffer of the most recent log records. Safe
+// for concurrent use; the nil *Ring is a valid, always-empty ring.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []LogRecord
+	total int64 // records ever appended; Seq of the next record + 1
+}
+
+// NewRing builds a ring holding the most recent size records (minimum 16).
+func NewRing(size int) *Ring {
+	if size < 16 {
+		size = 16
+	}
+	return &Ring{buf: make([]LogRecord, 0, size)}
+}
+
+// Append stores rec, assigning its Seq (1-based, monotonically
+// increasing across wrap-around).
+func (r *Ring) Append(rec LogRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.total++
+	rec.Seq = r.total
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[(r.total-1)%int64(cap(r.buf))] = rec
+	}
+	r.mu.Unlock()
+}
+
+// Len reports how many records the ring currently holds.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// snapshot returns the live records oldest-first. Caller holds r.mu.
+func (r *Ring) snapshot() []LogRecord {
+	out := make([]LogRecord, len(r.buf))
+	if r.total <= int64(cap(r.buf)) {
+		copy(out, r.buf)
+		return out
+	}
+	head := int(r.total % int64(cap(r.buf)))
+	n := copy(out, r.buf[head:])
+	copy(out[n:], r.buf[:head])
+	return out
+}
+
+// Tail returns the newest n records oldest-first (all of them when n <= 0
+// or exceeds the ring). Nil receiver returns nil.
+func (r *Ring) Tail(n int) []LogRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	all := r.snapshot()
+	if n > 0 && n < len(all) {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// Since returns up to limit records with Seq > after that satisfy match
+// (nil matches everything), oldest-first, plus the newest Seq the ring
+// has ever assigned — the cursor a poller echoes back on its next call.
+// limit <= 0 means no limit.
+func (r *Ring) Since(after int64, limit int, match func(*LogRecord) bool) ([]LogRecord, int64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	all := r.snapshot()
+	latest := r.total
+	r.mu.Unlock()
+	var out []LogRecord
+	for i := range all {
+		if all[i].Seq <= after {
+			continue
+		}
+		if match != nil && !match(&all[i]) {
+			continue
+		}
+		out = append(out, all[i])
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, latest
+}
+
+// ringHandler tees records into a Ring before the wrapped handler
+// renders them. base accumulates WithAttrs attributes so pre-bound
+// fields (component, worker) still land in the captured record.
+type ringHandler struct {
+	ring  *Ring
+	inner slog.Handler
+	base  []slog.Attr
+}
+
+func (h *ringHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *ringHandler) Handle(ctx context.Context, r slog.Record) error {
+	rec := LogRecord{Time: r.Time, Level: r.Level.String(), Msg: r.Message}
+	for _, a := range h.base {
+		rec.assign(a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		rec.assign(a)
+		return true
+	})
+	h.ring.Append(rec)
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *ringHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	base := make([]slog.Attr, 0, len(h.base)+len(attrs))
+	base = append(base, h.base...)
+	base = append(base, attrs...)
+	return &ringHandler{ring: h.ring, inner: h.inner.WithAttrs(attrs), base: base}
+}
+
+func (h *ringHandler) WithGroup(name string) slog.Handler {
+	return &ringHandler{ring: h.ring, inner: h.inner.WithGroup(name), base: h.base}
+}
+
+// assign routes one attribute into the record: correlation keys land in
+// their dedicated fields, everything else in the Attrs map.
+func (rec *LogRecord) assign(a slog.Attr) {
+	v := a.Value.Resolve().String()
+	switch a.Key {
+	case "cid":
+		rec.CID = v
+	case "job":
+		rec.Job = v
+	case "campaign":
+		rec.Campaign = v
+	case "unit":
+		rec.Unit = v
+	case "lease":
+		rec.Lease = v
+	case "tenant":
+		rec.Tenant = v
+	case "worker":
+		rec.Worker = v
+	default:
+		if rec.Attrs == nil {
+			rec.Attrs = make(map[string]string, 4)
+		}
+		rec.Attrs[a.Key] = v
+	}
+}

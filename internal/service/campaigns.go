@@ -12,6 +12,7 @@ import (
 
 	"sdcgmres/internal/campaign"
 	"sdcgmres/internal/memo"
+	"sdcgmres/internal/obs"
 	"sdcgmres/internal/store"
 	"sdcgmres/internal/trace"
 )
@@ -44,8 +45,11 @@ const (
 
 // CampaignView is the API snapshot of one campaign.
 type CampaignView struct {
-	ID       string            `json:"id"`
-	Name     string            `json:"name"`
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// CID is the correlation ID stamped on every log record and trace
+	// event this campaign produced — the grep key that joins them.
+	CID      string            `json:"cid,omitempty"`
 	Hash     string            `json:"manifest_hash"`
 	State    string            `json:"state"`
 	Journal  string            `json:"journal,omitempty"`
@@ -61,6 +65,7 @@ type CampaignView struct {
 type managedCampaign struct {
 	mu       sync.Mutex
 	id       string
+	cid      string // correlation ID; immutable after construction
 	manifest campaign.Manifest
 	hash     string
 	state    string
@@ -82,6 +87,7 @@ func (c *managedCampaign) view() CampaignView {
 	v := CampaignView{
 		ID:          c.id,
 		Name:        c.manifest.Name,
+		CID:         c.cid,
 		Hash:        c.hash,
 		State:       c.state,
 		Journal:     c.journal,
@@ -138,6 +144,11 @@ type CampaignManagerConfig struct {
 	// journaled from the cache instead of executing, and fresh OK
 	// records are published back. Nil changes nothing.
 	Memo *memo.Cache
+	// Log receives the manager's structured lifecycle records (campaign
+	// accepted / running / terminal, per-unit outcomes at debug level),
+	// each stamped with the campaign's correlation ID. Nil disables
+	// logging; journals and CSVs are byte-identical either way.
+	Log *obs.Logger
 }
 
 // CampaignManager runs durable fault-injection campaigns inside the daemon:
@@ -188,10 +199,18 @@ func (m *CampaignManager) JournalPath(man campaign.Manifest) string {
 	return filepath.Join(m.cfg.Dir, fmt.Sprintf("%s-%s.jsonl", man.Slug(), man.Hash()))
 }
 
-// Submit validates and launches a campaign. Compilation (problem
-// calibration) runs asynchronously: the returned view is in state
-// "compiling" and progresses from there.
+// Submit validates and launches a campaign with a fresh correlation ID;
+// see SubmitCtx.
 func (m *CampaignManager) Submit(man campaign.Manifest) (CampaignView, error) {
+	return m.SubmitCtx(context.Background(), man)
+}
+
+// SubmitCtx validates and launches a campaign, adopting the correlation
+// ID carried by ctx (minting one when absent) so the campaign's logs and
+// trace join the submitting request. Compilation (problem calibration)
+// runs asynchronously: the returned view is in state "compiling" and
+// progresses from there.
+func (m *CampaignManager) SubmitCtx(ctx context.Context, man campaign.Manifest) (CampaignView, error) {
 	if m.drain.Load() {
 		return CampaignView{}, ErrDraining
 	}
@@ -201,9 +220,14 @@ func (m *CampaignManager) Submit(man campaign.Manifest) (CampaignView, error) {
 	if m.cfg.MaxActive > 0 && m.activeCount() >= m.cfg.MaxActive {
 		return CampaignView{}, ErrBusy
 	}
-	ctx, cancel := context.WithCancel(m.baseCtx)
+	cid := obs.FromContext(ctx).ID
+	if cid == "" {
+		cid = obs.NewID()
+	}
+	runCtx, cancel := context.WithCancel(m.baseCtx)
 	c := &managedCampaign{
 		id:        fmt.Sprintf("cmp-%06d", m.nextID.Add(1)),
+		cid:       cid,
 		manifest:  man,
 		hash:      man.Hash(),
 		state:     CampaignCompiling,
@@ -213,19 +237,30 @@ func (m *CampaignManager) Submit(man campaign.Manifest) (CampaignView, error) {
 	}
 	if m.cfg.TraceCapacity > 0 {
 		c.trace = trace.NewRecorder(m.cfg.TraceCapacity)
+		c.trace.Correlate(cid)
 	}
 	m.mu.Lock()
 	m.campaigns[c.id] = c
 	m.order = append(m.order, c.id)
 	m.mu.Unlock()
 	m.cfg.Metrics.CampaignsStarted.Inc()
+	if l := m.cfg.Log; l != nil {
+		l.Info(m.campaignCtx(c), "campaign accepted",
+			"name", man.Name, "hash", c.hash, "journal", c.journal)
+	}
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
 		defer cancel()
-		m.execute(ctx, c)
+		m.execute(runCtx, c)
 	}()
 	return c.view(), nil
+}
+
+// campaignCtx builds the logging context carrying a campaign's
+// correlation identity.
+func (m *CampaignManager) campaignCtx(c *managedCampaign) context.Context {
+	return obs.With(context.Background(), obs.Correlation{ID: c.cid, Campaign: c.id})
 }
 
 // activeCount counts campaigns that have not reached a terminal state.
@@ -247,6 +282,8 @@ func (m *CampaignManager) activeCount() int {
 // execute drives one campaign from compile to a terminal state.
 func (m *CampaignManager) execute(ctx context.Context, c *managedCampaign) {
 	met := m.cfg.Metrics
+	log := m.cfg.Log
+	lctx := m.campaignCtx(c)
 	fail := func(err error) {
 		c.mu.Lock()
 		c.state = CampaignFailed
@@ -254,6 +291,7 @@ func (m *CampaignManager) execute(ctx context.Context, c *managedCampaign) {
 		c.finished = time.Now()
 		c.mu.Unlock()
 		met.CampaignsFailed.Inc()
+		log.Error(lctx, "campaign failed", "error", err.Error())
 	}
 
 	compiled, err := campaign.Compile(c.manifest)
@@ -295,9 +333,14 @@ func (m *CampaignManager) execute(ctx context.Context, c *managedCampaign) {
 					met.StoreIngestErrors.Inc()
 				}
 			}
+			log.Debug(lctx, "unit executed", "unit", rec.ID,
+				"outcome", rec.Outcome, "elapsed_ms", rec.ElapsedMS)
 		},
-		OnSkip: func(campaign.Unit) { met.CampaignUnitsSkipped.Inc() },
-		Memo:   m.cfg.Memo,
+		OnSkip: func(u campaign.Unit) {
+			met.CampaignUnitsSkipped.Inc()
+			log.Debug(lctx, "unit resumed from journal", "unit", u.ID)
+		},
+		Memo: m.cfg.Memo,
 		OnMemo: func(rec campaign.Record) {
 			met.CampaignUnitsMemoized.Inc()
 			if m.cfg.Store != nil {
@@ -305,6 +348,7 @@ func (m *CampaignManager) execute(ctx context.Context, c *managedCampaign) {
 					met.StoreIngestErrors.Inc()
 				}
 			}
+			log.Debug(lctx, "unit served from memo cache", "unit", rec.ID)
 		},
 		Recorder: c.trace,
 	})
@@ -313,6 +357,7 @@ func (m *CampaignManager) execute(ctx context.Context, c *managedCampaign) {
 	c.state = CampaignRunning
 	c.started = time.Now()
 	c.mu.Unlock()
+	log.Info(lctx, "campaign running", "units", len(compiled.Units), "resumed", len(have))
 
 	err = runner.Run(ctx)
 	prog := runner.Progress()
@@ -324,8 +369,11 @@ func (m *CampaignManager) execute(ctx context.Context, c *managedCampaign) {
 		c.finished = time.Now()
 		c.mu.Unlock()
 		met.CampaignsCompleted.Inc()
+		log.Info(lctx, "campaign done",
+			"executed", prog.Executed, "skipped", prog.Skipped, "failed", prog.Failed)
 	case errors.Is(err, context.Canceled):
 		m.finishCanceled(c, prog)
+		log.Warn(lctx, "campaign canceled")
 	default:
 		c.mu.Lock()
 		c.state = CampaignFailed
@@ -334,6 +382,7 @@ func (m *CampaignManager) execute(ctx context.Context, c *managedCampaign) {
 		c.finished = time.Now()
 		c.mu.Unlock()
 		met.CampaignsFailed.Inc()
+		log.Error(lctx, "campaign failed", "error", err.Error())
 	}
 }
 

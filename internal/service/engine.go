@@ -14,6 +14,7 @@ import (
 
 	"sdcgmres/internal/kernel"
 	"sdcgmres/internal/memo"
+	"sdcgmres/internal/obs"
 	"sdcgmres/internal/qos"
 	"sdcgmres/internal/sandbox"
 	"sdcgmres/internal/trace"
@@ -94,6 +95,12 @@ type Config struct {
 	// check per submit; every output is byte-for-byte what it was
 	// without a cache.
 	Memo *memo.Cache
+	// Log receives the engine's structured lifecycle records (job
+	// accepted / started / terminal / shed), each stamped with the job's
+	// correlation ID. Nil disables logging at the cost of one pointer
+	// check per site — the same "free when off" contract as the trace
+	// recorder.
+	Log *obs.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -267,16 +274,28 @@ func (e *Engine) KernelStats() kernel.Stats {
 	return total
 }
 
-// Submit validates and enqueues a job. It returns ErrDraining during
-// shutdown, ErrQueueFull when the FIFO rejects the job, a *qos.ShedError
-// when the QoS scheduler rejects it (carrying the reason and retry
-// advice), or the spec's validation error.
+// Submit validates and enqueues a job with a fresh correlation ID; see
+// SubmitCtx.
 func (e *Engine) Submit(spec JobSpec) (JobView, error) {
+	return e.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx validates and enqueues a job, adopting the correlation ID
+// carried by ctx (minting one when absent) so the job's logs and trace
+// join the submitting request. It returns ErrDraining during shutdown,
+// ErrQueueFull when the FIFO rejects the job, a *qos.ShedError when the
+// QoS scheduler rejects it (carrying the reason and retry advice), or
+// the spec's validation error.
+func (e *Engine) SubmitCtx(ctx context.Context, spec JobSpec) (JobView, error) {
 	if e.drain.Load() {
 		return JobView{}, ErrDraining
 	}
 	if err := spec.Validate(); err != nil {
 		return JobView{}, err
+	}
+	cid := obs.FromContext(ctx).ID
+	if cid == "" {
+		cid = obs.NewID()
 	}
 	// Cache lookup precedes every admission decision: a memoized solve
 	// is served without touching the FIFO or the QoS scheduler.
@@ -284,7 +303,7 @@ func (e *Engine) Submit(spec JobSpec) (JobView, error) {
 	if e.cfg.Memo != nil {
 		memoKey = memo.JobKey(SpecDigest(&spec))
 		if raw, ok := e.cfg.Memo.Get(memoKey); ok {
-			if view, done := e.completeFromMemo(spec, memoKey, raw); done {
+			if view, done := e.completeFromMemo(spec, cid, memoKey, raw); done {
 				return view, nil
 			}
 		}
@@ -292,6 +311,7 @@ func (e *Engine) Submit(spec JobSpec) (JobView, error) {
 	j := &Job{
 		id:        fmt.Sprintf("job-%06d", e.nextID.Add(1)),
 		spec:      spec,
+		cid:       cid,
 		memoKey:   memoKey,
 		state:     StateQueued,
 		submitted: time.Now(),
@@ -303,6 +323,9 @@ func (e *Engine) Submit(spec JobSpec) (JobView, error) {
 		e.mu.Lock()
 		delete(e.jobs, j.id)
 		e.mu.Unlock()
+		if l := e.cfg.Log; l != nil {
+			l.Warn(e.jobCtx(j), "job rejected", "reason", err.Error())
+		}
 		if errors.Is(err, ErrQueueClosed) || errors.Is(err, qos.ErrClosed) {
 			return JobView{}, ErrDraining
 		}
@@ -310,7 +333,16 @@ func (e *Engine) Submit(spec JobSpec) (JobView, error) {
 		return JobView{}, err
 	}
 	e.cfg.Metrics.JobsAccepted.Inc()
+	if l := e.cfg.Log; l != nil {
+		l.Info(e.jobCtx(j), "job accepted", "solver", j.spec.SolverKind())
+	}
 	return j.View(), nil
+}
+
+// jobCtx builds the logging context carrying a job's correlation
+// identity.
+func (e *Engine) jobCtx(j *Job) context.Context {
+	return obs.With(context.Background(), obs.Correlation{ID: j.cid, Job: j.id, Tenant: j.spec.Tenant})
 }
 
 // enqueue hands a job to whichever queue path the engine runs.
@@ -324,6 +356,7 @@ func (e *Engine) enqueue(j *Job) error {
 	var tr *trace.Recorder
 	if e.cfg.TraceCapacity > 0 {
 		tr = trace.NewRecorder(e.cfg.TraceCapacity)
+		tr.Correlate(j.cid)
 		j.mu.Lock()
 		j.trace = tr
 		j.mu.Unlock()
@@ -363,6 +396,10 @@ func (e *Engine) shedExpired(tenant string, j *Job) {
 	j.mu.Unlock()
 	tr.QoSShed(tenant, string(qos.ReasonExpired), float64(waited.Milliseconds()), 0)
 	e.cfg.Metrics.JobsShed.Inc()
+	if l := e.cfg.Log; l != nil {
+		l.Warn(e.jobCtx(j), "job shed", "reason", "deadline expired while queued",
+			"waited_ms", waited.Milliseconds())
+	}
 	e.retire(j)
 }
 
@@ -534,9 +571,13 @@ func (e *Engine) run(j *Job, pool *kernel.Pool) {
 		tr = j.trace // the QoS path created it at admission
 		if tr == nil {
 			tr = trace.NewRecorder(e.cfg.TraceCapacity)
+			tr.Correlate(j.cid)
 			j.trace = tr
 		}
 		j.mu.Unlock()
+	}
+	if l := e.cfg.Log; l != nil {
+		l.Debug(e.jobCtx(j), "job started", "solver", j.spec.SolverKind())
 	}
 
 	var rec *SolveRecord
@@ -642,6 +683,18 @@ func (e *Engine) run(j *Job, pool *kernel.Pool) {
 		// plain error or a caller cancel) is not.
 		good := rep.Outcome != sandbox.Panicked && rep.Outcome != sandbox.TimedOut
 		e.sched.ReportOutcome(j.spec.Tenant, good)
+	}
+	if l := e.cfg.Log; l != nil {
+		lctx := e.jobCtx(j)
+		if state == StateDone {
+			l.Info(lctx, "job done", "elapsed_ms", elapsed.Milliseconds(), "from_memo", fromMemo)
+		} else {
+			j.mu.Lock()
+			errMsg := j.err
+			j.mu.Unlock()
+			l.Warn(lctx, "job terminal", "state", string(state),
+				"elapsed_ms", elapsed.Milliseconds(), "error", errMsg)
+		}
 	}
 	e.retire(j)
 }

@@ -47,6 +47,10 @@ func (s State) Terminal() bool {
 type Job struct {
 	id   string
 	spec JobSpec
+	// cid is the observability correlation ID minted (or adopted from the
+	// request) at submission; it joins this job's log records, trace
+	// events and API view. Immutable after construction.
+	cid string
 	// memoKey is the job's content-addressed cache key ("" when the
 	// engine runs without a memo cache). Set before the job is
 	// published, immutable afterwards.
@@ -77,6 +81,9 @@ func (j *Job) ID() string { return j.id }
 type JobView struct {
 	ID    string `json:"id"`
 	State State  `json:"state"`
+	// CID is the correlation ID stamped on every log record and trace
+	// event this job produced — the grep key that joins them.
+	CID string `json:"cid,omitempty"`
 	// Budget is the effective wall-clock budget in milliseconds (0 until
 	// the engine resolves the default at start).
 	Spec   JobSpec      `json:"spec"`
@@ -99,6 +106,7 @@ func (j *Job) View() JobView {
 	v := JobView{
 		ID:          j.id,
 		State:       j.state,
+		CID:         j.cid,
 		Spec:        j.spec,
 		Error:       j.err,
 		Result:      j.result,

@@ -96,7 +96,7 @@ func (e *Engine) WriteMemoMetrics(w io.Writer) { e.cfg.Memo.WritePrometheus(w) }
 // and no worker, the property the admission-before-cache ordering
 // exists to guarantee. Returns ok=false on an undecodable payload, in
 // which case the caller falls through to a fresh execution.
-func (e *Engine) completeFromMemo(spec JobSpec, key string, raw []byte) (JobView, bool) {
+func (e *Engine) completeFromMemo(spec JobSpec, cid, key string, raw []byte) (JobView, bool) {
 	rec := new(SolveRecord)
 	if err := json.Unmarshal(raw, rec); err != nil {
 		return JobView{}, false
@@ -105,6 +105,7 @@ func (e *Engine) completeFromMemo(spec JobSpec, key string, raw []byte) (JobView
 	j := &Job{
 		id:        fmt.Sprintf("job-%06d", e.nextID.Add(1)),
 		spec:      spec,
+		cid:       cid,
 		memoKey:   key,
 		state:     StateDone,
 		result:    rec,
@@ -114,6 +115,7 @@ func (e *Engine) completeFromMemo(spec JobSpec, key string, raw []byte) (JobView
 	}
 	if e.cfg.TraceCapacity > 0 {
 		tr := trace.NewRecorder(e.cfg.TraceCapacity)
+		tr.Correlate(cid)
 		tr.MemoHit(key, "hit", len(raw))
 		j.trace = tr
 	}
@@ -126,6 +128,9 @@ func (e *Engine) completeFromMemo(spec JobSpec, key string, raw []byte) (JobView
 	// aggregates (no detector work happened in this process).
 	e.cfg.Metrics.JobsAccepted.Inc()
 	e.cfg.Metrics.JobsCompleted.Inc()
+	if l := e.cfg.Log; l != nil {
+		l.Info(e.jobCtx(j), "job served from memo cache", "key", key, "bytes", len(raw))
+	}
 	e.retire(j)
 	return j.View(), true
 }

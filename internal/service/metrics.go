@@ -5,105 +5,26 @@ import (
 	"io"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"sdcgmres/internal/kernel"
+	"sdcgmres/internal/obs"
 )
 
-// Counter is a monotonically increasing metric.
-type Counter struct {
-	n atomic.Int64
-}
-
-// Inc adds one.
-func (c *Counter) Inc() { c.n.Add(1) }
-
-// Add adds d (negative deltas are ignored: counters only go up).
-func (c *Counter) Add(d int64) {
-	if d > 0 {
-		c.n.Add(d)
-	}
-}
-
-// Value returns the current count.
-func (c *Counter) Value() int64 { return c.n.Load() }
-
-// defaultBuckets are the latency histogram upper bounds in seconds.
-var defaultBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
-
-// Histogram is a fixed-bucket latency histogram (cumulative on export, as
-// the Prometheus text format expects).
-type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64
-	counts []int64 // per-bucket, counts[len(bounds)] = overflow (+Inf)
-	sum    float64
-	total  int64
-}
+// Counter and Histogram are the fleet-wide metric primitives, now owned
+// by the observability core. The aliases keep this package's exported
+// surface (and its users — dist, tests) stable across the move.
+type (
+	// Counter is a monotonically increasing metric.
+	Counter = obs.Counter
+	// Histogram is a fixed-bucket latency histogram (cumulative on
+	// export, as the Prometheus text format expects).
+	Histogram = obs.Histogram
+)
 
 // NewHistogram builds a histogram with the given upper bounds (seconds),
 // or the default latency buckets when none are given.
-func NewHistogram(bounds ...float64) *Histogram {
-	if len(bounds) == 0 {
-		bounds = defaultBuckets
-	}
-	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
-}
-
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	h.sum += v
-	h.total++
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.total
-}
-
-// Mean returns the mean observed value (0 before any observation).
-func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.total == 0 {
-		return 0
-	}
-	return h.sum / float64(h.total)
-}
-
-// WritePrometheus renders the histogram under the given metric name and
-// label set (e.g. `worker="w1"`; empty for none) in the text exposition
-// format: cumulative buckets, sum and count. Callers emit the # HELP and
-// # TYPE header once per metric name.
-func (h *Histogram) WritePrometheus(w io.Writer, name, labels string) {
-	sep := ""
-	if labels != "" {
-		sep = labels + ","
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	cum := int64(0)
-	for i, bound := range h.bounds {
-		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, sep, fmt.Sprintf("%g", bound), cum)
-	}
-	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, sep, cum)
-	if labels != "" {
-		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.sum)
-		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.total)
-	} else {
-		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
-		fmt.Fprintf(w, "%s_count %d\n", name, h.total)
-	}
-}
+func NewHistogram(bounds ...float64) *Histogram { return obs.NewHistogram(bounds...) }
 
 // Metrics is the service's observability registry: counters for the job
 // lifecycle and the resilience machinery, plus per-solver-kind latency
@@ -182,10 +103,9 @@ func (m *Metrics) MeanServiceTime() time.Duration {
 	var sum float64
 	var total int64
 	for _, h := range hists {
-		h.mu.Lock()
-		sum += h.sum
-		total += h.total
-		h.mu.Unlock()
+		s, n := h.SumCount()
+		sum += s
+		total += n
 	}
 	if total == 0 {
 		return 0

@@ -38,10 +38,17 @@ func TestHistogramBuckets(t *testing.T) {
 		t.Fatalf("count = %d", h.Count())
 	}
 	// 0.05 and 0.1 ≤ 0.1 (le is inclusive); 0.5 ≤ 1; 5 ≤ 10; 100 overflows.
-	want := []int64{2, 1, 1, 1}
-	for i, w := range want {
-		if h.counts[i] != w {
-			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, h.counts[i], w, h.counts)
+	// Buckets are cumulative on export.
+	var sb strings.Builder
+	h.WritePrometheus(&sb, "h", "")
+	for _, want := range []string{
+		`h_bucket{le="0.1"} 2`,
+		`h_bucket{le="1"} 3`,
+		`h_bucket{le="10"} 4`,
+		`h_bucket{le="+Inf"} 5`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, sb.String())
 		}
 	}
 }

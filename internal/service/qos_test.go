@@ -387,7 +387,9 @@ func TestEngineQoSProbeExpiredInQueueReleasesSlot(t *testing.T) {
 
 // TestEngineQoSAdmitEventFirstInTrace: the qos-admit event is recorded
 // under the scheduler lock at admission, so it is always the job's first
-// trace event — never reordered after run/solve events by a fast worker.
+// scheduling trace event — never reordered after run/solve events by a
+// fast worker. Only the correlation stamp, emitted when the recorder is
+// created (before the job is ever pushed), may precede it.
 func TestEngineQoSAdmitEventFirstInTrace(t *testing.T) {
 	e := NewEngine(Config{
 		Workers:       1,
@@ -407,8 +409,11 @@ func TestEngineQoSAdmitEventFirstInTrace(t *testing.T) {
 	if err != nil {
 		t.Fatalf("JobTrace: %v", err)
 	}
-	if len(events) == 0 || events[0].Kind.String() != "qos-admit" {
-		t.Fatalf("first trace event = %+v, want qos-admit", events)
+	if len(events) == 0 || events[0].Kind.String() != "correlation" {
+		t.Fatalf("first trace event = %+v, want correlation", events)
+	}
+	if len(events) < 2 || events[1].Kind.String() != "qos-admit" {
+		t.Fatalf("first scheduling event = %+v, want qos-admit", events)
 	}
 	admits := 0
 	for _, ev := range events {

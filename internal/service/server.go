@@ -10,6 +10,7 @@ import (
 	"strconv"
 
 	"sdcgmres/internal/campaign"
+	"sdcgmres/internal/obs"
 	"sdcgmres/internal/qos"
 	"sdcgmres/internal/store"
 	"sdcgmres/internal/trace"
@@ -42,6 +43,14 @@ type ServerOptions struct {
 	// (POST /v1/results/query, GET /v1/campaigns/{id}/stats) and appends
 	// the store gauges to GET /metrics.
 	Store *store.Store
+	// Log receives the HTTP request log and backs GET /v1/debug/logs
+	// when built with a ring buffer. Nil disables request logging (the
+	// correlation-ID middleware still runs).
+	Log *obs.Logger
+	// Introspector, when non-nil, enriches GET /v1/debug/status with
+	// runtime vitals and registered subsystem snapshots and appends the
+	// process gauges to GET /metrics.
+	Introspector *obs.Introspector
 }
 
 // Server exposes an Engine over HTTP:
@@ -68,12 +77,21 @@ type ServerOptions struct {
 //	POST   /v1/results/query          store.Query → 200 store.QueryResult | 400
 //	GET    /v1/campaigns/{id}/stats   server-side paper statistics (?diff=<campaign> adds a comparison) → 200 | 404
 //
+// Every /v1 route (plus /healthz and /metrics) runs behind the obs
+// middleware: the request's X-Correlation-ID is adopted (or minted) into
+// the request context and echoed on the response, and RED metrics are
+// recorded per route under the solved_http_* families. The debug surface:
+//
+//	GET /v1/debug/status  consolidated self-report (build, runtime, subsystem snapshots, recent logs)
+//	GET /v1/debug/logs    poll the log ring (?cid=&job=&campaign=&after=&limit=)
+//
 // The results and trace endpoints negotiate gzip response encoding via
 // Accept-Encoding.
 type Server struct {
 	engine *Engine
 	opts   ServerOptions
 	mux    *http.ServeMux
+	red    *obs.RED
 }
 
 // NewServer builds the HTTP front end for an engine.
@@ -81,26 +99,36 @@ func NewServer(engine *Engine, opts ServerOptions) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 16 << 20
 	}
-	s := &Server{engine: engine, opts: opts, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s := &Server{engine: engine, opts: opts, mux: http.NewServeMux(), red: obs.NewRED("solved")}
+	// handle wraps every route in the shared telemetry middleware. The
+	// route label is the registration pattern's path (not the raw URL),
+	// keeping metric cardinality bounded.
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		s.mux.Handle(pattern, obs.Instrument(s.red, opts.Log, route, h))
+	}
+	handle("POST /v1/jobs", "/v1/jobs", s.handleSubmit)
+	handle("GET /v1/jobs", "/v1/jobs", s.handleList)
+	handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleGet)
+	handle("GET /v1/jobs/{id}/trace", "/v1/jobs/{id}/trace", s.handleJobTrace)
+	handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.handleCancel)
+	handle("GET /healthz", "/healthz", s.handleHealthz)
+	handle("GET /metrics", "/metrics", s.handleMetrics)
+	handle("GET /v1/debug/status", "/v1/debug/status", s.handleDebugStatus)
+	handle("GET /v1/debug/logs", "/v1/debug/logs", s.handleDebugLogs)
 	if opts.Campaigns != nil {
-		s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
-		s.mux.HandleFunc("GET /v1/campaigns", s.handleCampaignList)
-		s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
-		s.mux.HandleFunc("GET /v1/campaigns/{id}/trace", s.handleCampaignTrace)
-		s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
+		handle("POST /v1/campaigns", "/v1/campaigns", s.handleCampaignSubmit)
+		handle("GET /v1/campaigns", "/v1/campaigns", s.handleCampaignList)
+		handle("GET /v1/campaigns/{id}", "/v1/campaigns/{id}", s.handleCampaignGet)
+		handle("GET /v1/campaigns/{id}/trace", "/v1/campaigns/{id}/trace", s.handleCampaignTrace)
+		handle("DELETE /v1/campaigns/{id}", "/v1/campaigns/{id}", s.handleCampaignCancel)
 	}
 	if opts.Store != nil {
-		s.mux.HandleFunc("POST /v1/results/query", s.handleResultsQuery)
-		s.mux.HandleFunc("GET /v1/campaigns/{id}/stats", s.handleCampaignStats)
+		handle("POST /v1/results/query", "/v1/results/query", s.handleResultsQuery)
+		handle("GET /v1/campaigns/{id}/stats", "/v1/campaigns/{id}/stats", s.handleCampaignStats)
 	}
 	if opts.Dist != nil {
+		// The dist host carries its own RED registry (dist_http_*) and
+		// correlation middleware; mounting it raw avoids double counting.
 		s.mux.Handle("/v1/dist/", opts.Dist)
 		s.mux.Handle("/v1/leases", opts.Dist)
 		s.mux.Handle("/v1/leases/", opts.Dist)
@@ -151,7 +179,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if spec.Tenant == "" {
 		spec.Tenant = r.Header.Get("X-Tenant")
 	}
-	view, err := s.engine.Submit(spec)
+	view, err := s.engine.SubmitCtx(r.Context(), spec)
 	var shed *qos.ShedError
 	switch {
 	case err == nil:
@@ -210,6 +238,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"mode":    mode,
 		"workers": s.engine.Workers(),
 		"queued":  s.engine.QueueLen(),
+		"build":   obs.BuildInfo(),
+	}
+	if s.opts.Introspector != nil {
+		body["uptime_seconds"] = s.opts.Introspector.Uptime().Seconds()
 	}
 	if s.opts.LeaseBacklog != nil {
 		body["lease_backlog"] = s.opts.LeaseBacklog()
@@ -228,7 +260,7 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, "campaign manifest", &man) {
 		return
 	}
-	view, err := s.opts.Campaigns.Submit(man)
+	view, err := s.opts.Campaigns.SubmitCtx(r.Context(), man)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, view)
@@ -346,6 +378,97 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, extra := range s.opts.ExtraMetrics {
 		extra(w)
 	}
+	obs.WriteBuildMetric(w)
+	s.opts.Introspector.WritePrometheus(w)
+	s.red.WritePrometheus(w)
+}
+
+// handleDebugStatus serves the consolidated self-report. ?logs=N bounds
+// the recent-log tail (default 50, 0 disables).
+func (s *Server) handleDebugStatus(w http.ResponseWriter, r *http.Request) {
+	tail := 50
+	if v := r.URL.Query().Get("logs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed logs %q (want a non-negative integer)", v))
+			return
+		}
+		tail = n
+	}
+	st := s.opts.Introspector.Status(0)
+	if tail > 0 {
+		st.RecentLogs = s.opts.Log.Ring().Tail(tail)
+	}
+	if st.Sections == nil {
+		st.Sections = map[string]any{}
+	}
+	mode := s.opts.Mode
+	if mode == "" {
+		mode = "standalone"
+	}
+	st.Sections["server"] = map[string]any{
+		"mode":     mode,
+		"draining": s.engine.Draining(),
+		"workers":  s.engine.Workers(),
+		"queued":   s.engine.QueueLen(),
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// LogsPage is the GET /v1/debug/logs payload: ring records newer than
+// the requested cursor plus the newest sequence number to echo back on
+// the next poll.
+type LogsPage struct {
+	Records []obs.LogRecord `json:"records"`
+	NextSeq int64           `json:"next_seq"`
+}
+
+// handleDebugLogs polls the log ring. Filters: ?cid=, ?job=, ?campaign=
+// (exact match, all optional); paging: ?after=<seq> and ?limit=N
+// (default 500).
+func (s *Server) handleDebugLogs(w http.ResponseWriter, r *http.Request) {
+	ring := s.opts.Log.Ring()
+	if ring == nil {
+		writeError(w, http.StatusNotFound, "log ring disabled (start the daemon with -log-ring > 0)")
+		return
+	}
+	q := r.URL.Query()
+	after := int64(0)
+	if v := q.Get("after"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed after %q (want a non-negative integer)", v))
+			return
+		}
+		after = n
+	}
+	limit := 500
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed limit %q (want a positive integer)", v))
+			return
+		}
+		limit = n
+	}
+	cid, job, camp := q.Get("cid"), q.Get("job"), q.Get("campaign")
+	match := func(rec *obs.LogRecord) bool {
+		if cid != "" && rec.CID != cid {
+			return false
+		}
+		if job != "" && rec.Job != job {
+			return false
+		}
+		if camp != "" && rec.Campaign != camp {
+			return false
+		}
+		return true
+	}
+	recs, latest := ring.Since(after, limit, match)
+	if recs == nil {
+		recs = []obs.LogRecord{}
+	}
+	writeJSON(w, http.StatusOK, LogsPage{Records: recs, NextSeq: latest})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

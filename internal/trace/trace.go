@@ -85,6 +85,12 @@ const (
 	// for a cached payload, "shared" for a singleflight collapse onto a
 	// concurrent identical execution), Inner the payload size in bytes.
 	KindMemoHit
+	// KindCorrelation stamps the observability correlation ID onto the
+	// timeline: Label carries the ID minted at the service boundary, so a
+	// grep for one correlation ID joins this trace with the structured
+	// logs and the debug self-report. Emitted once when a recorder is
+	// bound to a job or campaign.
+	KindCorrelation
 )
 
 var kindNames = map[Kind]string{
@@ -105,6 +111,7 @@ var kindNames = map[Kind]string{
 	KindQoSAdmit:        "qos-admit",
 	KindQoSShed:         "qos-shed",
 	KindMemoHit:         "memo-hit",
+	KindCorrelation:     "correlation",
 }
 
 var kindByName = func() map[string]Kind {
@@ -414,4 +421,14 @@ func (r *Recorder) MemoHit(key, how string, size int) {
 		return
 	}
 	r.Emit(Event{Kind: KindMemoHit, Label: key, Note: how, Inner: size})
+}
+
+// Correlate stamps the observability correlation ID onto the timeline,
+// joining this trace to the structured log stream. Empty IDs are not
+// recorded.
+func (r *Recorder) Correlate(cid string) {
+	if r == nil || cid == "" {
+		return
+	}
+	r.Emit(Event{Kind: KindCorrelation, Label: cid})
 }
